@@ -1,0 +1,76 @@
+// Command kbgen generates the synthetic Italian banking knowledge base and
+// exports it as HTML files plus a query-dataset JSON, so the corpus can be
+// inspected or consumed by external tools.
+//
+// Usage:
+//
+//	kbgen [-docs 1000] [-seed 1] [-out ./kbdump] [-stats]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"uniask/internal/kb"
+)
+
+func main() {
+	var (
+		docs  = flag.Int("docs", 1000, "number of documents (paper: 59308)")
+		seed  = flag.Int64("seed", 1, "generation seed")
+		out   = flag.String("out", "", "output directory (omit to skip export)")
+		stats = flag.Bool("stats", true, "print corpus statistics")
+		human = flag.Int("human", 100, "human questions to export")
+		kw    = flag.Int("keyword", 50, "keyword queries to export")
+	)
+	flag.Parse()
+
+	corpus := kb.Generate(kb.GenConfig{Docs: *docs, Seed: *seed})
+	if *stats {
+		s := corpus.ComputeStats()
+		fmt.Printf("documents:      %d\n", s.Docs)
+		fmt.Printf("avg words:      %.1f (paper: 248)\n", s.AvgWords)
+		fmt.Printf("avg paragraphs: %.1f (paper: 7.6)\n", s.AvgParagraphs)
+		fmt.Printf("dup clusters:   %d (%d documents, %.1f%%)\n",
+			s.Clusters, s.ClusteredDocs, 100*float64(s.ClusteredDocs)/float64(s.Docs))
+	}
+	if *out == "" {
+		return
+	}
+	pagesDir := filepath.Join(*out, "pages")
+	if err := os.MkdirAll(pagesDir, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, d := range corpus.Docs {
+		if err := os.WriteFile(filepath.Join(pagesDir, d.ID+".html"), []byte(d.HTML), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	type exportQuery struct {
+		ID       string   `json:"id"`
+		Text     string   `json:"text"`
+		Relevant []string `json:"relevant"`
+		Answer   string   `json:"answer,omitempty"`
+	}
+	export := func(name string, ds kb.Dataset) {
+		var qs []exportQuery
+		for _, q := range ds.Queries {
+			qs = append(qs, exportQuery{ID: q.ID, Text: q.Text, Relevant: q.Relevant, Answer: q.Answer})
+		}
+		data, _ := json.MarshalIndent(qs, "", "  ")
+		if err := os.WriteFile(filepath.Join(*out, name+".json"), data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	export("human", corpus.HumanDataset(*human, *seed+100))
+	export("keyword", corpus.KeywordDataset(*kw, *seed+200))
+	fmt.Printf("exported %d pages and query datasets to %s\n", len(corpus.Docs), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+// Command uniask-bench regenerates the paper's tables and figures on the
+// synthetic substrate.
+//
+// Usage:
+//
+//	uniask-bench [-docs N] [-human N] [-keyword N] [-seed S] [-table 1|2|3|4|5] [-pilot] [-figure 2|3]
+//
+// Without selection flags it runs everything.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"uniask/internal/experiments"
+)
+
+func main() {
+	var (
+		docs    = flag.Int("docs", experiments.DefaultScale.Docs, "corpus size (paper: 59308)")
+		human   = flag.Int("human", experiments.DefaultScale.Human, "human dataset size (paper: 2700)")
+		keyword = flag.Int("keyword", experiments.DefaultScale.Keyword, "keyword dataset size (paper: 800)")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		table   = flag.Int("table", 0, "run a single table (1-5)")
+		figure  = flag.Int("figure", 0, "run a single figure (2-3)")
+		pilot   = flag.Bool("pilot", false, "run the §8 pilot-phase simulations")
+		post    = flag.Bool("postlaunch", false, "run the post-launch ticket-reduction analysis")
+		future  = flag.Bool("futurework", false, "run the §11 future-work experiments (adapter, knowledge graph)")
+	)
+	flag.Parse()
+
+	scale := experiments.Scale{Docs: *docs, Human: *human, Keyword: *keyword, Seed: *seed}
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "setup: generating %d docs, indexing...\n", scale.Docs)
+	env, err := experiments.Setup(context.Background(), scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "setup failed:", err)
+		os.Exit(1)
+	}
+	stats := env.Corpus.ComputeStats()
+	fmt.Fprintf(os.Stderr, "setup done in %v: %d docs, %.0f avg words, %.1f avg paragraphs, %d chunks indexed\n",
+		time.Since(start).Round(time.Millisecond), stats.Docs, stats.AvgWords, stats.AvgParagraphs, env.Engine.Index.Len())
+
+	ctx := context.Background()
+	all := *table == 0 && *figure == 0 && !*pilot && !*post && !*future
+	runTable := func(n int) bool { return all || *table == n }
+
+	if runTable(1) {
+		fmt.Println(env.Table1())
+	}
+	if runTable(2) {
+		fmt.Println(env.Table2())
+	}
+	if runTable(3) {
+		fmt.Println(env.Table3())
+	}
+	if runTable(4) {
+		t4, err := env.Table4(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "table 4 failed:", err)
+			os.Exit(1)
+		}
+		fmt.Println(t4)
+	}
+	if runTable(5) {
+		t5, err := env.Table5(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "table 5 failed:", err)
+			os.Exit(1)
+		}
+		fmt.Println(t5)
+	}
+	if all || *pilot {
+		fmt.Println(env.Pilots(ctx))
+	}
+	if all || *table == 5 {
+		gr, err := env.Groundedness(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "groundedness failed:", err)
+			os.Exit(1)
+		}
+		fmt.Println(gr)
+		fmt.Println()
+	}
+	if all || *post {
+		pl, err := env.PostLaunch(ctx, 600)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "post-launch failed:", err)
+			os.Exit(1)
+		}
+		fmt.Println(pl)
+	}
+	if all || *future {
+		ar, err := env.FutureWorkAdapter(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adapter experiment failed:", err)
+			os.Exit(1)
+		}
+		fmt.Println(ar)
+		kr, err := env.FutureWorkKnowledgeGraph(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "knowledge-graph experiment failed:", err)
+			os.Exit(1)
+		}
+		fmt.Println(kr)
+	}
+	if all || *figure == 2 {
+		fmt.Println(experiments.Figure2())
+	}
+	if all || *figure == 3 {
+		f3, err := env.Figure3(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figure 3 failed:", err)
+			os.Exit(1)
+		}
+		fmt.Println(f3)
+	}
+}

@@ -1,0 +1,100 @@
+// Command uniask-chat is an interactive terminal client for UniAsk: it
+// builds (or loads) an index over the synthetic knowledge base and answers
+// questions typed on stdin, showing the generated answer, the guardrail
+// verdict and the top documents — the terminal equivalent of the FrontEnd
+// search box.
+//
+// Usage:
+//
+//	uniask-chat [-docs 3000] [-seed 1] [-index-file uniask.idx]
+//
+// With -index-file the index is loaded from the file when it exists and
+// saved to it after a fresh build, so restarts are instant.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"uniask"
+)
+
+func main() {
+	var (
+		docs      = flag.Int("docs", 3000, "synthetic corpus size")
+		seed      = flag.Int64("seed", 1, "corpus generation seed")
+		indexFile = flag.String("index-file", "", "persist/load the index here")
+	)
+	flag.Parse()
+	ctx := context.Background()
+
+	corpus := uniask.SyntheticCorpus(*docs, *seed)
+	var sys *uniask.System
+
+	start := time.Now()
+	if *indexFile != "" {
+		if f, err := os.Open(*indexFile); err == nil {
+			sys = uniask.New(uniask.Config{Lexicon: corpus.Lexicon()})
+			if err := sys.LoadIndex(f); err != nil {
+				fmt.Fprintln(os.Stderr, "load failed:", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "index loaded from %s in %v (%d chunks)\n",
+				*indexFile, time.Since(start).Round(time.Millisecond), sys.IndexedChunks())
+		}
+	}
+	if sys == nil {
+		var err error
+		sys, err = uniask.NewFromCorpus(ctx, corpus, uniask.Config{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "build failed:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "index built in %v (%d chunks)\n",
+			time.Since(start).Round(time.Millisecond), sys.IndexedChunks())
+		if *indexFile != "" {
+			f, err := os.Create(*indexFile)
+			if err == nil {
+				if err := sys.SaveIndex(f); err == nil {
+					fmt.Fprintf(os.Stderr, "index saved to %s\n", *indexFile)
+				}
+				f.Close()
+			}
+		}
+	}
+
+	fmt.Println("UniAsk — fai una domanda in italiano (CTRL-D per uscire).")
+	fmt.Println("Esempio:", "Come posso "+strings.ToLower(corpus.Docs[0].Title)+"?")
+	scanner := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("\n> ")
+		if !scanner.Scan() {
+			fmt.Println()
+			return
+		}
+		q := strings.TrimSpace(scanner.Text())
+		if q == "" {
+			continue
+		}
+		t0 := time.Now()
+		resp, err := sys.Ask(ctx, q)
+		if err != nil {
+			fmt.Println("errore:", err)
+			continue
+		}
+		fmt.Println(resp.Answer)
+		fmt.Printf("  [guardrail: %s | %v]\n", resp.Guardrail, time.Since(t0).Round(time.Millisecond))
+		for i, d := range resp.Documents {
+			if i == 3 {
+				break
+			}
+			fmt.Printf("  %d. %s — %s\n", i+1, d.ParentID, d.Title)
+		}
+	}
+}

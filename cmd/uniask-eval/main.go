@@ -1,0 +1,103 @@
+// Command uniask-eval evaluates retrieval quality over the generated query
+// datasets with configurable retrieval options, printing the standard IR
+// metrics (p@n, r@n, hit@n, MRR). It is the workbench tool behind the
+// parameter choices of §7 (e.g. the vector-K sweep that selected K=15).
+//
+// Usage:
+//
+//	uniask-eval [-docs 3000] [-dataset human|keyword] [-split test|validation]
+//	            [-mode hybrid|text|vector] [-k 15] [-n 50] [-rrfc 60]
+//	            [-boost 0] [-expansion none|qga|mq1|mq2] [-sweep-k]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"uniask/internal/eval"
+	"uniask/internal/experiments"
+	"uniask/internal/kb"
+	"uniask/internal/search"
+)
+
+func main() {
+	var (
+		docs      = flag.Int("docs", 3000, "corpus size")
+		human     = flag.Int("human", 600, "human dataset size")
+		keyword   = flag.Int("keyword", 300, "keyword dataset size")
+		seed      = flag.Int64("seed", 1, "generation seed")
+		dataset   = flag.String("dataset", "human", "dataset: human or keyword")
+		split     = flag.String("split", "test", "split: test or validation")
+		mode      = flag.String("mode", "hybrid", "retrieval mode: hybrid, text, vector")
+		k         = flag.Int("k", 15, "vector search K")
+		n         = flag.Int("n", 50, "text search N")
+		rrfc      = flag.Int("rrfc", 60, "RRF constant")
+		boost     = flag.Float64("boost", 0, "title boost multiplier (0 = off)")
+		expansion = flag.String("expansion", "none", "query expansion: none, qga, mq1, mq2")
+		sweepK    = flag.Bool("sweep-k", false, "reproduce the §7 K sweep (overrides -k)")
+	)
+	flag.Parse()
+
+	env, err := experiments.Setup(context.Background(), experiments.Scale{
+		Docs: *docs, Human: *human, Keyword: *keyword, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "setup failed:", err)
+		os.Exit(1)
+	}
+	var ds kb.Dataset
+	switch *dataset + "/" + *split {
+	case "human/test":
+		ds = env.HumanTest
+	case "human/validation":
+		ds = env.HumanVal
+	case "keyword/test":
+		ds = env.KeywordTest
+	case "keyword/validation":
+		ds = env.KeywordVal
+	default:
+		fmt.Fprintln(os.Stderr, "unknown dataset/split:", *dataset, *split)
+		os.Exit(2)
+	}
+
+	opts := search.Options{TextN: *n, VectorK: *k, RRFC: *rrfc, TitleBoost: *boost}
+	switch *mode {
+	case "text":
+		opts.Mode = search.TextOnly
+	case "vector":
+		opts.Mode = search.VectorOnly
+	}
+	switch *expansion {
+	case "qga":
+		opts.Expansion = search.QGA
+	case "mq1":
+		opts.Expansion = search.MQ1
+	case "mq2":
+		opts.Expansion = search.MQ2
+	}
+
+	if *sweepK {
+		// The paper explored K in {3,5,10,...,50} on both validation sets
+		// and picked 15.
+		fmt.Printf("K sweep on %s (%s split):\n", *dataset, *split)
+		fmt.Printf("%4s %8s %8s %8s\n", "K", "hit@4", "r@50", "MRR")
+		for _, kk := range []int{3, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50} {
+			o := opts
+			o.VectorK = kk
+			s := eval.Evaluate(ds, env.UniAskRetriever(o))
+			m := s.OverAll
+			fmt.Printf("%4d %8.4f %8.4f %8.4f\n", kk, m.Hit4, m.R50, m.MRR)
+		}
+		return
+	}
+
+	s := eval.Evaluate(ds, env.UniAskRetriever(opts))
+	fmt.Printf("dataset=%s split=%s queries=%d answered=%.1f%%\n",
+		*dataset, *split, s.Queries, 100*s.AnsweredRate())
+	vals := s.OverAll.Values()
+	for i, name := range eval.MetricNames {
+		fmt.Printf("%-8s %8.4f\n", name, vals[i])
+	}
+}

@@ -1,0 +1,45 @@
+// Command uniask-loadtest reproduces the Figure-2 load test: an
+// open-system arrival process ramping from 1 to 3 users/second over 60
+// virtual minutes, 7200 tokens per request, against the token-rate-limited
+// LLM service. Virtual time makes the one-hour test complete in
+// milliseconds.
+//
+// Usage:
+//
+//	uniask-loadtest [-minutes 60] [-initial 1] [-target 3] [-tokens 7200] [-quota 1020000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"uniask/internal/llm"
+	"uniask/internal/loadtest"
+	"uniask/internal/vclock"
+)
+
+func main() {
+	var (
+		minutes = flag.Int("minutes", 60, "test window in (virtual) minutes")
+		initial = flag.Float64("initial", 1, "initial user arrival rate per second")
+		target  = flag.Float64("target", 3, "target user arrival rate per second")
+		tokens  = flag.Int("tokens", 7200, "tokens per request")
+		quota   = flag.Int("quota", 1_020_000, "LLM service token quota per minute (0 = unlimited)")
+	)
+	flag.Parse()
+
+	clk := vclock.NewVirtual(time.Date(2025, 1, 1, 9, 0, 0, 0, time.UTC))
+	svc := llm.NewService(llm.NewSim(llm.DefaultBehavior()), llm.ServiceConfig{
+		TokensPerMinute: *quota,
+		BurstTokens:     *quota,
+		Clock:           clk,
+	})
+	report := loadtest.Run(svc, clk, loadtest.Config{
+		Duration:         time.Duration(*minutes) * time.Minute,
+		InitialRate:      *initial,
+		TargetRate:       *target,
+		TokensPerRequest: *tokens,
+	})
+	fmt.Println(report)
+}

@@ -1,0 +1,81 @@
+// Corner cases: exercise the guardrail pipeline the way the paper's SMEs
+// did with their 500-question corner-case catalogue (§8) — precise
+// error-code questions, out-of-scope traps, and inappropriate language —
+// and report which guardrail handled each class.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"uniask"
+)
+
+func main() {
+	ctx := context.Background()
+	corpus := uniask.SyntheticCorpus(1500, 4)
+	sys, err := uniask.NewFromCorpus(ctx, corpus, uniask.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== Error-code questions (a wrong answer is unacceptable) ===")
+	errs := corpus.ErrorCodeDataset(5, 11)
+	for _, q := range errs.Queries {
+		resp, err := sys.Ask(ctx, q.Text)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "ANSWERED"
+		if !resp.AnswerValid {
+			status = "BLOCKED (" + resp.Guardrail.String() + ")"
+		}
+		citedTruth := false
+		for _, c := range resp.Citations {
+			if parent(c) == q.Relevant[0] {
+				citedTruth = true
+			}
+		}
+		fmt.Printf("  %-28q %-22s cites-exact-code-doc=%v\n", q.Text, status, citedTruth)
+	}
+
+	fmt.Println("\n=== Out-of-scope questions (must be refused) ===")
+	oos := corpus.OutOfScopeDataset(5, 12)
+	for _, q := range oos.Queries {
+		resp, err := sys.Ask(ctx, q.Text)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "LEAKED!"
+		if !resp.AnswerValid {
+			status = "blocked by " + resp.Guardrail.String()
+		}
+		fmt.Printf("  %-52q %s\n", q.Text, status)
+	}
+
+	fmt.Println("\n=== Inappropriate language (content filter) ===")
+	for _, q := range []string{
+		"questo maledetto sistema non funziona, come apro un conto?",
+		"il supporto è schifoso, chi devo chiamare?",
+	} {
+		resp, err := sys.Ask(ctx, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-58q guardrail=%s docs-shown=%d\n", q, resp.Guardrail, len(resp.Documents))
+	}
+
+	fmt.Println("\nNote: when a guardrail fires, UniAsk still shows the retrieved")
+	fmt.Println("document list (except for content-filtered questions) — a guardrail")
+	fmt.Println("is a failure of the generation module, not of the whole system.")
+}
+
+func parent(chunkID string) string {
+	for i := len(chunkID) - 1; i >= 0; i-- {
+		if chunkID[i] == '#' {
+			return chunkID[:i]
+		}
+	}
+	return chunkID
+}

@@ -1,0 +1,95 @@
+// Ops dashboard: run the full UniAsk service end-to-end over HTTP — login,
+// questions from simulated employees, feedback submissions — then print the
+// Figure-3 monitoring dashboard assembled from the service metrics.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+
+	"uniask"
+	"uniask/internal/monitor"
+)
+
+func main() {
+	ctx := context.Background()
+	corpus := uniask.SyntheticCorpus(1000, 3)
+	sys, err := uniask.NewFromCorpus(ctx, corpus, uniask.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	api := sys.NewServer()
+	srv := httptest.NewServer(api.Handler())
+	defer srv.Close()
+	fmt.Println("service up at", srv.URL)
+
+	rng := rand.New(rand.NewSource(8))
+	questions := corpus.HumanDataset(60, 31).Queries
+
+	for i, q := range questions {
+		user := fmt.Sprintf("employee%02d", rng.Intn(15))
+		token := login(srv.URL, user)
+
+		var askResp struct {
+			AnswerValid bool   `json:"answerValid"`
+			Guardrail   string `json:"guardrail"`
+		}
+		post(srv.URL+"/api/ask", token, map[string]string{"question": q.Text}, &askResp)
+
+		// Half the users leave feedback through the modal.
+		if i%2 == 0 {
+			rating := 4
+			if !askResp.AnswerValid {
+				rating = 2
+			}
+			post(srv.URL+"/api/feedback", token, map[string]interface{}{
+				"query": q.Text, "helpful": askResp.AnswerValid,
+				"relevantDocs": true, "rating": rating,
+			}, nil)
+		}
+	}
+
+	var dash monitor.Dashboard
+	get(srv.URL+"/api/dashboard", &dash)
+	fmt.Println()
+	fmt.Print(dash)
+}
+
+func login(base, user string) string {
+	var out struct {
+		Token string `json:"token"`
+	}
+	post(base+"/api/login", "", map[string]string{"user": user}, &out)
+	return out.Token
+}
+
+func post(url, token string, payload, out interface{}) {
+	body, _ := json.Marshal(payload)
+	req, _ := http.NewRequest("POST", url, bytes.NewReader(body))
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		json.NewDecoder(resp.Body).Decode(out)
+	}
+}
+
+func get(url string, out interface{}) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,3 @@
+module uniask
+
+go 1.22

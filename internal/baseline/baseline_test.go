@@ -1,0 +1,124 @@
+package baseline
+
+import "testing"
+
+func newEngine() *Engine {
+	e := New()
+	e.Add("d1", "Blocco carta di credito. Per bloccare la carta chiamare il numero verde.")
+	e.Add("d2", "Bonifico estero. Il bonifico richiede il codice BIC della banca.")
+	e.Add("d3", "Errore ERR-4032 durante il bonifico: verificare il codice IBAN.")
+	return e
+}
+
+func TestExactMatchFinds(t *testing.T) {
+	e := newEngine()
+	res := e.Search("bonifico estero", 10)
+	if len(res) != 1 || res[0].DocID != "d2" {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestConjunctiveSemantics(t *testing.T) {
+	e := newEngine()
+	// "bonifico" matches d2,d3 but "carta" only d1 -> intersection empty.
+	if res := e.Search("bonifico carta", 10); res != nil {
+		t.Fatalf("conjunction should fail: %v", res)
+	}
+}
+
+func TestNoStemming(t *testing.T) {
+	e := newEngine()
+	// Documents say "bonifico"; the inflected "bonifici" must NOT match.
+	if res := e.Search("bonifici", 10); res != nil {
+		t.Fatalf("legacy engine must not stem: %v", res)
+	}
+}
+
+func TestNoSynonyms(t *testing.T) {
+	e := newEngine()
+	// "sospendere tessera" is a paraphrase of d1; exact match fails.
+	if res := e.Search("sospendere tessera", 10); res != nil {
+		t.Fatalf("legacy engine must not handle synonyms: %v", res)
+	}
+}
+
+func TestNaturalLanguageQuestionFails(t *testing.T) {
+	e := newEngine()
+	res := e.Search("come posso effettuare una disposizione verso un paese estero?", 10)
+	if res != nil {
+		t.Fatalf("NL question should fail: %v", res)
+	}
+}
+
+func TestShortTermsIgnored(t *testing.T) {
+	e := newEngine()
+	// "il" and "di" are below MinTermLen and must be ignored, so the query
+	// reduces to "carta" and matches d1.
+	res := e.Search("il di carta", 10)
+	if len(res) != 1 || res[0].DocID != "d1" {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestCodeQueryExact(t *testing.T) {
+	e := newEngine()
+	res := e.Search("ERR-4032", 10)
+	if len(res) != 1 || res[0].DocID != "d3" {
+		t.Fatalf("res = %v", res)
+	}
+	// A different code finds nothing.
+	if res := e.Search("ERR-4033", 10); res != nil {
+		t.Fatalf("wrong code matched: %v", res)
+	}
+}
+
+func TestRankingByTermFrequency(t *testing.T) {
+	e := New()
+	e.Add("a", "carta carta carta")
+	e.Add("b", "carta")
+	res := e.Search("carta", 10)
+	if len(res) != 2 || res[0].DocID != "a" || res[0].Score <= res[1].Score {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestEmptyAndStopOnlyQueries(t *testing.T) {
+	e := newEngine()
+	if res := e.Search("", 10); res != nil {
+		t.Fatalf("empty query: %v", res)
+	}
+	if res := e.Search("il lo la", 10); res != nil {
+		t.Fatalf("short-terms-only query: %v", res)
+	}
+	if res := e.Search("carta", 0); res != nil {
+		t.Fatalf("n=0: %v", res)
+	}
+}
+
+func TestCaseInsensitive(t *testing.T) {
+	e := newEngine()
+	res := e.Search("CARTA", 10)
+	if len(res) != 1 || res[0].DocID != "d1" {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestTopNTruncation(t *testing.T) {
+	e := New()
+	for i := 0; i < 30; i++ {
+		e.Add(string(rune('a'+i%26))+string(rune('0'+i/26)), "parola comune")
+	}
+	if res := e.Search("parola", 5); len(res) != 5 {
+		t.Fatalf("got %d results", len(res))
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	e := New()
+	e.Add("z", "termine")
+	e.Add("a", "termine")
+	res := e.Search("termine", 10)
+	if res[0].DocID != "a" || res[1].DocID != "z" {
+		t.Fatalf("tie-break: %v", res)
+	}
+}

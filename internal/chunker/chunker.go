@@ -1,0 +1,322 @@
+// Package chunker implements the two document-splitting strategies the
+// paper evaluated for index construction: a generic recursive character
+// splitter (the Langchain RecursiveCharacterTextSplitter the authors tested
+// and rejected) and the ad-hoc HTML-paragraph splitter they adopted, which
+// cuts at paragraph start offsets and recursively merges small adjacent
+// fragments up to the 512-token target.
+package chunker
+
+import (
+	"uniask/internal/htmlx"
+	"uniask/internal/textproc"
+)
+
+// Chunk is one indexable fragment of a document.
+type Chunk struct {
+	// Text is the chunk content.
+	Text string
+	// Ordinal is the chunk's position within its document (0-based).
+	Ordinal int
+	// Tokens is the approximate LLM token count of Text.
+	Tokens int
+	// Start is the byte offset of the chunk within the source (paragraph
+	// splitting reports HTML offsets; character splitting reports text
+	// offsets).
+	Start int
+}
+
+// Splitter turns a document into chunks.
+type Splitter interface {
+	// Split chunks plain text.
+	Split(text string) []Chunk
+}
+
+// DefaultChunkTokens is the chunk-size target from the paper: 512 tokens,
+// chosen because text-embedding-ada-002 performs well at that length.
+const DefaultChunkTokens = 512
+
+// ---------------------------------------------------------------------------
+// Recursive character splitter (Langchain-style).
+
+// RecursiveSplitter reproduces Langchain's RecursiveCharacterTextSplitter:
+// it tries each separator in order, splitting the text and recursively
+// re-splitting any piece that is still too large with the next separator.
+type RecursiveSplitter struct {
+	// MaxTokens is the chunk-size limit (DefaultChunkTokens when zero).
+	MaxTokens int
+	// Separators is the ordered separator list; the Langchain default
+	// ["\n\n", "\n", " ", ""] is used when empty.
+	Separators []string
+}
+
+func (r *RecursiveSplitter) maxTokens() int {
+	if r.MaxTokens > 0 {
+		return r.MaxTokens
+	}
+	return DefaultChunkTokens
+}
+
+func (r *RecursiveSplitter) separators() []string {
+	if len(r.Separators) > 0 {
+		return r.Separators
+	}
+	return []string{"\n\n", "\n", " ", ""}
+}
+
+// Split chunks text with the recursive strategy.
+func (r *RecursiveSplitter) Split(text string) []Chunk {
+	pieces := r.split(text, r.separators())
+	// Greedily merge adjacent pieces below the limit, mimicking Langchain's
+	// merge step.
+	var out []Chunk
+	cur := ""
+	curStart := 0
+	offset := 0
+	flush := func() {
+		if cur == "" {
+			return
+		}
+		out = append(out, Chunk{Text: cur, Ordinal: len(out), Tokens: textproc.ApproxTokens(cur), Start: curStart})
+		cur = ""
+	}
+	for _, p := range pieces {
+		if p == "" {
+			continue
+		}
+		joined := p
+		if cur != "" {
+			joined = cur + " " + p
+		}
+		if textproc.ApproxTokens(joined) > r.maxTokens() && cur != "" {
+			flush()
+			curStart = offset
+			cur = p
+		} else {
+			if cur == "" {
+				curStart = offset
+			}
+			cur = joined
+		}
+		offset += len(p) + 1
+	}
+	flush()
+	return out
+}
+
+func (r *RecursiveSplitter) split(text string, seps []string) []string {
+	if textproc.ApproxTokens(text) <= r.maxTokens() {
+		return []string{text}
+	}
+	if len(seps) == 0 {
+		return hardSplit(text, r.maxTokens())
+	}
+	sep := seps[0]
+	if sep == "" {
+		return hardSplit(text, r.maxTokens())
+	}
+	parts := splitKeepNonEmpty(text, sep)
+	if len(parts) == 1 {
+		return r.split(text, seps[1:])
+	}
+	var out []string
+	for _, p := range parts {
+		if textproc.ApproxTokens(p) > r.maxTokens() {
+			out = append(out, r.split(p, seps[1:])...)
+		} else {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func splitKeepNonEmpty(text, sep string) []string {
+	var parts []string
+	for {
+		i := indexOf(text, sep)
+		if i < 0 {
+			break
+		}
+		if p := text[:i]; p != "" {
+			parts = append(parts, p)
+		}
+		text = text[i+len(sep):]
+	}
+	if text != "" {
+		parts = append(parts, text)
+	}
+	return parts
+}
+
+func indexOf(s, sub string) int {
+	n := len(sub)
+	if n == 0 || len(s) < n {
+		return -1
+	}
+	for i := 0; i+n <= len(s); i++ {
+		if s[i:i+n] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// hardSplit cuts text into pieces of at most maxTokens by rune count
+// approximation, used when no separator can produce small-enough pieces.
+func hardSplit(text string, maxTokens int) []string {
+	maxChars := maxTokens * 4
+	var out []string
+	runes := []rune(text)
+	for len(runes) > 0 {
+		n := maxChars
+		if n > len(runes) {
+			n = len(runes)
+		}
+		out = append(out, string(runes[:n]))
+		runes = runes[n:]
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// HTML paragraph splitter (the strategy UniAsk adopted).
+
+// HTMLSplitter extracts non-overlapping chunks from an HTML document using
+// the start offsets of HTML paragraphs as splitting points, then recursively
+// merges consecutive small chunks until the target length is reached. This
+// keeps fragments coherent with the structure the human editors designed.
+type HTMLSplitter struct {
+	// TargetTokens is the desired chunk length (DefaultChunkTokens if zero).
+	TargetTokens int
+}
+
+func (h *HTMLSplitter) target() int {
+	if h.TargetTokens > 0 {
+		return h.TargetTokens
+	}
+	return DefaultChunkTokens
+}
+
+// SplitHTML chunks an HTML document. Headings are prepended to the following
+// paragraph so a chunk never begins with a dangling title line.
+func (h *HTMLSplitter) SplitHTML(doc string) []Chunk {
+	ex := htmlx.Extract(doc)
+	return h.splitParagraphs(ex.Paragraphs)
+}
+
+// SplitDocument chunks an already-extracted document.
+func (h *HTMLSplitter) SplitDocument(ex htmlx.Document) []Chunk {
+	return h.splitParagraphs(ex.Paragraphs)
+}
+
+// Split implements Splitter over plain text by treating newline-separated
+// blocks as paragraphs.
+func (h *HTMLSplitter) Split(text string) []Chunk {
+	var paras []htmlx.Paragraph
+	off := 0
+	for _, line := range splitKeepNonEmpty(text, "\n") {
+		paras = append(paras, htmlx.Paragraph{Text: line, Tag: "p", Start: off})
+		off += len(line) + 1
+	}
+	return h.splitParagraphs(paras)
+}
+
+func (h *HTMLSplitter) splitParagraphs(paras []htmlx.Paragraph) []Chunk {
+	// First pass: one fragment per paragraph; heading text is glued to the
+	// next body paragraph.
+	type frag struct {
+		text  string
+		start int
+	}
+	var frags []frag
+	pendingHeading := ""
+	pendingStart := -1
+	for _, p := range paras {
+		if p.Heading {
+			if pendingHeading != "" {
+				pendingHeading += " — " + p.Text
+			} else {
+				pendingHeading = p.Text
+				pendingStart = p.Start
+			}
+			continue
+		}
+		text := p.Text
+		start := p.Start
+		if pendingHeading != "" {
+			text = pendingHeading + ". " + text
+			start = pendingStart
+			pendingHeading = ""
+		}
+		frags = append(frags, frag{text: text, start: start})
+	}
+	if pendingHeading != "" {
+		frags = append(frags, frag{text: pendingHeading, start: pendingStart})
+	}
+
+	// Recursive merge: repeatedly join the smallest adjacent pair while the
+	// merged fragment stays within the target.
+	tokens := make([]int, len(frags))
+	for i, f := range frags {
+		tokens[i] = textproc.ApproxTokens(f.text)
+	}
+	for len(frags) > 1 {
+		best := -1
+		bestSum := 1 << 30
+		for i := 0; i+1 < len(frags); i++ {
+			sum := tokens[i] + tokens[i+1]
+			if sum <= h.target() && sum < bestSum {
+				best, bestSum = i, sum
+			}
+		}
+		if best < 0 {
+			break
+		}
+		frags[best].text = frags[best].text + "\n" + frags[best+1].text
+		tokens[best] = bestSum
+		frags = append(frags[:best+1], frags[best+2:]...)
+		tokens = append(tokens[:best+1], tokens[best+2:]...)
+	}
+
+	// Any fragment still above target (a single giant paragraph) is split by
+	// sentences.
+	var out []Chunk
+	for _, f := range frags {
+		if textproc.ApproxTokens(f.text) <= h.target() {
+			out = append(out, Chunk{Text: f.text, Start: f.start})
+			continue
+		}
+		for _, piece := range h.splitOversized(f.text) {
+			out = append(out, Chunk{Text: piece, Start: f.start})
+		}
+	}
+	for i := range out {
+		out[i].Ordinal = i
+		out[i].Tokens = textproc.ApproxTokens(out[i].Text)
+	}
+	return out
+}
+
+func (h *HTMLSplitter) splitOversized(text string) []string {
+	sentences := textproc.SentenceTexts(text)
+	if len(sentences) <= 1 {
+		return hardSplit(text, h.target())
+	}
+	var out []string
+	cur := ""
+	for _, s := range sentences {
+		joined := s
+		if cur != "" {
+			joined = cur + " " + s
+		}
+		if textproc.ApproxTokens(joined) > h.target() && cur != "" {
+			out = append(out, cur)
+			cur = s
+		} else {
+			cur = joined
+		}
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+// Package core assembles the UniAsk engine — the paper's contribution — out
+// of the substrate packages: the ingestion/indexing pipeline that builds
+// the search index from the knowledge base, and the user query flow of
+// Figure 1 (content filter → hybrid retrieval with semantic reranking →
+// grounded generation → guardrails), returning a natural-language answer
+// with citations together with the retrieved document list.
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"uniask/internal/embedding"
+	"uniask/internal/generation"
+	"uniask/internal/guardrails"
+	"uniask/internal/index"
+	"uniask/internal/indexer"
+	"uniask/internal/ingest"
+	"uniask/internal/kb"
+	"uniask/internal/llm"
+	"uniask/internal/queue"
+	"uniask/internal/rerank"
+	"uniask/internal/search"
+)
+
+// Config assembles an engine.
+type Config struct {
+	// LLM is the chat-completion backend (defaults to the simulator with
+	// Table-5 calibration).
+	LLM llm.Client
+	// EmbeddingDim defaults to embedding.DefaultDim.
+	EmbeddingDim int
+	// Lexicon is the term→concept mapping for the synthetic embedder (use
+	// the corpus lexicon; nil is allowed).
+	Lexicon embedding.Lexicon
+	// Indexer configures chunking and metadata enrichment.
+	Indexer indexer.Config
+	// Guardrails configures the answer-validation pipeline.
+	Guardrails guardrails.Config
+	// M is the number of context chunks passed to the LLM (default 4).
+	M int
+	// SearchOptions is the default retrieval configuration (zero value =
+	// the deployed HSS configuration).
+	SearchOptions search.Options
+}
+
+// Engine is a fully assembled UniAsk instance.
+type Engine struct {
+	cfg       Config
+	Index     *index.Index
+	Searcher  *search.Searcher
+	Generator *generation.Generator
+	Guards    *guardrails.Pipeline
+	Embedder  *embedding.Synth
+	Client    llm.Client
+}
+
+// New creates an engine with an empty index; feed it through IndexCorpus or
+// the ingestion pipeline.
+func New(cfg Config) *Engine {
+	if cfg.LLM == nil {
+		// The default simulator shares the engine's concept lexicon so its
+		// paraphrase understanding matches the embedder's.
+		b := llm.DefaultBehavior()
+		b.Lexicon = cfg.Lexicon
+		cfg.LLM = llm.NewSim(b)
+	}
+	if cfg.M <= 0 {
+		cfg.M = generation.DefaultM
+	}
+	emb := embedding.NewSynth(cfg.EmbeddingDim, cfg.Lexicon)
+	ix := index.New(index.Config{Schema: indexer.Schema()})
+	eng := &Engine{
+		cfg:      cfg,
+		Index:    ix,
+		Embedder: emb,
+		Client:   cfg.LLM,
+	}
+	eng.Searcher = &search.Searcher{
+		Index:    ix,
+		Embedder: emb,
+		Reranker: rerank.New(),
+		LLM:      cfg.LLM,
+	}
+	eng.Generator = &generation.Generator{Client: cfg.LLM, M: cfg.M}
+	eng.Guards = guardrails.New(cfg.Guardrails)
+	return eng
+}
+
+// BuildFromCorpus creates an engine and indexes a generated corpus through
+// the full ingestion pipeline (HTML extraction → queue → chunking →
+// enrichment → index).
+func BuildFromCorpus(ctx context.Context, corpus *kb.Corpus, cfg Config) (*Engine, error) {
+	if cfg.Lexicon == nil {
+		cfg.Lexicon = corpus.Lexicon()
+	}
+	eng := New(cfg)
+	if err := eng.IndexCorpus(ctx, corpus); err != nil {
+		return nil, err
+	}
+	return eng, nil
+}
+
+// IndexCorpus runs the ingestion + indexing flow over every corpus page,
+// using the parallel bulk path: extraction and embedding fan out over
+// workers while the index is fed sequentially (the insert order — and so
+// the HNSW graph — is identical to a one-at-a-time load).
+func (e *Engine) IndexCorpus(ctx context.Context, corpus *kb.Corpus) error {
+	pages := make(ingest.StaticSource, len(corpus.Docs))
+	for i, d := range corpus.Docs {
+		pages[i] = ingest.Page{ID: d.ID, HTML: d.HTML}
+	}
+	q := queue.New[ingest.Extracted]()
+	ing := &ingest.Ingester{Source: pages, Out: q}
+	if _, err := ing.SyncOnce(); err != nil {
+		return fmt.Errorf("core: ingest: %w", err)
+	}
+	q.Close()
+	docs := make([]ingest.Extracted, 0, len(corpus.Docs))
+	for {
+		doc, ok := q.TryDequeue()
+		if !ok {
+			break
+		}
+		docs = append(docs, doc)
+	}
+	in := indexer.New(e.Index, e.Embedder, e.Client, e.cfg.Indexer)
+	if _, err := in.IndexBatch(ctx, docs, runtime.NumCPU()); err != nil {
+		return fmt.Errorf("core: index: %w", err)
+	}
+	return nil
+}
+
+// Response is the outcome of one Ask call.
+type Response struct {
+	// Query is the question as asked.
+	Query string
+	// Answer is the text shown to the user: the generated answer when the
+	// guardrails pass, otherwise the apology or clarification message.
+	Answer string
+	// AnswerValid reports whether the generated answer survived the
+	// guardrails.
+	AnswerValid bool
+	// Guardrail identifies the guardrail that invalidated the answer
+	// (guardrails.None when valid).
+	Guardrail guardrails.Trigger
+	// GeneratedAnswer is the raw LLM output before guardrails.
+	GeneratedAnswer string
+	// Citations holds the chunk ids the (raw) answer cites.
+	Citations []string
+	// Documents is the retrieved document list, always populated: when a
+	// guardrail fires, UniAsk still shows the list for the user to check.
+	Documents []search.Result
+}
+
+// Search runs retrieval only, with the engine's default options.
+func (e *Engine) Search(ctx context.Context, query string) ([]search.Result, error) {
+	return e.Searcher.Search(ctx, query, e.cfg.SearchOptions)
+}
+
+// Ask runs the full user query flow of Figure 1.
+func (e *Engine) Ask(ctx context.Context, question string) (Response, error) {
+	resp := Response{Query: question}
+
+	// 1. Content filter on the question.
+	if trigger := e.Guards.CheckQuestion(question); trigger != guardrails.None {
+		resp.Guardrail = trigger
+		resp.Answer = guardrails.ApologyMessage
+		return resp, nil
+	}
+
+	// 2. Retrieval.
+	results, err := e.Searcher.Search(ctx, question, e.cfg.SearchOptions)
+	if err != nil {
+		return resp, fmt.Errorf("core: search: %w", err)
+	}
+	resp.Documents = results
+
+	// 3. Generation over the top-m chunks.
+	m := e.cfg.M
+	top := results
+	if len(top) > m {
+		top = top[:m]
+	}
+	chunks := make([]generation.RetrievedChunk, len(top))
+	contexts := make([]string, len(top))
+	for i, r := range top {
+		chunks[i] = generation.RetrievedChunk{ID: r.ChunkID, Title: r.Title, Content: r.Content}
+		contexts[i] = r.Content
+	}
+	ans, err := e.Generator.Generate(ctx, question, chunks)
+	if err != nil {
+		return resp, fmt.Errorf("core: generate: %w", err)
+	}
+	resp.GeneratedAnswer = ans.Text
+	resp.Citations = ans.Citations
+
+	// 4. Guardrails on the generated answer.
+	trigger := e.Guards.CheckAnswer(ans.Text, ans.Citations, contexts)
+	resp.Guardrail = trigger
+	switch trigger {
+	case guardrails.None:
+		resp.AnswerValid = true
+		resp.Answer = ans.Text
+	case guardrails.Clarification:
+		resp.Answer = guardrails.ClarificationMessage
+	default:
+		resp.Answer = guardrails.ApologyMessage
+	}
+	return resp, nil
+}
+
+// Retriever adapts the engine for eval.Evaluate: it returns the parent
+// document ranking for a query, using opts instead of the engine defaults.
+func (e *Engine) Retriever(ctx context.Context, opts search.Options) func(string) []string {
+	return func(query string) []string {
+		results, err := e.Searcher.Search(ctx, query, opts)
+		if err != nil {
+			return nil
+		}
+		return search.ParentRanking(results)
+	}
+}
+
+// NewPoller returns a function that performs one §3 polling pass over the
+// knowledge-base source: new and modified pages are re-extracted, chunked
+// and indexed in place; vanished pages are tombstoned. The returned
+// function reports how many pages changed. State (content fingerprints)
+// persists across calls, exactly like the 15-minute cron ingester.
+func (e *Engine) NewPoller(src ingest.Source) func() (int, error) {
+	q := queue.New[ingest.Extracted]()
+	ing := &ingest.Ingester{Source: src, Out: q}
+	in := indexer.New(e.Index, e.Embedder, e.Client, e.cfg.Indexer)
+	return func() (int, error) {
+		changed, err := ing.SyncOnce()
+		if err != nil {
+			return 0, fmt.Errorf("core: poll: %w", err)
+		}
+		for {
+			doc, ok := q.TryDequeue()
+			if !ok {
+				break
+			}
+			if _, err := in.IndexDocument(context.Background(), doc); err != nil {
+				return changed, fmt.Errorf("core: poll index: %w", err)
+			}
+		}
+		return changed, nil
+	}
+}

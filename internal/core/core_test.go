@@ -1,0 +1,219 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"uniask/internal/guardrails"
+	"uniask/internal/ingest"
+	"uniask/internal/kb"
+	"uniask/internal/search"
+)
+
+// buildEngine indexes a small corpus once for the whole test file.
+var (
+	testCorpus *kb.Corpus
+	testEngine *Engine
+)
+
+func engine(t *testing.T) (*Engine, *kb.Corpus) {
+	t.Helper()
+	if testEngine == nil {
+		testCorpus = kb.Generate(kb.GenConfig{Docs: 300, Seed: 11})
+		var err error
+		testEngine, err = BuildFromCorpus(context.Background(), testCorpus, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return testEngine, testCorpus
+}
+
+func TestBuildIndexesAllDocs(t *testing.T) {
+	e, c := engine(t)
+	if e.Index.Len() < len(c.Docs) {
+		t.Fatalf("index has %d chunks for %d docs", e.Index.Len(), len(c.Docs))
+	}
+}
+
+func TestAskGroundedQuestion(t *testing.T) {
+	e, c := engine(t)
+	// Ask about a real document using its own canonical phrasing: the
+	// system must find it and generate a valid cited answer.
+	ds := c.HumanDataset(30, 77)
+	valid := 0
+	for _, q := range ds.Queries {
+		resp, err := e.Ask(context.Background(), q.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Documents) == 0 {
+			t.Fatalf("no documents for %q", q.Text)
+		}
+		if resp.AnswerValid {
+			valid++
+			if len(resp.Citations) == 0 {
+				t.Fatalf("valid answer without citations: %+v", resp)
+			}
+			if resp.Answer != resp.GeneratedAnswer {
+				t.Fatal("valid answer text mismatch")
+			}
+		}
+	}
+	if valid < 20 {
+		t.Fatalf("only %d/30 questions got valid answers", valid)
+	}
+}
+
+func TestAskOutOfScopeTriggersGuardrail(t *testing.T) {
+	e, c := engine(t)
+	ds := c.OutOfScopeDataset(10, 3)
+	triggered := 0
+	for _, q := range ds.Queries {
+		resp, err := e.Ask(context.Background(), q.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.AnswerValid {
+			triggered++
+			// The document list is still shown.
+			if resp.Answer == "" {
+				t.Fatal("invalidated response has no user message")
+			}
+		}
+	}
+	if triggered < 7 {
+		t.Fatalf("only %d/10 out-of-scope questions blocked", triggered)
+	}
+}
+
+func TestAskContentFilterBlocksBeforeRetrieval(t *testing.T) {
+	e, _ := engine(t)
+	resp, err := e.Ask(context.Background(), "questo maledetto sistema, come apro un conto?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Guardrail != guardrails.Content {
+		t.Fatalf("guardrail = %v", resp.Guardrail)
+	}
+	if len(resp.Documents) != 0 {
+		t.Fatal("content-filtered question still retrieved documents")
+	}
+}
+
+func TestSearchReturnsParentableResults(t *testing.T) {
+	e, c := engine(t)
+	results, err := e.Search(context.Background(), c.Docs[0].Title)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	if results[0].ParentID == "" || results[0].ChunkID == "" {
+		t.Fatalf("result ids missing: %+v", results[0])
+	}
+	parents := search.ParentRanking(results)
+	seen := map[string]bool{}
+	for _, p := range parents {
+		if seen[p] {
+			t.Fatal("duplicate parent in ranking")
+		}
+		seen[p] = true
+	}
+}
+
+func TestSearchFindsTargetDocument(t *testing.T) {
+	e, c := engine(t)
+	// Query with a document's exact title: its parent must rank first.
+	d := c.Docs[5]
+	results, err := e.Search(context.Background(), d.Title)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parents := search.ParentRanking(results)
+	found := false
+	for i, p := range parents {
+		if p == d.ID && i < 5 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("doc %s not in top-5 for its own title %q: %v", d.ID, d.Title, parents[:min(5, len(parents))])
+	}
+}
+
+func TestRetrieverAdapter(t *testing.T) {
+	e, c := engine(t)
+	retr := e.Retriever(context.Background(), search.Options{})
+	ranked := retr(c.Docs[0].Title)
+	if len(ranked) == 0 {
+		t.Fatal("retriever returned nothing")
+	}
+	for _, id := range ranked {
+		if strings.Contains(id, "#") {
+			t.Fatalf("retriever leaked chunk id: %s", id)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// mutableSource is an editable KB for poller tests.
+type mutableSource struct{ pages []ingest.Page }
+
+func (m *mutableSource) Pages() []ingest.Page { return m.pages }
+
+func TestPollerAppliesEditsAndDeletions(t *testing.T) {
+	eng := New(Config{})
+	src := &mutableSource{pages: []ingest.Page{
+		{ID: "p1", HTML: "<html><head><title>Pagina uno</title></head><body><p>Contenuto originale con parola unicaoriginale.</p></body></html>"},
+	}}
+	sync := eng.NewPoller(src)
+
+	if n, err := sync(); err != nil || n != 1 {
+		t.Fatalf("initial sync = %d, %v", n, err)
+	}
+	if res, _ := eng.Search(context.Background(), "unicaoriginale"); len(res) == 0 {
+		t.Fatal("initial content not indexed")
+	}
+
+	// Unchanged poll is a no-op.
+	if n, err := sync(); err != nil || n != 0 {
+		t.Fatalf("idempotent sync = %d, %v", n, err)
+	}
+
+	// Edit.
+	src.pages[0].HTML = "<html><head><title>Pagina uno</title></head><body><p>Contenuto aggiornato con parola unicanuova.</p></body></html>"
+	if n, err := sync(); err != nil || n != 1 {
+		t.Fatalf("edit sync = %d, %v", n, err)
+	}
+	if res, _ := eng.Search(context.Background(), "unicanuova"); len(res) == 0 {
+		t.Fatal("edited content not searchable")
+	}
+	// Vector search still returns the nearest (new) chunk for any query —
+	// UniAsk always shows a document list — but no result may carry the
+	// stale text.
+	res, _ := eng.Search(context.Background(), "unicaoriginale")
+	for _, r := range res {
+		if strings.Contains(r.Content, "unicaoriginale") {
+			t.Fatalf("stale content still searchable: %v", r)
+		}
+	}
+
+	// Deletion.
+	src.pages = nil
+	if n, err := sync(); err != nil || n != 1 {
+		t.Fatalf("delete sync = %d, %v", n, err)
+	}
+	if eng.Index.HasParent("p1") {
+		t.Fatal("deleted page still live")
+	}
+}

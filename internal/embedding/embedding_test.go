@@ -1,0 +1,160 @@
+package embedding
+
+import (
+	"math"
+	"testing"
+
+	"uniask/internal/vector"
+)
+
+// testLexicon maps stems of "bloccare/sospendere/disattivare" onto one
+// concept and "carta/tessera" onto another, mimicking the kb vocabulary.
+func testLexicon() MapLexicon {
+	return MapLexicon{
+		"blocca":    "act:block",
+		"sospende":  "act:block",
+		"disattiva": "act:block",
+		"cart":      "obj:card",
+		"tesser":    "obj:card",
+		"bonific":   "obj:transfer",
+	}
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	e := NewSynth(64, testLexicon())
+	a := e.Embed("bloccare la carta di credito")
+	b := e.Embed("bloccare la carta di credito")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("embedding not deterministic")
+		}
+	}
+}
+
+func TestEmbedUnitNorm(t *testing.T) {
+	e := NewSynth(64, testLexicon())
+	v := e.Embed("procedura di blocco della carta")
+	if math.Abs(float64(vector.Norm(v))-1) > 1e-5 {
+		t.Fatalf("norm = %v", vector.Norm(v))
+	}
+}
+
+func TestEmbedEmptyIsZero(t *testing.T) {
+	e := NewSynth(32, nil)
+	v := e.Embed("")
+	if vector.Norm(v) != 0 {
+		t.Fatalf("empty text embedding norm = %v", vector.Norm(v))
+	}
+	v2 := e.Embed("di la il") // all stop words
+	if vector.Norm(v2) != 0 {
+		t.Fatalf("stopword-only embedding norm = %v", vector.Norm(v2))
+	}
+}
+
+func TestSynonymsLandClose(t *testing.T) {
+	e := NewSynth(128, testLexicon())
+	doc := e.Embed("bloccare carta")
+	para := e.Embed("sospendere tessera") // pure synonyms, zero word overlap
+	unrel := e.Embed("bonifico estero urgente")
+	simPara := vector.Cosine(doc, para)
+	simUnrel := vector.Cosine(doc, unrel)
+	if simPara < 0.6 {
+		t.Fatalf("synonym similarity = %.3f, want >= 0.6", simPara)
+	}
+	if simPara <= simUnrel {
+		t.Fatalf("paraphrase (%.3f) not closer than unrelated (%.3f)", simPara, simUnrel)
+	}
+}
+
+func TestCodesAreOpaque(t *testing.T) {
+	e := NewSynth(128, testLexicon())
+	a := e.Embed("err-4032")
+	b := e.Embed("err-4033")
+	if sim := vector.Cosine(a, b); sim > 0.3 {
+		t.Fatalf("two distinct codes similar: %.3f", sim)
+	}
+	// The same code must still match itself exactly.
+	if sim := vector.Cosine(a, e.Embed("ERR-4032")); sim < 0.999 {
+		t.Fatalf("same code dissimilar: %.3f", sim)
+	}
+}
+
+func TestInflectionsShareVector(t *testing.T) {
+	e := NewSynth(128, testLexicon())
+	a := e.Embed("bonifico")
+	b := e.Embed("bonifici")
+	if sim := vector.Cosine(a, b); sim < 0.999 {
+		t.Fatalf("inflections dissimilar: %.3f", sim)
+	}
+}
+
+func TestUnknownSharedWordAligns(t *testing.T) {
+	e := NewSynth(128, testLexicon())
+	a := e.Embed("paperolo") // not in lexicon
+	b := e.Embed("paperolo")
+	if sim := vector.Cosine(a, b); sim < 0.999 {
+		t.Fatalf("unknown word not self-similar: %.3f", sim)
+	}
+}
+
+func TestNoiseScaleControlsSynonymTightness(t *testing.T) {
+	tight := NewSynth(128, testLexicon())
+	tight.NoiseScale = 0.1
+	loose := NewSynth(128, testLexicon())
+	loose.NoiseScale = 1.5
+	simTight := vector.Cosine(tight.Embed("bloccare"), tight.Embed("sospendere"))
+	simLoose := vector.Cosine(loose.Embed("bloccare"), loose.Embed("sospendere"))
+	if simTight <= simLoose {
+		t.Fatalf("noise scale not monotone: tight %.3f <= loose %.3f", simTight, simLoose)
+	}
+}
+
+func TestMean(t *testing.T) {
+	a := vector.Vector{1, 0}
+	b := vector.Vector{0, 1}
+	m := Mean([]vector.Vector{a, b}, 2)
+	if math.Abs(float64(m[0]-m[1])) > 1e-6 {
+		t.Fatalf("mean = %v", m)
+	}
+	if math.Abs(float64(vector.Norm(m))-1) > 1e-6 {
+		t.Fatalf("mean norm = %v", vector.Norm(m))
+	}
+	if z := Mean(nil, 3); vector.Norm(z) != 0 {
+		t.Fatal("empty mean not zero")
+	}
+}
+
+func TestDimDefault(t *testing.T) {
+	e := NewSynth(0, nil)
+	if e.Dim() != DefaultDim {
+		t.Fatalf("Dim = %d", e.Dim())
+	}
+	if got := len(e.Embed("testo di prova")); got != DefaultDim {
+		t.Fatalf("embedding len = %d", got)
+	}
+}
+
+func TestConcurrentEmbedSafe(t *testing.T) {
+	e := NewSynth(64, testLexicon())
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 200; j++ {
+				e.Embed("bloccare la carta bonifico estero tessera")
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}
+
+func BenchmarkEmbed(b *testing.B) {
+	e := NewSynth(DefaultDim, testLexicon())
+	text := "come posso bloccare la carta di credito smarrita durante un viaggio all'estero"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Embed(text)
+	}
+}

@@ -1,0 +1,160 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"uniask/internal/kb"
+)
+
+func rel(ids ...string) map[string]bool {
+	m := make(map[string]bool)
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPrecisionAtN(t *testing.T) {
+	r := rel("a", "b")
+	ranked := []string{"a", "x", "b", "y"}
+	if got := PrecisionAtN(r, ranked, 1); !almost(got, 1) {
+		t.Fatalf("p@1 = %v", got)
+	}
+	if got := PrecisionAtN(r, ranked, 4); !almost(got, 0.5) {
+		t.Fatalf("p@4 = %v", got)
+	}
+	// Divides by the cutoff even when fewer results are returned.
+	if got := PrecisionAtN(r, []string{"a"}, 4); !almost(got, 0.25) {
+		t.Fatalf("p@4 short list = %v", got)
+	}
+	if got := PrecisionAtN(r, ranked, 0); got != 0 {
+		t.Fatalf("p@0 = %v", got)
+	}
+}
+
+func TestRecallAtN(t *testing.T) {
+	r := rel("a", "b", "c", "d")
+	ranked := []string{"a", "x", "b"}
+	if got := RecallAtN(r, ranked, 3); !almost(got, 0.5) {
+		t.Fatalf("r@3 = %v", got)
+	}
+	if got := RecallAtN(r, ranked, 1); !almost(got, 0.25) {
+		t.Fatalf("r@1 = %v", got)
+	}
+	if got := RecallAtN(map[string]bool{}, ranked, 3); got != 0 {
+		t.Fatalf("recall with empty truth = %v", got)
+	}
+}
+
+func TestHitAtN(t *testing.T) {
+	r := rel("z")
+	if got := HitAtN(r, []string{"a", "b", "z"}, 2); got != 0 {
+		t.Fatalf("hit@2 = %v", got)
+	}
+	if got := HitAtN(r, []string{"a", "b", "z"}, 3); got != 1 {
+		t.Fatalf("hit@3 = %v", got)
+	}
+}
+
+func TestReciprocalRank(t *testing.T) {
+	r := rel("z")
+	if got := ReciprocalRank(r, []string{"a", "z"}); !almost(got, 0.5) {
+		t.Fatalf("rr = %v", got)
+	}
+	if got := ReciprocalRank(r, []string{"a", "b"}); got != 0 {
+		t.Fatalf("rr no hit = %v", got)
+	}
+	if got := ReciprocalRank(r, nil); got != 0 {
+		t.Fatalf("rr empty = %v", got)
+	}
+}
+
+func TestComputeConsistency(t *testing.T) {
+	r := rel("a")
+	m := Compute(r, []string{"a"})
+	// With a single relevant doc at rank 1: p@1=r@1=hit@1=MRR=1.
+	if !almost(m.P1, 1) || !almost(m.R1, 1) || !almost(m.Hit1, 1) || !almost(m.MRR, 1) {
+		t.Fatalf("m = %+v", m)
+	}
+	// p@4 penalizes the short list: 1/4.
+	if !almost(m.P4, 0.25) {
+		t.Fatalf("p@4 = %v", m.P4)
+	}
+}
+
+func TestEvaluateAveragingConventions(t *testing.T) {
+	ds := kb.Dataset{Queries: []kb.Query{
+		{ID: "q1", Text: "answered", Relevant: []string{"a"}},
+		{ID: "q2", Text: "unanswered", Relevant: []string{"b"}},
+	}}
+	retr := func(q string) []string {
+		if q == "answered" {
+			return []string{"a"}
+		}
+		return nil
+	}
+	s := Evaluate(ds, retr)
+	if s.Queries != 2 || s.Answered != 1 {
+		t.Fatalf("counts = %d/%d", s.Queries, s.Answered)
+	}
+	if !almost(s.AnsweredRate(), 0.5) {
+		t.Fatalf("answered rate = %v", s.AnsweredRate())
+	}
+	// Over answered: the one answered query scored p@1 = 1.
+	if !almost(s.OverAnswered.P1, 1) {
+		t.Fatalf("over-answered p@1 = %v", s.OverAnswered.P1)
+	}
+	// Over all: averaged with the zero for the unanswered query.
+	if !almost(s.OverAll.P1, 0.5) {
+		t.Fatalf("over-all p@1 = %v", s.OverAll.P1)
+	}
+	// Paper convention mixes the two.
+	pc := s.PaperConvention()
+	if !almost(pc.P1, 1) || !almost(pc.MRR, 0.5) {
+		t.Fatalf("paper convention = %+v", pc)
+	}
+}
+
+func TestPercentVar(t *testing.T) {
+	if got := PercentVar(0.5, 1.0); !almost(got, 100) {
+		t.Fatalf("PercentVar = %v", got)
+	}
+	if got := PercentVar(1.0, 0.9); !almost(got, -10) {
+		t.Fatalf("PercentVar = %v", got)
+	}
+	if got := PercentVar(0, 5); got != 0 {
+		t.Fatalf("PercentVar base 0 = %v", got)
+	}
+}
+
+func TestVarTable(t *testing.T) {
+	base := Summary{OverAll: Metrics{P1: 0.5, MRR: 0.4}}
+	v := Summary{OverAll: Metrics{P1: 0.25, MRR: 0.6}}
+	vt := VarTable(base, v)
+	if !almost(vt.P1, -50) || !almost(vt.MRR, 50) {
+		t.Fatalf("VarTable = %+v", vt)
+	}
+}
+
+func TestMetricsValuesOrder(t *testing.T) {
+	m := Metrics{P1: 1, P4: 2, P50: 3, R1: 4, R4: 5, R50: 6, Hit1: 7, Hit4: 8, H50: 9, MRR: 10}
+	vals := m.Values()
+	if len(vals) != len(MetricNames) {
+		t.Fatalf("len mismatch: %d vs %d", len(vals), len(MetricNames))
+	}
+	for i, want := range []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
+		if vals[i] != want {
+			t.Fatalf("Values[%d] = %v", i, vals[i])
+		}
+	}
+}
+
+func TestEvaluateEmptyDataset(t *testing.T) {
+	s := Evaluate(kb.Dataset{}, func(string) []string { return nil })
+	if s.Queries != 0 || s.OverAll.P1 != 0 {
+		t.Fatalf("empty dataset summary = %+v", s)
+	}
+}

@@ -1,0 +1,170 @@
+// Package eval implements the retrieval-evaluation machinery of §7:
+// precision@n, recall@n, binary hit rate@n and MRR over query datasets with
+// ground-truth document sets, aggregate summaries under the paper's
+// averaging conventions, and percentage-variation reporting for the
+// ablation tables.
+package eval
+
+// Metrics holds the retrieval metrics at the cutoffs the paper reports.
+type Metrics struct {
+	P1, P4, P50     float64
+	R1, R4, R50     float64
+	Hit1, Hit4, H50 float64
+	MRR             float64
+}
+
+// PrecisionAtN is |relevant ∩ top-n| / n. The paper divides by the cutoff
+// n, not by the returned count — a system returning fewer than n documents
+// is penalized.
+func PrecisionAtN(relevant map[string]bool, ranked []string, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if len(ranked) > n {
+		ranked = ranked[:n]
+	}
+	hits := 0
+	for _, id := range ranked {
+		if relevant[id] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(n)
+}
+
+// RecallAtN is |relevant ∩ top-n| / |relevant|.
+func RecallAtN(relevant map[string]bool, ranked []string, n int) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	if len(ranked) > n {
+		ranked = ranked[:n]
+	}
+	hits := 0
+	for _, id := range ranked {
+		if relevant[id] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(relevant))
+}
+
+// HitAtN is 1 when the top n contain at least one relevant document.
+func HitAtN(relevant map[string]bool, ranked []string, n int) float64 {
+	if len(ranked) > n {
+		ranked = ranked[:n]
+	}
+	for _, id := range ranked {
+		if relevant[id] {
+			return 1
+		}
+	}
+	return 0
+}
+
+// ReciprocalRank is 1/rank of the first relevant document (0 when none
+// appears).
+func ReciprocalRank(relevant map[string]bool, ranked []string) float64 {
+	for i, id := range ranked {
+		if relevant[id] {
+			return 1 / float64(i+1)
+		}
+	}
+	return 0
+}
+
+// Compute evaluates one query's ranking at all the paper's cutoffs.
+func Compute(relevant map[string]bool, ranked []string) Metrics {
+	return Metrics{
+		P1:   PrecisionAtN(relevant, ranked, 1),
+		P4:   PrecisionAtN(relevant, ranked, 4),
+		P50:  PrecisionAtN(relevant, ranked, 50),
+		R1:   RecallAtN(relevant, ranked, 1),
+		R4:   RecallAtN(relevant, ranked, 4),
+		R50:  RecallAtN(relevant, ranked, 50),
+		Hit1: HitAtN(relevant, ranked, 1),
+		Hit4: HitAtN(relevant, ranked, 4),
+		H50:  HitAtN(relevant, ranked, 50),
+		MRR:  ReciprocalRank(relevant, ranked),
+	}
+}
+
+// add accumulates o into m.
+func (m *Metrics) add(o Metrics) {
+	m.P1 += o.P1
+	m.P4 += o.P4
+	m.P50 += o.P50
+	m.R1 += o.R1
+	m.R4 += o.R4
+	m.R50 += o.R50
+	m.Hit1 += o.Hit1
+	m.Hit4 += o.Hit4
+	m.H50 += o.H50
+	m.MRR += o.MRR
+}
+
+// scale divides every metric by n.
+func (m *Metrics) scale(n float64) {
+	if n == 0 {
+		return
+	}
+	m.P1 /= n
+	m.P4 /= n
+	m.P50 /= n
+	m.R1 /= n
+	m.R4 /= n
+	m.R50 /= n
+	m.Hit1 /= n
+	m.Hit4 /= n
+	m.H50 /= n
+	m.MRR /= n
+}
+
+// Summary aggregates a dataset evaluation.
+type Summary struct {
+	// Queries is the dataset size; Answered counts queries with a
+	// non-empty result list.
+	Queries, Answered int
+	// OverAnswered averages metrics over answered queries only — the
+	// convention the paper states for Table 1 ("averages on the questions
+	// for which a non-empty document list was obtained").
+	OverAnswered Metrics
+	// OverAll averages over every query, counting unanswered ones as zero.
+	OverAll Metrics
+}
+
+// AnsweredRate is the fraction of queries with non-empty results (the
+// paper's 19.1% vs 100% comparison).
+func (s Summary) AnsweredRate() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.Answered) / float64(s.Queries)
+}
+
+// PercentVar returns 100*(v-base)/base, the "% Var" columns of Tables 1-4
+// (0 when base is 0).
+func PercentVar(base, v float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (v - base) / base
+}
+
+// VarTable computes the per-metric percentage variation of v against base,
+// using the over-all averages.
+func VarTable(base, v Summary) Metrics {
+	b, x := base.OverAll, v.OverAll
+	return Metrics{
+		P1:   PercentVar(b.P1, x.P1),
+		P4:   PercentVar(b.P4, x.P4),
+		P50:  PercentVar(b.P50, x.P50),
+		R1:   PercentVar(b.R1, x.R1),
+		R4:   PercentVar(b.R4, x.R4),
+		R50:  PercentVar(b.R50, x.R50),
+		Hit1: PercentVar(b.Hit1, x.Hit1),
+		Hit4: PercentVar(b.Hit4, x.Hit4),
+		H50:  PercentVar(b.H50, x.H50),
+		MRR:  PercentVar(b.MRR, x.MRR),
+	}
+}

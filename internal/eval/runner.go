@@ -1,0 +1,52 @@
+package eval
+
+import "uniask/internal/kb"
+
+// Retriever maps a query text to a ranked list of KB document ids. Both
+// UniAsk (chunk ranking collapsed to parents) and the previous engine plug
+// in here.
+type Retriever func(query string) []string
+
+// Evaluate runs the retriever over every query in the dataset and
+// aggregates the retrieval metrics.
+func Evaluate(ds kb.Dataset, retrieve Retriever) Summary {
+	var s Summary
+	for _, q := range ds.Queries {
+		s.Queries++
+		relevant := make(map[string]bool, len(q.Relevant))
+		for _, id := range q.Relevant {
+			relevant[id] = true
+		}
+		ranked := retrieve(q.Text)
+		m := Compute(relevant, ranked)
+		s.OverAll.add(m)
+		if len(ranked) > 0 {
+			s.Answered++
+			s.OverAnswered.add(m)
+		}
+	}
+	s.OverAll.scale(float64(s.Queries))
+	s.OverAnswered.scale(float64(s.Answered))
+	return s
+}
+
+// MetricNames lists the metric labels in the row order of Table 1.
+var MetricNames = []string{"p@1", "p@4", "p@50", "r@1", "r@4", "r@50", "hit@1", "hit@4", "hit@50", "MRR"}
+
+// Values returns the metrics in MetricNames order.
+func (m Metrics) Values() []float64 {
+	return []float64{m.P1, m.P4, m.P50, m.R1, m.R4, m.R50, m.Hit1, m.Hit4, m.H50, m.MRR}
+}
+
+// PaperConvention merges the two averaging conventions the numbers in
+// Table 1 follow: precision and hit rate averaged over answered queries,
+// recall and MRR over all queries. (With a system that answers every query,
+// such as UniAsk, the two conventions coincide.)
+func (s Summary) PaperConvention() Metrics {
+	return Metrics{
+		P1: s.OverAnswered.P1, P4: s.OverAnswered.P4, P50: s.OverAnswered.P50,
+		Hit1: s.OverAnswered.Hit1, Hit4: s.OverAnswered.Hit4, H50: s.OverAnswered.H50,
+		R1: s.OverAll.R1, R4: s.OverAll.R4, R50: s.OverAll.R50,
+		MRR: s.OverAll.MRR,
+	}
+}

@@ -1,0 +1,189 @@
+// Package eventlog implements the structured service log behind UniAsk's
+// monitoring (§9): the dashboard "directly queries the logs of the various
+// microservices". Services append typed events to a log (in memory, with
+// JSONL export/import for durability); the analytics side runs filtered
+// queries and aggregations over it to build the dashboard panels.
+package eventlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one structured log record.
+type Event struct {
+	// At is the event timestamp.
+	At time.Time `json:"at"`
+	// Service is the emitting microservice ("backend", "retrieval",
+	// "generation", "ingestion", ...).
+	Service string `json:"service"`
+	// Type is the event type ("query", "feedback", "guardrail", "error",
+	// "ingest", ...).
+	Type string `json:"type"`
+	// User is the acting user, when applicable.
+	User string `json:"user,omitempty"`
+	// DurationMS is the operation latency in milliseconds, when applicable.
+	DurationMS int64 `json:"durationMs,omitempty"`
+	// Fields carries event-specific attributes.
+	Fields map[string]string `json:"fields,omitempty"`
+}
+
+// Log is an append-only in-memory event log safe for concurrent use.
+type Log struct {
+	mu     sync.RWMutex
+	events []Event
+}
+
+// New creates an empty log.
+func New() *Log { return &Log{} }
+
+// Append adds an event.
+func (l *Log) Append(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, e)
+}
+
+// Len reports the number of events.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.events)
+}
+
+// Query is a filter over the log. Zero fields match everything.
+type Query struct {
+	// Service and Type filter by exact match when non-empty.
+	Service, Type string
+	// User filters by exact match when non-empty.
+	User string
+	// Since and Until bound the time window (zero = unbounded).
+	Since, Until time.Time
+}
+
+func (q Query) matches(e Event) bool {
+	if q.Service != "" && e.Service != q.Service {
+		return false
+	}
+	if q.Type != "" && e.Type != q.Type {
+		return false
+	}
+	if q.User != "" && e.User != q.User {
+		return false
+	}
+	if !q.Since.IsZero() && e.At.Before(q.Since) {
+		return false
+	}
+	if !q.Until.IsZero() && !e.At.Before(q.Until) {
+		return false
+	}
+	return true
+}
+
+// Select returns the matching events in append order.
+func (l *Log) Select(q Query) []Event {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []Event
+	for _, e := range l.events {
+		if q.matches(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Count returns the number of matching events.
+func (l *Log) Count(q Query) int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	n := 0
+	for _, e := range l.events {
+		if q.matches(e) {
+			n++
+		}
+	}
+	return n
+}
+
+// Aggregate groups matching events by a field value and counts them. The
+// special keys "service", "type" and "user" group by the event attributes;
+// any other key groups by Fields[key] (missing values group under "").
+func (l *Log) Aggregate(q Query, key string) map[string]int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make(map[string]int)
+	for _, e := range l.events {
+		if !q.matches(e) {
+			continue
+		}
+		var v string
+		switch key {
+		case "service":
+			v = e.Service
+		case "type":
+			v = e.Type
+		case "user":
+			v = e.User
+		default:
+			v = e.Fields[key]
+		}
+		out[v]++
+	}
+	return out
+}
+
+// AvgDuration returns the mean DurationMS of matching events (0 when none
+// carry a duration).
+func (l *Log) AvgDuration(q Query) time.Duration {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var total int64
+	n := 0
+	for _, e := range l.events {
+		if q.matches(e) && e.DurationMS > 0 {
+			total += e.DurationMS
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(total/int64(n)) * time.Millisecond
+}
+
+// WriteJSONL exports the log as JSON lines.
+func (l *Log) WriteJSONL(w io.Writer) error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	for _, e := range l.events {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("eventlog: encode: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadJSONL imports events from JSON lines, appending them to the log.
+func (l *Log) ReadJSONL(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return fmt.Errorf("eventlog: line %d: %w", line, err)
+		}
+		l.Append(e)
+	}
+	return sc.Err()
+}

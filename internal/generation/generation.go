@@ -1,0 +1,125 @@
+// Package generation implements UniAsk's answer-generation module (§5): it
+// takes the top-m chunks returned by the retrieval module, builds the
+// task prompt (background context, JSON-formatted context, repeated
+// citation instructions), queries the LLM through the chat-completion
+// interface, and parses the citations back out of the generated text.
+package generation
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"uniask/internal/llm"
+)
+
+// RetrievedChunk is one context chunk handed over by the search module.
+type RetrievedChunk struct {
+	// ID is the chunk id in the index.
+	ID string
+	// Title and Content are the retrievable fields shown to the LLM.
+	Title   string
+	Content string
+}
+
+// Answer is a generated response.
+type Answer struct {
+	// Text is the generated answer.
+	Text string
+	// Citations holds the chunk IDs the answer cites (resolved from the
+	// [docN] keys).
+	Citations []string
+	// CitedKeys holds the raw [key] identifiers found in the text.
+	CitedKeys []string
+	// Usage is the underlying LLM usage.
+	Usage llm.Response
+}
+
+// DefaultM is the number of context chunks in the current deployment.
+const DefaultM = 4
+
+// Generator produces grounded answers.
+type Generator struct {
+	// Client is the chat-completion backend.
+	Client llm.Client
+	// M caps the number of chunks placed in the prompt (DefaultM if 0).
+	M int
+	// MaxTokens caps the completion (0 = client default).
+	MaxTokens int
+}
+
+// Generate builds the prompt for question over chunks and returns the
+// parsed answer. Chunks beyond M are dropped, matching the deployment.
+func (g *Generator) Generate(ctx context.Context, question string, chunks []RetrievedChunk) (Answer, error) {
+	m := g.M
+	if m <= 0 {
+		m = DefaultM
+	}
+	if len(chunks) > m {
+		chunks = chunks[:m]
+	}
+	ctxChunks := make([]llm.ContextChunk, len(chunks))
+	keyToID := make(map[string]string, len(chunks))
+	for i, ch := range chunks {
+		key := fmt.Sprintf("doc%d", i+1)
+		ctxChunks[i] = llm.ContextChunk{Key: key, Title: ch.Title, Content: ch.Content}
+		keyToID[key] = ch.ID
+	}
+	req := llm.BuildAnswerPrompt(question, ctxChunks)
+	req.MaxTokens = g.MaxTokens
+	resp, err := g.Client.Complete(ctx, req)
+	if err != nil {
+		return Answer{}, fmt.Errorf("generation: %w", err)
+	}
+	keys := ExtractCitationKeys(resp.Content)
+	ans := Answer{Text: resp.Content, CitedKeys: keys, Usage: resp}
+	for _, k := range keys {
+		if id, ok := keyToID[k]; ok {
+			ans.Citations = append(ans.Citations, id)
+		}
+	}
+	return ans, nil
+}
+
+// ExtractCitationKeys scans text for [key] citations and returns the keys
+// in order of first appearance, deduplicated. Only bracketed tokens that
+// look like citation keys (letters+digits, no spaces) are accepted.
+func ExtractCitationKeys(text string) []string {
+	var keys []string
+	seen := map[string]bool{}
+	for i := 0; i < len(text); i++ {
+		if text[i] != '[' {
+			continue
+		}
+		end := strings.IndexByte(text[i:], ']')
+		if end < 0 {
+			break
+		}
+		key := text[i+1 : i+end]
+		if isCitationKey(key) && !seen[key] {
+			seen[key] = true
+			keys = append(keys, key)
+		}
+		i += end
+	}
+	return keys
+}
+
+// isCitationKey accepts short alphanumeric identifiers like "doc1".
+func isCitationKey(s string) bool {
+	if s == "" || len(s) > 32 {
+		return false
+	}
+	hasLetter, hasDigit := false, false
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z':
+			hasLetter = true
+		case r >= '0' && r <= '9':
+			hasDigit = true
+		default:
+			return false
+		}
+	}
+	return hasLetter && hasDigit
+}

@@ -1,0 +1,82 @@
+package index
+
+// Live updates: the knowledge base is edited daily and the ingestion
+// service polls for changes every 15 minutes (§3), so the index must
+// support deleting and replacing documents without a rebuild. Deletions are
+// tombstones: the chunk stays in the posting lists and the ANN graph but is
+// filtered out of every search result; its external id is freed for
+// re-insertion. Compact rebuilds reclaim the space.
+
+// Delete tombstones a chunk by external id. It reports whether the id was
+// present.
+func (ix *Index) Delete(chunkID string) bool {
+	ord, ok := ix.byID[chunkID]
+	if !ok {
+		return false
+	}
+	delete(ix.byID, chunkID)
+	if ix.deleted == nil {
+		ix.deleted = make(map[int32]bool)
+	}
+	ix.deleted[ord] = true
+	parent := ix.docs[ord].ParentID
+	live := ix.byParent[parent][:0]
+	for _, o := range ix.byParent[parent] {
+		if o != ord {
+			live = append(live, o)
+		}
+	}
+	if len(live) == 0 {
+		delete(ix.byParent, parent)
+	} else {
+		ix.byParent[parent] = live
+	}
+	return true
+}
+
+// DeleteParent tombstones every chunk of a KB document and returns how many
+// chunks were removed.
+func (ix *Index) DeleteParent(parentID string) int {
+	ords := append([]int32(nil), ix.byParent[parentID]...)
+	n := 0
+	for _, ord := range ords {
+		if ix.Delete(ix.docs[ord].ID) {
+			n++
+		}
+	}
+	return n
+}
+
+// HasParent reports whether any live chunk of the KB document remains.
+func (ix *Index) HasParent(parentID string) bool {
+	return len(ix.byParent[parentID]) > 0
+}
+
+// LiveLen reports the number of live (non-tombstoned) chunks.
+func (ix *Index) LiveLen() int { return len(ix.byID) }
+
+// Tombstones reports how many chunks are tombstoned (compaction metric).
+func (ix *Index) Tombstones() int { return len(ix.deleted) }
+
+// isDeleted reports whether an ordinal is tombstoned.
+func (ix *Index) isDeleted(ord int32) bool {
+	return ix.deleted != nil && ix.deleted[ord]
+}
+
+// Compact rebuilds the index without tombstoned chunks, reclaiming posting
+// and graph space. It returns the rebuilt index; the receiver is unchanged.
+func (ix *Index) Compact() (*Index, error) {
+	out := New(ix.cfg)
+	for ord, doc := range ix.docs {
+		if ix.isDeleted(int32(ord)) {
+			continue
+		}
+		if _, live := ix.byID[doc.ID]; !live {
+			continue
+		}
+		if err := out.Add(doc); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

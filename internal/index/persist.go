@@ -1,0 +1,152 @@
+package index
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"uniask/internal/vector"
+)
+
+// Persistence: Save serializes the whole index — documents, inverted
+// postings, filters and the HNSW graphs — so Read restores it without
+// re-analyzing documents or rebuilding the ANN structure (the expensive
+// part of index construction). The format is a single gob stream.
+
+// postingSnapshot mirrors the unexported posting type.
+type postingSnapshot struct {
+	Doc int32
+	TF  int32
+}
+
+// fieldSnapshot mirrors fieldIndex.
+type fieldSnapshot struct {
+	Postings map[string][]postingSnapshot
+	DocLens  []int
+	TotalLen int
+}
+
+// indexSnapshot is the gob-serializable image of the index.
+type indexSnapshot struct {
+	Schema  Schema
+	BM25    BM25Params
+	Docs    []Document
+	Fields  map[string]fieldSnapshot
+	Filters map[string]map[string][]int32
+	// Vectors holds one serialized HNSW stream per vector field; fields
+	// whose index is not an HNSW are rebuilt from document vectors.
+	Vectors map[string][]byte
+	// Deleted lists tombstoned ordinals.
+	Deleted []int32
+}
+
+// Save serializes the index.
+func (ix *Index) Save(w io.Writer) error {
+	snap := indexSnapshot{
+		Schema:  ix.cfg.Schema,
+		BM25:    ix.cfg.BM25,
+		Docs:    ix.docs,
+		Fields:  make(map[string]fieldSnapshot, len(ix.fields)),
+		Filters: ix.filters,
+		Vectors: make(map[string][]byte, len(ix.vecs)),
+	}
+	for ord := range ix.deleted {
+		snap.Deleted = append(snap.Deleted, ord)
+	}
+	for name, fi := range ix.fields {
+		fs := fieldSnapshot{
+			Postings: make(map[string][]postingSnapshot, len(fi.postings)),
+			DocLens:  fi.docLens,
+			TotalLen: fi.totalLen,
+		}
+		for term, pl := range fi.postings {
+			out := make([]postingSnapshot, len(pl))
+			for i, p := range pl {
+				out[i] = postingSnapshot{Doc: p.doc, TF: p.tf}
+			}
+			fs.Postings[term] = out
+		}
+		snap.Fields[name] = fs
+	}
+	for name, vx := range ix.vecs {
+		h, ok := vx.(*vector.HNSW)
+		if !ok {
+			continue // rebuilt from document vectors on load
+		}
+		var buf bytes.Buffer
+		if err := h.Save(&buf); err != nil {
+			return fmt.Errorf("index: serialize vector field %q: %w", name, err)
+		}
+		snap.Vectors[name] = buf.Bytes()
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("index: encode: %w", err)
+	}
+	return nil
+}
+
+// Read restores an index written by Save. The provided Config supplies
+// the non-serializable parts (analyzer, vector-index constructor); its
+// Schema and BM25 params are overridden by the snapshot's.
+func Read(r io.Reader, cfg Config) (*Index, error) {
+	var snap indexSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("index: decode: %w", err)
+	}
+	cfg.Schema = snap.Schema
+	cfg.BM25 = snap.BM25
+	ix := New(cfg)
+	ix.docs = snap.Docs
+	for _, ord := range snap.Deleted {
+		if ix.deleted == nil {
+			ix.deleted = make(map[int32]bool)
+		}
+		ix.deleted[ord] = true
+	}
+	for i, d := range snap.Docs {
+		if ix.isDeleted(int32(i)) {
+			continue
+		}
+		ix.byID[d.ID] = int32(i)
+		ix.byParent[d.ParentID] = append(ix.byParent[d.ParentID], int32(i))
+	}
+	for name, fs := range snap.Fields {
+		fi := &fieldIndex{
+			postings: make(map[string][]posting, len(fs.Postings)),
+			docLens:  fs.DocLens,
+			totalLen: fs.TotalLen,
+		}
+		for term, pl := range fs.Postings {
+			out := make([]posting, len(pl))
+			for i, p := range pl {
+				out[i] = posting{doc: p.Doc, tf: p.TF}
+			}
+			fi.postings[term] = out
+		}
+		ix.fields[name] = fi
+	}
+	ix.filters = snap.Filters
+	if ix.filters == nil {
+		ix.filters = make(map[string]map[string][]int32)
+	}
+	for name := range ix.vecs {
+		if data, ok := snap.Vectors[name]; ok {
+			h, err := vector.ReadHNSW(bytes.NewReader(data))
+			if err != nil {
+				return nil, fmt.Errorf("index: vector field %q: %w", name, err)
+			}
+			ix.vecs[name] = h
+			continue
+		}
+		// No serialized graph: rebuild from stored document vectors.
+		for i, d := range ix.docs {
+			if v, ok := d.Vectors[name]; ok {
+				if err := ix.vecs[name].Add(i, v); err != nil {
+					return nil, fmt.Errorf("index: rebuild vector field %q: %w", name, err)
+				}
+			}
+		}
+	}
+	return ix, nil
+}

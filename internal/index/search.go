@@ -1,0 +1,202 @@
+package index
+
+import (
+	"math"
+	"sort"
+
+	"uniask/internal/vector"
+)
+
+// Hit is one full-text search result.
+type Hit struct {
+	// Ord is the internal document ordinal (usable with Index.Doc).
+	Ord int
+	// ID is the external chunk id.
+	ID string
+	// Score is the BM25 relevance score.
+	Score float64
+}
+
+// Filter is an exact-match predicate on a filterable field.
+type Filter struct {
+	Field string
+	Value string
+}
+
+// TextOptions configures full-text search.
+type TextOptions struct {
+	// Fields restricts scoring to these searchable fields; all searchable
+	// fields are used when empty.
+	Fields []string
+	// FieldWeights multiplies the BM25 contribution of a field (used by the
+	// paper's title-boost experiments T5/T50/T500). Weight 0 means 1.
+	FieldWeights map[string]float64
+	// Filters are conjunctive exact-match predicates.
+	Filters []Filter
+}
+
+// SearchText ranks documents against query with Okapi BM25, summing
+// per-field scores (weighted when FieldWeights is set), and returns the top
+// n hits.
+func (ix *Index) SearchText(query string, n int, opts TextOptions) []Hit {
+	if n <= 0 || len(ix.docs) == 0 {
+		return nil
+	}
+	terms := ix.cfg.Analyzer.AnalyzeTerms(query)
+	if len(terms) == 0 {
+		return nil
+	}
+	// Deduplicate query terms but keep multiplicity as a weight, matching
+	// Lucene's behavior of scoring repeated terms once per occurrence.
+	qcount := make(map[string]int, len(terms))
+	for _, t := range terms {
+		qcount[t]++
+	}
+
+	fieldNames := opts.Fields
+	if len(fieldNames) == 0 {
+		for name := range ix.fields {
+			fieldNames = append(fieldNames, name)
+		}
+		sort.Strings(fieldNames)
+	}
+
+	allowed := ix.filterSet(opts.Filters)
+
+	scores := make(map[int32]float64)
+	N := float64(len(ix.docs))
+	for _, fname := range fieldNames {
+		fi, ok := ix.fields[fname]
+		if !ok {
+			continue
+		}
+		weight := 1.0
+		if w, ok := opts.FieldWeights[fname]; ok && w != 0 {
+			weight = w
+		}
+		avgLen := 0.0
+		if len(fi.docLens) > 0 {
+			avgLen = float64(fi.totalLen) / float64(len(fi.docLens))
+		}
+		if avgLen == 0 {
+			continue
+		}
+		for term, mult := range qcount {
+			pl := fi.postings[term]
+			if len(pl) == 0 {
+				continue
+			}
+			// Okapi BM25 idf with the standard +1 smoothing (Lucene).
+			df := float64(len(pl))
+			idf := math.Log(1 + (N-df+0.5)/(df+0.5))
+			for _, p := range pl {
+				if ix.isDeleted(p.doc) {
+					continue
+				}
+				if allowed != nil && !allowed[p.doc] {
+					continue
+				}
+				tf := float64(p.tf)
+				dl := float64(fi.docLens[p.doc])
+				k1, b := ix.cfg.BM25.K1, ix.cfg.BM25.B
+				s := idf * (tf * (k1 + 1)) / (tf + k1*(1-b+b*dl/avgLen))
+				scores[p.doc] += weight * float64(mult) * s
+			}
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for doc, s := range scores {
+		hits = append(hits, Hit{Ord: int(doc), ID: ix.docs[doc].ID, Score: s})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].ID < hits[j].ID
+	})
+	if n < len(hits) {
+		hits = hits[:n]
+	}
+	return hits
+}
+
+// SearchVector returns the k nearest chunks to q in the given vector field,
+// optionally post-filtered.
+func (ix *Index) SearchVector(field string, q vector.Vector, k int, filters []Filter) []Hit {
+	vx, ok := ix.vecs[field]
+	if !ok || k <= 0 {
+		return nil
+	}
+	allowed := ix.filterSet(filters)
+	// Over-fetch when filtering or when tombstones exist so k survivors
+	// remain.
+	fetch := k
+	if allowed != nil || len(ix.deleted) > 0 {
+		fetch = k * 4
+	}
+	res := vx.Search(q, fetch)
+	hits := make([]Hit, 0, k)
+	for _, r := range res {
+		if ix.isDeleted(int32(r.ID)) {
+			continue
+		}
+		if allowed != nil && !allowed[int32(r.ID)] {
+			continue
+		}
+		hits = append(hits, Hit{Ord: r.ID, ID: ix.docs[r.ID].ID, Score: 1 - float64(r.Distance)})
+		if len(hits) == k {
+			break
+		}
+	}
+	return hits
+}
+
+// VectorFields lists the vector fields present in the schema, sorted.
+func (ix *Index) VectorFields() []string {
+	var out []string
+	for name := range ix.vecs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// filterSet resolves conjunctive filters to the allowed doc set (nil when
+// no filters are given).
+func (ix *Index) filterSet(filters []Filter) map[int32]bool {
+	if len(filters) == 0 {
+		return nil
+	}
+	var allowed map[int32]bool
+	for _, f := range filters {
+		vals := ix.filters[f.Field]
+		docs := vals[f.Value]
+		set := make(map[int32]bool, len(docs))
+		for _, d := range docs {
+			set[d] = true
+		}
+		if allowed == nil {
+			allowed = set
+			continue
+		}
+		for d := range allowed {
+			if !set[d] {
+				delete(allowed, d)
+			}
+		}
+	}
+	if allowed == nil {
+		allowed = map[int32]bool{}
+	}
+	return allowed
+}
+
+// TermStats reports document frequency of an analyzed term in a field
+// (diagnostics and tests).
+func (ix *Index) TermStats(field, term string) (df int) {
+	fi, ok := ix.fields[field]
+	if !ok {
+		return 0
+	}
+	return len(fi.postings[term])
+}

@@ -1,0 +1,277 @@
+package indexer
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"uniask/internal/embedding"
+	"uniask/internal/index"
+	"uniask/internal/ingest"
+	"uniask/internal/kb"
+	"uniask/internal/llm"
+	"uniask/internal/queue"
+)
+
+func testSetup(cfg Config) (*Indexer, *index.Index) {
+	ix := index.New(index.Config{Schema: Schema()})
+	emb := embedding.NewSynth(64, nil)
+	client := llm.NewSim(llm.DefaultBehavior())
+	return New(ix, emb, client, cfg), ix
+}
+
+func extractedPage(id, html string) ingest.Extracted {
+	src := ingest.StaticSource{{ID: id, HTML: html}}
+	q := queue.New[ingest.Extracted]()
+	(&ingest.Ingester{Source: src, Out: q}).SyncOnce()
+	msg, _ := q.TryDequeue()
+	return msg
+}
+
+const page = `<html><head><title>Blocco carta di credito</title>
+<meta name="domain" content="prodotti"><meta name="section" content="carte"><meta name="topic" content="t1">
+</head><body><h1>Blocco carta</h1>
+<p>Per bloccare la carta di credito è necessario chiamare il numero verde.</p>
+<p>Il servizio è attivo tutti i giorni della settimana.</p>
+</body></html>`
+
+func TestIndexDocumentBasic(t *testing.T) {
+	in, ix := testSetup(Config{EnrichSummary: true})
+	n, err := in.IndexDocument(context.Background(), extractedPage("kb00001", page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || ix.Len() != n {
+		t.Fatalf("chunks = %d, index len = %d", n, ix.Len())
+	}
+	doc, ok := ix.DocByID("kb00001#0")
+	if !ok {
+		t.Fatal("chunk not in index")
+	}
+	if doc.ParentID != "kb00001" {
+		t.Fatalf("parent = %q", doc.ParentID)
+	}
+	if doc.Fields["title"] != "Blocco carta di credito" {
+		t.Fatalf("title = %q", doc.Fields["title"])
+	}
+	if doc.Fields["domain"] != "prodotti" || doc.Fields["topic"] != "t1" {
+		t.Fatalf("meta fields = %v", doc.Fields)
+	}
+	if doc.Fields["summary"] == "" {
+		t.Fatal("summary enrichment missing")
+	}
+	if len(doc.Vectors["titleVector"]) == 0 || len(doc.Vectors["contentVector"]) == 0 {
+		t.Fatal("vectors missing")
+	}
+}
+
+func TestKeywordEnrichmentFields(t *testing.T) {
+	in, ix := testSetup(Config{KeywordsFromTitle: true, KeywordsFromTitleContent: true})
+	if _, err := in.IndexDocument(context.Background(), extractedPage("kb1", page)); err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := ix.DocByID("kb1#0")
+	if doc.Fields["kwTitle"] == "" || doc.Fields["kwTitleContent"] == "" {
+		t.Fatalf("keyword fields = %v", doc.Fields)
+	}
+	if !strings.Contains(doc.Fields["kwTitle"], "cart") {
+		t.Fatalf("kwTitle = %q", doc.Fields["kwTitle"])
+	}
+}
+
+func TestDeletedDocumentAcknowledged(t *testing.T) {
+	in, ix := testSetup(Config{})
+	n, err := in.IndexDocument(context.Background(), ingest.Extracted{ID: "gone", Deleted: true})
+	if err != nil || n != 0 || ix.Len() != 0 {
+		t.Fatalf("deletion handling: n=%d err=%v len=%d", n, err, ix.Len())
+	}
+}
+
+func TestChunkIDRoundTrip(t *testing.T) {
+	if got := chunkID("kb00042", 3); got != "kb00042#3" {
+		t.Fatalf("chunkID = %q", got)
+	}
+	if got := ParentOf("kb00042#3"); got != "kb00042" {
+		t.Fatalf("ParentOf = %q", got)
+	}
+	if got := ParentOf("plain"); got != "plain" {
+		t.Fatalf("ParentOf(no #) = %q", got)
+	}
+}
+
+func TestRunConsumesQueue(t *testing.T) {
+	in, ix := testSetup(Config{})
+	q := queue.New[ingest.Extracted]()
+	q.Publish(extractedPage("kb1", page))
+	q.Publish(extractedPage("kb2", page))
+	q.Close()
+	total, err := in.Run(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 || ix.Len() != total {
+		t.Fatalf("total = %d, index len = %d", total, ix.Len())
+	}
+}
+
+func TestEndToEndCorpusIndexing(t *testing.T) {
+	// Full pipeline over a small generated corpus: kb -> ingest -> queue ->
+	// indexer -> index.
+	corpus := kb.Generate(kb.GenConfig{Docs: 50, Seed: 3})
+	var pages ingest.StaticSource
+	for _, d := range corpus.Docs {
+		pages = append(pages, ingest.Page{ID: d.ID, HTML: d.HTML})
+	}
+	q := queue.New[ingest.Extracted]()
+	ing := &ingest.Ingester{Source: pages, Out: q}
+	if _, err := ing.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+
+	ix := index.New(index.Config{Schema: Schema()})
+	emb := embedding.NewSynth(64, corpus.Lexicon())
+	in := New(ix, emb, llm.NewSim(llm.DefaultBehavior()), Config{EnrichSummary: true})
+	total, err := in.Run(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total < 50 {
+		t.Fatalf("indexed %d chunks from 50 docs", total)
+	}
+	// Every corpus doc must have at least chunk #0 indexed with its title.
+	for _, d := range corpus.Docs {
+		chunk, ok := ix.DocByID(d.ID + "#0")
+		if !ok {
+			t.Fatalf("doc %s has no chunk 0", d.ID)
+		}
+		if chunk.Fields["title"] != d.Title {
+			t.Fatalf("doc %s title mismatch: %q vs %q", d.ID, chunk.Fields["title"], d.Title)
+		}
+		if chunk.Fields["domain"] != d.Domain {
+			t.Fatalf("doc %s domain mismatch", d.ID)
+		}
+	}
+}
+
+// TestLiveUpdateFlow exercises the full §3 dataflow for edits: the poller
+// detects a modified page, the indexer replaces its chunks, a later
+// deletion tombstones them.
+func TestLiveUpdateFlow(t *testing.T) {
+	in, ix := testSetup(Config{})
+	ctx := context.Background()
+
+	// Initial version.
+	v1 := extractedPage("kb9", page)
+	if _, err := in.IndexDocument(ctx, v1); err != nil {
+		t.Fatal(err)
+	}
+	before := ix.LiveLen()
+
+	// Modified version: different content must replace the old chunks.
+	const pageV2 = `<html><head><title>Blocco carta di credito</title>
+<meta name="domain" content="prodotti"></head><body>
+<p>La nuova procedura prevede il blocco immediato tramite app mobile certificata.</p>
+</body></html>`
+	v2 := extractedPage("kb9", pageV2)
+	if _, err := in.IndexDocument(ctx, v2); err != nil {
+		t.Fatal(err)
+	}
+	hits := ix.SearchText("app mobile certificata", 5, index.TextOptions{})
+	if len(hits) == 0 {
+		t.Fatal("updated content not searchable")
+	}
+	stale := ix.SearchText("numero verde", 5, index.TextOptions{})
+	for _, h := range stale {
+		if index.Document(ix.Doc(h.Ord)).ParentID == "kb9" {
+			t.Fatal("stale content still searchable")
+		}
+	}
+	if ix.LiveLen() > before {
+		t.Fatalf("live chunks grew on update: %d -> %d", before, ix.LiveLen())
+	}
+
+	// Deletion.
+	if _, err := in.IndexDocument(ctx, ingest.Extracted{ID: "kb9", Deleted: true}); err != nil {
+		t.Fatal(err)
+	}
+	if ix.HasParent("kb9") {
+		t.Fatal("deleted page still live")
+	}
+}
+
+// TestIndexBatchEquivalence: the parallel bulk path must produce the same
+// index contents as the sequential path.
+func TestIndexBatchEquivalence(t *testing.T) {
+	corpus := kb.Generate(kb.GenConfig{Docs: 40, Seed: 9})
+	var extracted []ingest.Extracted
+	for _, d := range corpus.Docs {
+		extracted = append(extracted, extractedPage(d.ID, d.HTML))
+	}
+
+	seqIdx, batchIdx := index.New(index.Config{Schema: Schema()}), index.New(index.Config{Schema: Schema()})
+	emb := embedding.NewSynth(64, corpus.Lexicon())
+	client := llm.NewSim(llm.DefaultBehavior())
+	seq := New(seqIdx, emb, client, Config{EnrichSummary: true})
+	bat := New(batchIdx, emb, client, Config{EnrichSummary: true})
+
+	ctx := context.Background()
+	seqTotal := 0
+	for _, e := range extracted {
+		n, err := seq.IndexDocument(ctx, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqTotal += n
+	}
+	batTotal, err := bat.IndexBatch(ctx, extracted, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqTotal != batTotal {
+		t.Fatalf("chunk counts differ: %d vs %d", seqTotal, batTotal)
+	}
+	// Every chunk must exist in both with identical fields.
+	for _, d := range corpus.Docs {
+		a, okA := seqIdx.DocByID(d.ID + "#0")
+		b, okB := batchIdx.DocByID(d.ID + "#0")
+		if !okA || !okB {
+			t.Fatalf("doc %s missing: seq=%v batch=%v", d.ID, okA, okB)
+		}
+		for f, v := range a.Fields {
+			if b.Fields[f] != v {
+				t.Fatalf("doc %s field %s differs", d.ID, f)
+			}
+		}
+	}
+	// Search results must match.
+	q := corpus.Docs[0].Title
+	ha := seqIdx.SearchText(q, 5, index.TextOptions{})
+	hb := batchIdx.SearchText(q, 5, index.TextOptions{})
+	if len(ha) != len(hb) {
+		t.Fatalf("results differ: %d vs %d", len(ha), len(hb))
+	}
+	for i := range ha {
+		if ha[i].ID != hb[i].ID {
+			t.Fatalf("hit %d differs: %s vs %s", i, ha[i].ID, hb[i].ID)
+		}
+	}
+}
+
+// TestIndexBatchHandlesDeletes: deletion messages in a batch tombstone.
+func TestIndexBatchHandlesDeletes(t *testing.T) {
+	in, ix := testSetup(Config{})
+	ctx := context.Background()
+	if _, err := in.IndexBatch(ctx, []ingest.Extracted{extractedPage("kbx", page)}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !ix.HasParent("kbx") {
+		t.Fatal("batch add failed")
+	}
+	if _, err := in.IndexBatch(ctx, []ingest.Extracted{{ID: "kbx", Deleted: true}}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if ix.HasParent("kbx") {
+		t.Fatal("batch delete failed")
+	}
+}

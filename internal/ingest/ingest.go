@@ -1,0 +1,145 @@
+// Package ingest implements UniAsk's ingestion service (§3): it extracts
+// text and metadata from each HTML document in the knowledge base and keeps
+// the downstream index updated by polling for modifications every 15
+// minutes (a cron-triggered serverless function in the deployment; a
+// clock-driven loop here). New or changed pages are posted to the message
+// queue consumed by the indexing service.
+package ingest
+
+import (
+	"context"
+	"hash/fnv"
+	"time"
+
+	"uniask/internal/htmlx"
+	"uniask/internal/queue"
+	"uniask/internal/vclock"
+)
+
+// Page is one raw knowledge-base page as served by the source system.
+type Page struct {
+	// ID is the KB document id.
+	ID string
+	// HTML is the raw page markup.
+	HTML string
+}
+
+// Source is the knowledge-base backend the ingester polls.
+type Source interface {
+	// Pages returns the current full listing of pages.
+	Pages() []Page
+}
+
+// Extracted is the ingestion output for one page: the parsed document plus
+// the editor-provided metadata, ready for chunking and indexing.
+type Extracted struct {
+	// ID is the KB document id.
+	ID string
+	// Title is the extracted page title.
+	Title string
+	// Doc is the structured extraction (paragraphs with offsets).
+	Doc htmlx.Document
+	// Domain, Section and Topic are the KB editor tags from <meta>.
+	Domain, Section, Topic string
+	// Deleted marks a page that disappeared from the source.
+	Deleted bool
+}
+
+// DefaultPollInterval is the paper's 15-minute modification polling period.
+const DefaultPollInterval = 15 * time.Minute
+
+// Ingester polls a Source and publishes changed documents.
+type Ingester struct {
+	// Source is the KB backend.
+	Source Source
+	// Out receives one message per new/changed/deleted page.
+	Out *queue.Queue[Extracted]
+	// Clock drives polling (virtual in tests). Defaults to the real clock.
+	Clock vclock.Clock
+	// PollInterval defaults to DefaultPollInterval.
+	PollInterval time.Duration
+
+	hashes map[string]uint64
+}
+
+// hashPage fingerprints page content for change detection.
+func hashPage(html string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(html))
+	return h.Sum64()
+}
+
+// extract parses one page into an Extracted message.
+func extract(p Page) Extracted {
+	doc := htmlx.Extract(p.HTML)
+	return Extracted{
+		ID:      p.ID,
+		Title:   doc.Title,
+		Doc:     doc,
+		Domain:  doc.Meta["domain"],
+		Section: doc.Meta["section"],
+		Topic:   doc.Meta["topic"],
+	}
+}
+
+// SyncOnce performs one polling pass: new and modified pages are extracted
+// and published; vanished pages are published as deletions. It returns the
+// number of messages published.
+func (ing *Ingester) SyncOnce() (int, error) {
+	if ing.hashes == nil {
+		ing.hashes = make(map[string]uint64)
+	}
+	published := 0
+	current := make(map[string]bool)
+	for _, p := range ing.Source.Pages() {
+		current[p.ID] = true
+		h := hashPage(p.HTML)
+		if prev, seen := ing.hashes[p.ID]; seen && prev == h {
+			continue
+		}
+		ing.hashes[p.ID] = h
+		if err := ing.Out.Publish(extract(p)); err != nil {
+			return published, err
+		}
+		published++
+	}
+	for id := range ing.hashes {
+		if !current[id] {
+			delete(ing.hashes, id)
+			if err := ing.Out.Publish(Extracted{ID: id, Deleted: true}); err != nil {
+				return published, err
+			}
+			published++
+		}
+	}
+	return published, nil
+}
+
+// Run polls until ctx is cancelled. The first pass runs immediately; later
+// passes run every PollInterval on the configured clock.
+func (ing *Ingester) Run(ctx context.Context) error {
+	clock := ing.Clock
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	interval := ing.PollInterval
+	if interval <= 0 {
+		interval = DefaultPollInterval
+	}
+	for {
+		if _, err := ing.SyncOnce(); err != nil {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-clock.After(interval):
+		}
+	}
+}
+
+// StaticSource is a Source over a fixed page set (tests, batch loads).
+type StaticSource []Page
+
+// Pages implements Source.
+func (s StaticSource) Pages() []Page { return s }

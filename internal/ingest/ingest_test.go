@@ -1,0 +1,121 @@
+package ingest
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"uniask/internal/queue"
+	"uniask/internal/vclock"
+)
+
+const pageA = `<html><head><title>Pagina A</title><meta name="domain" content="prodotti"><meta name="section" content="carte"><meta name="topic" content="t1"></head><body><h1>Pagina A</h1><p>Contenuto A.</p></body></html>`
+const pageB = `<html><head><title>Pagina B</title></head><body><p>Contenuto B.</p></body></html>`
+
+// mutableSource lets tests change the page set between polls.
+type mutableSource struct{ pages []Page }
+
+func (m *mutableSource) Pages() []Page { return m.pages }
+
+func TestSyncOnceExtractsAll(t *testing.T) {
+	q := queue.New[Extracted]()
+	ing := &Ingester{Source: StaticSource{{ID: "a", HTML: pageA}, {ID: "b", HTML: pageB}}, Out: q}
+	n, err := ing.SyncOnce()
+	if err != nil || n != 2 {
+		t.Fatalf("SyncOnce = %d, %v", n, err)
+	}
+	first, _ := q.Dequeue()
+	if first.ID != "a" || first.Title != "Pagina A" || first.Domain != "prodotti" ||
+		first.Section != "carte" || first.Topic != "t1" {
+		t.Fatalf("extracted = %+v", first)
+	}
+	if len(first.Doc.Paragraphs) == 0 {
+		t.Fatal("no paragraphs extracted")
+	}
+}
+
+func TestSyncOnceIdempotent(t *testing.T) {
+	q := queue.New[Extracted]()
+	ing := &Ingester{Source: StaticSource{{ID: "a", HTML: pageA}}, Out: q}
+	ing.SyncOnce()
+	n, _ := ing.SyncOnce()
+	if n != 0 {
+		t.Fatalf("unchanged pages republished: %d", n)
+	}
+}
+
+func TestSyncDetectsModification(t *testing.T) {
+	q := queue.New[Extracted]()
+	src := &mutableSource{pages: []Page{{ID: "a", HTML: pageA}}}
+	ing := &Ingester{Source: src, Out: q}
+	ing.SyncOnce()
+	q.TryDequeue()
+
+	src.pages = []Page{{ID: "a", HTML: pageA + "<!-- edit -->"}}
+	n, _ := ing.SyncOnce()
+	if n != 1 {
+		t.Fatalf("modification not detected: %d", n)
+	}
+}
+
+func TestSyncDetectsDeletion(t *testing.T) {
+	q := queue.New[Extracted]()
+	src := &mutableSource{pages: []Page{{ID: "a", HTML: pageA}, {ID: "b", HTML: pageB}}}
+	ing := &Ingester{Source: src, Out: q}
+	ing.SyncOnce()
+	for q.Len() > 0 {
+		q.TryDequeue()
+	}
+	src.pages = []Page{{ID: "a", HTML: pageA}}
+	n, _ := ing.SyncOnce()
+	if n != 1 {
+		t.Fatalf("deletion not detected: %d", n)
+	}
+	msg, _ := q.TryDequeue()
+	if msg.ID != "b" || !msg.Deleted {
+		t.Fatalf("deletion message = %+v", msg)
+	}
+	// A re-added page is re-published.
+	src.pages = []Page{{ID: "a", HTML: pageA}, {ID: "b", HTML: pageB}}
+	if n, _ := ing.SyncOnce(); n != 1 {
+		t.Fatalf("re-added page not republished: %d", n)
+	}
+}
+
+func TestRunPollsOnVirtualClock(t *testing.T) {
+	clk := vclock.NewVirtual(time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC))
+	q := queue.New[Extracted]()
+	src := &mutableSource{pages: []Page{{ID: "a", HTML: pageA}}}
+	ing := &Ingester{Source: src, Out: q, Clock: clk, PollInterval: 15 * time.Minute}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- ing.Run(ctx) }()
+
+	// First pass is immediate.
+	if msg, ok := q.Dequeue(); !ok || msg.ID != "a" {
+		t.Fatalf("first poll missing: %+v %v", msg, ok)
+	}
+	// Modify the page, advance 15 virtual minutes: second pass picks it up.
+	src.pages = []Page{{ID: "a", HTML: pageA + "v2"}}
+	for i := 0; clk.PendingWaiters() == 0 && i < 100; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	clk.Advance(15 * time.Minute)
+	if msg, ok := q.Dequeue(); !ok || msg.ID != "a" {
+		t.Fatalf("second poll missing: %+v %v", msg, ok)
+	}
+	cancel()
+	clk.Advance(15 * time.Minute) // release the timer wait
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not stop on cancel")
+	}
+}
+
+func TestDefaultPollInterval(t *testing.T) {
+	if DefaultPollInterval != 15*time.Minute {
+		t.Fatalf("DefaultPollInterval = %v, paper specifies 15 minutes", DefaultPollInterval)
+	}
+}

@@ -1,0 +1,111 @@
+package llm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Groundedness (§7): the paper evaluated the popular LLM-as-judge
+// groundedness metric — feed an LLM the question, the retrieved contexts
+// and the answer, ask for a coherence score — and found that it "failed to
+// return meaningful results in the large majority of cases", which is why
+// generation quality was assessed with real users instead. This file
+// reproduces both the metric and its failure mode.
+
+// BuildGroundednessPrompt asks the LLM to judge whether the answer is
+// grounded in the contexts, on a 1-5 scale.
+func BuildGroundednessPrompt(question, answer string, contexts []string) Request {
+	var b strings.Builder
+	b.WriteString(questionMarker + " " + question + "\n")
+	b.WriteString("RISPOSTA: " + answer + "\n")
+	b.WriteString(contextMarker + " [")
+	for i, c := range contexts {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "{\"key\":\"doc%d\",\"title\":\"\",\"content\":%q}", i+1, c)
+	}
+	b.WriteString("]")
+	return Request{Messages: []Message{
+		{Role: System, Content: "Valuta la groundedness della risposta rispetto al contesto fornito. Rispondi esclusivamente con PUNTEGGIO: N dove N è un intero da 1 a 5."},
+		{Role: User, Content: b.String()},
+	}}
+}
+
+// ParseGroundedness extracts the 1-5 score from a judge response. ok is
+// false when the response carries no usable score — the paper's
+// "non-meaningful result".
+func ParseGroundedness(response string) (score int, ok bool) {
+	idx := strings.Index(response, "PUNTEGGIO:")
+	if idx < 0 {
+		return 0, false
+	}
+	rest := strings.TrimSpace(response[idx+len("PUNTEGGIO:"):])
+	if rest == "" {
+		return 0, false
+	}
+	end := 0
+	for end < len(rest) && rest[end] >= '0' && rest[end] <= '9' {
+		end++
+	}
+	n, err := strconv.Atoi(rest[:end])
+	if err != nil || n < 1 || n > 5 {
+		return 0, false
+	}
+	return n, true
+}
+
+// groundednessJudge simulates the judge's behavior as the paper observed
+// it: when the answer is plainly extractive (high lexical overlap with the
+// context), the judge produces a clean score; for abstractive or partial
+// answers — the majority — it rambles, caveats, or answers in prose
+// without the requested format, yielding nothing parseable. The failure is
+// deterministic per input.
+func (s *SimLLM) groundednessJudge(req Request) string {
+	question, _ := parseQuestion(req)
+	chunks, _ := parseContext(req)
+	answer := ""
+	for _, m := range req.Messages {
+		if i := strings.Index(m.Content, "RISPOSTA:"); i >= 0 {
+			rest := m.Content[i+len("RISPOSTA:"):]
+			if j := strings.Index(rest, contextMarker); j >= 0 {
+				rest = rest[:j]
+			}
+			answer = strings.TrimSpace(rest)
+		}
+	}
+	if answer == "" || len(chunks) == 0 {
+		return "Non è possibile valutare la risposta senza un contesto adeguato."
+	}
+
+	aTerms := s.analyzer.AnalyzeUnique(answer)
+	best := 0.0
+	for _, ch := range chunks {
+		if ov := setOverlap(aTerms, s.analyzer.AnalyzeUnique(ch.Content)); ov > best {
+			best = ov
+		}
+	}
+	rng := s.rngFor("groundedness:" + question + answer)
+	// Format compliance is the judge's weak point (long Italian prompts,
+	// multi-document contexts): even for plainly extractive answers the
+	// model frequently drifts into prose instead of the requested
+	// "PUNTEGGIO: N" — the paper's dominant failure.
+	switch {
+	case best > 0.8 && rng.Float64() < 0.35:
+		// Plainly extractive and the judge stayed on format.
+		return "PUNTEGGIO: 5"
+	case best > 0.6 && rng.Float64() < 0.2:
+		return fmt.Sprintf("PUNTEGGIO: %d", 3+rng.Intn(2))
+	default:
+		// The common case the paper reports: the judge produces prose
+		// instead of the requested format.
+		failures := []string{
+			"La risposta sembra in parte coerente con il contesto, ma alcuni passaggi non trovano riscontro diretto; una valutazione numerica non renderebbe giustizia alle sfumature.",
+			"Come modello linguistico non posso determinare con certezza la correttezza fattuale della risposta rispetto al contesto fornito.",
+			"La valutazione dipende dall'interpretazione della domanda: se intesa in senso stretto il punteggio sarebbe diverso da quello in senso ampio.",
+			"Punteggio: la risposta appare ragionevole.",
+		}
+		return failures[rng.Intn(len(failures))]
+	}
+}

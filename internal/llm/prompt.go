@@ -1,0 +1,176 @@
+package llm
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// ContextChunk is one retrieved document fragment passed to the LLM as
+// grounding context, in the JSON shape the paper describes: a key
+// identifier, the title and the content of the chunk.
+type ContextChunk struct {
+	Key     string `json:"key"`
+	Title   string `json:"title"`
+	Content string `json:"content"`
+}
+
+// Prompt section markers. SimLLM locates the question and the context in
+// the prompt through these, the way a hosted model follows the same
+// instructions.
+const (
+	contextMarker  = "CONTESTO:"
+	questionMarker = "DOMANDA:"
+)
+
+// answerSystemPrompt is the task prompt of §5, reconstructed from the
+// paper's description: general background context, input-format
+// instructions, a sequence of recommendations, and deliberate repetition of
+// the citation requirements (the authors observed repetition helps the
+// model not to forget them).
+const answerSystemPrompt = `Sei un assistente virtuale per i dipendenti di una banca europea.
+Il tuo compito è rispondere alla domanda dell'utente basandoti esclusivamente sul contesto fornito, ovvero un elenco di documenti rilevanti recuperati da una base di conoscenza aziendale.
+
+FORMATO DELL'INPUT: il contesto è una lista JSON in cui ogni documento è un dizionario con i campi "key" (identificatore), "title" (titolo) e "content" (contenuto del frammento).
+
+RACCOMANDAZIONI PER UNA RISPOSTA VALIDA:
+1. Ogni frase della risposta deve citare i documenti del contesto usati come fonte, nel formato [key].
+2. Rispondi sempre in italiano.
+3. Se non puoi produrre una risposta chiaramente basata sul contesto fornito, rispondi che non conosci la risposta.
+4. Non inventare informazioni non presenti nel contesto.
+5. Includi sempre almeno una citazione nel formato [key].
+
+RICORDA: ogni risposta valida contiene almeno una citazione nel formato [key]. Le citazioni vanno scritte esattamente come [key], ad esempio [doc1].
+RICORDA ANCORA: una risposta senza citazioni nel formato [key] non è accettabile.`
+
+// BuildAnswerPrompt constructs the RAG answer-generation request for a
+// question and its top-m retrieved chunks.
+func BuildAnswerPrompt(question string, chunks []ContextChunk) Request {
+	ctxJSON, _ := json.Marshal(chunks)
+	user := fmt.Sprintf("%s %s\n\n%s %s", contextMarker, ctxJSON, questionMarker, question)
+	return Request{Messages: []Message{
+		{Role: System, Content: answerSystemPrompt},
+		{Role: User, Content: user},
+	}}
+}
+
+// BuildSummaryPrompt asks for a short summary of a document (used by the
+// indexing service to enrich chunk metadata).
+func BuildSummaryPrompt(title, text string) Request {
+	return Request{Messages: []Message{
+		{Role: System, Content: "Riassumi il seguente documento della base di conoscenza in una o due frasi in italiano."},
+		{Role: User, Content: "TITOLO: " + title + "\nTESTO: " + text},
+	}}
+}
+
+// BuildKeywordsPrompt asks for a keyword list (index enrichment, and the
+// HSS-KT / HSS-KTC experiments of Table 4).
+func BuildKeywordsPrompt(title, content string) Request {
+	text := title
+	if content != "" {
+		text += "\n" + content
+	}
+	return Request{Messages: []Message{
+		{Role: System, Content: "Estrai le parole chiave più rappresentative dal seguente testo, separate da virgola."},
+		{Role: User, Content: text},
+	}}
+}
+
+// BuildRelatedQueriesPrompt asks for n related queries (the MQ1/MQ2
+// query-expansion variants of Table 3).
+func BuildRelatedQueriesPrompt(question string, n int) Request {
+	return Request{Messages: []Message{
+		{Role: System, Content: fmt.Sprintf("Genera %d domande correlate alla domanda dell'utente, una per riga, in italiano.", n)},
+		{Role: User, Content: questionMarker + " " + question},
+	}}
+}
+
+// BuildDirectAnswerPrompt asks for an answer with no supporting context
+// (the QGA query-expansion variant of Table 3: the generated answer is
+// appended to the query before retrieval).
+func BuildDirectAnswerPrompt(question string) Request {
+	return Request{Messages: []Message{
+		{Role: System, Content: "Rispondi alla seguente domanda senza alcun contesto, usando le tue conoscenze generali. Rispondi in italiano."},
+		{Role: User, Content: questionMarker + " " + question},
+	}}
+}
+
+// promptText concatenates all message contents (for token accounting and
+// parsing).
+func promptText(req Request) string {
+	var b strings.Builder
+	for _, m := range req.Messages {
+		b.WriteString(m.Content)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// parseQuestion extracts the question following the question marker.
+func parseQuestion(req Request) (string, bool) {
+	for _, m := range req.Messages {
+		if i := strings.LastIndex(m.Content, questionMarker); i >= 0 {
+			return strings.TrimSpace(m.Content[i+len(questionMarker):]), true
+		}
+	}
+	return "", false
+}
+
+// parseContext extracts the JSON context chunks, if present.
+func parseContext(req Request) ([]ContextChunk, bool) {
+	for _, m := range req.Messages {
+		i := strings.Index(m.Content, contextMarker)
+		if i < 0 {
+			continue
+		}
+		rest := m.Content[i+len(contextMarker):]
+		start := strings.Index(rest, "[")
+		if start < 0 {
+			continue
+		}
+		dec := json.NewDecoder(strings.NewReader(rest[start:]))
+		var chunks []ContextChunk
+		if err := dec.Decode(&chunks); err != nil {
+			continue
+		}
+		return chunks, true
+	}
+	return nil, false
+}
+
+// taskOf classifies a request by its system prompt, mirroring how the real
+// deployment routes different prompt templates to the same model.
+type task int
+
+const (
+	taskUnknown task = iota
+	taskAnswer
+	taskSummary
+	taskKeywords
+	taskRelated
+	taskDirect
+	taskGroundedness
+)
+
+func taskOf(req Request) task {
+	for _, m := range req.Messages {
+		if m.Role != System {
+			continue
+		}
+		switch {
+		case strings.Contains(m.Content, "assistente virtuale per i dipendenti"):
+			return taskAnswer
+		case strings.HasPrefix(m.Content, "Riassumi il seguente documento"):
+			return taskSummary
+		case strings.HasPrefix(m.Content, "Estrai le parole chiave"):
+			return taskKeywords
+		case strings.HasPrefix(m.Content, "Genera "):
+			return taskRelated
+		case strings.HasPrefix(m.Content, "Rispondi alla seguente domanda senza alcun contesto"):
+			return taskDirect
+		case strings.HasPrefix(m.Content, "Valuta la groundedness"):
+			return taskGroundedness
+		}
+	}
+	return taskUnknown
+}

@@ -1,0 +1,111 @@
+// Package monitor implements UniAsk's health/usage monitoring (§9, Figure
+// 3): a thread-safe metrics registry the services write into, and a
+// dashboard snapshot reporting the number of users, feedbacks, average
+// response time, failed requests and triggered guardrails.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Metrics is the registry the microservices record events into.
+type Metrics struct {
+	mu                sync.Mutex
+	users             map[string]bool
+	queries           int
+	failures          int
+	guardrails        map[string]int
+	feedbacks         int
+	positiveFeedbacks int
+	totalLatency      time.Duration
+}
+
+// New returns an empty registry.
+func New() *Metrics {
+	return &Metrics{users: make(map[string]bool), guardrails: make(map[string]int)}
+}
+
+// RecordQuery logs one user query: who asked, how long the request took,
+// which guardrail (if any) fired, and whether the request failed outright.
+func (m *Metrics) RecordQuery(user string, latency time.Duration, guardrail string, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.users[user] = true
+	m.queries++
+	m.totalLatency += latency
+	if failed {
+		m.failures++
+	}
+	if guardrail != "" && guardrail != "none" {
+		m.guardrails[guardrail]++
+	}
+}
+
+// RecordFeedback logs one feedback submission.
+func (m *Metrics) RecordFeedback(positive bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.feedbacks++
+	if positive {
+		m.positiveFeedbacks++
+	}
+}
+
+// Dashboard is a point-in-time snapshot (the Figure 3 page).
+type Dashboard struct {
+	Users               int
+	Queries             int
+	Feedbacks           int
+	PositiveFeedbacks   int
+	AvgResponse         time.Duration
+	FailedRequests      int
+	GuardrailsTriggered int
+	PerGuardrail        map[string]int
+}
+
+// Snapshot reads the current dashboard.
+func (m *Metrics) Snapshot() Dashboard {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := Dashboard{
+		Users:             len(m.users),
+		Queries:           m.queries,
+		Feedbacks:         m.feedbacks,
+		PositiveFeedbacks: m.positiveFeedbacks,
+		FailedRequests:    m.failures,
+		PerGuardrail:      make(map[string]int, len(m.guardrails)),
+	}
+	for k, v := range m.guardrails {
+		d.PerGuardrail[k] = v
+		d.GuardrailsTriggered += v
+	}
+	if m.queries > 0 {
+		d.AvgResponse = m.totalLatency / time.Duration(m.queries)
+	}
+	return d
+}
+
+// String renders the dashboard page.
+func (d Dashboard) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: Monitoring dashboard\n")
+	fmt.Fprintf(&b, "  users:                 %d\n", d.Users)
+	fmt.Fprintf(&b, "  queries:               %d\n", d.Queries)
+	fmt.Fprintf(&b, "  feedbacks:             %d (%d positive)\n", d.Feedbacks, d.PositiveFeedbacks)
+	fmt.Fprintf(&b, "  avg response time:     %v\n", d.AvgResponse.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  failed requests:       %d\n", d.FailedRequests)
+	fmt.Fprintf(&b, "  guardrails triggered:  %d\n", d.GuardrailsTriggered)
+	keys := make([]string, 0, len(d.PerGuardrail))
+	for k := range d.PerGuardrail {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "    %-20s %d\n", k+":", d.PerGuardrail[k])
+	}
+	return b.String()
+}

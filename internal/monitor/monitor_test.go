@@ -1,0 +1,85 @@
+package monitor
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSnapshotBasics(t *testing.T) {
+	m := New()
+	m.RecordQuery("alice", 100*time.Millisecond, "none", false)
+	m.RecordQuery("bob", 300*time.Millisecond, "citation", false)
+	m.RecordQuery("alice", 200*time.Millisecond, "", true)
+	m.RecordFeedback(true)
+	m.RecordFeedback(false)
+
+	d := m.Snapshot()
+	if d.Users != 2 {
+		t.Fatalf("users = %d", d.Users)
+	}
+	if d.Queries != 3 {
+		t.Fatalf("queries = %d", d.Queries)
+	}
+	if d.FailedRequests != 1 {
+		t.Fatalf("failed = %d", d.FailedRequests)
+	}
+	if d.GuardrailsTriggered != 1 || d.PerGuardrail["citation"] != 1 {
+		t.Fatalf("guardrails = %+v", d.PerGuardrail)
+	}
+	if d.Feedbacks != 2 || d.PositiveFeedbacks != 1 {
+		t.Fatalf("feedbacks = %d/%d", d.Feedbacks, d.PositiveFeedbacks)
+	}
+	if d.AvgResponse != 200*time.Millisecond {
+		t.Fatalf("avg response = %v", d.AvgResponse)
+	}
+}
+
+func TestNoneGuardrailNotCounted(t *testing.T) {
+	m := New()
+	m.RecordQuery("u", time.Millisecond, "none", false)
+	m.RecordQuery("u", time.Millisecond, "", false)
+	if d := m.Snapshot(); d.GuardrailsTriggered != 0 {
+		t.Fatalf("guardrails = %d", d.GuardrailsTriggered)
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	d := New().Snapshot()
+	if d.Users != 0 || d.Queries != 0 || d.AvgResponse != 0 {
+		t.Fatalf("empty snapshot = %+v", d)
+	}
+}
+
+func TestDashboardString(t *testing.T) {
+	m := New()
+	m.RecordQuery("u", 50*time.Millisecond, "rouge", false)
+	m.RecordFeedback(true)
+	out := m.Snapshot().String()
+	for _, want := range []string{"Figure 3", "users", "rouge", "feedbacks", "avg response"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dashboard missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	m := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				m.RecordQuery("user", time.Millisecond, "none", false)
+				m.RecordFeedback(j%2 == 0)
+			}
+		}(i)
+	}
+	wg.Wait()
+	d := m.Snapshot()
+	if d.Queries != 800 || d.Feedbacks != 800 {
+		t.Fatalf("lost events: %d queries, %d feedbacks", d.Queries, d.Feedbacks)
+	}
+}

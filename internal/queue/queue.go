@@ -1,0 +1,100 @@
+// Package queue provides the in-memory message queue that connects the
+// ingestion service to the indexing service, substituting for the cloud
+// message-queue resource in the deployment architecture (§3): the ingester
+// posts one message per new or modified document, and the indexer consumes
+// them through an event-based trigger.
+package queue
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned when publishing to a closed queue.
+var ErrClosed = errors.New("queue: closed")
+
+// Queue is an unbounded FIFO message queue safe for concurrent use.
+type Queue[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []T
+	closed bool
+
+	published int64
+	consumed  int64
+}
+
+// New creates an empty queue.
+func New[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Publish appends a message.
+func (q *Queue[T]) Publish(item T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	q.items = append(q.items, item)
+	q.published++
+	q.cond.Signal()
+	return nil
+}
+
+// Dequeue removes and returns the oldest message, blocking until one is
+// available or the queue is closed. The second return is false when the
+// queue has been closed and drained.
+func (q *Queue[T]) Dequeue() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	item := q.items[0]
+	q.items = q.items[1:]
+	q.consumed++
+	return item, true
+}
+
+// TryDequeue removes the oldest message without blocking.
+func (q *Queue[T]) TryDequeue() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	item := q.items[0]
+	q.items = q.items[1:]
+	q.consumed++
+	return item, true
+}
+
+// Close marks the queue closed; pending messages can still be drained.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// Len reports the number of pending messages.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Stats reports lifetime published/consumed counters.
+func (q *Queue[T]) Stats() (published, consumed int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.published, q.consumed
+}

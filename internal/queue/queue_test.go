@@ -1,0 +1,149 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	q := New[int]()
+	for i := 0; i < 10; i++ {
+		if err := q.Publish(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue = %d,%v want %d", v, ok, i)
+		}
+	}
+}
+
+func TestTryDequeueEmpty(t *testing.T) {
+	q := New[string]()
+	if _, ok := q.TryDequeue(); ok {
+		t.Fatal("TryDequeue on empty returned ok")
+	}
+	q.Publish("x")
+	if v, ok := q.TryDequeue(); !ok || v != "x" {
+		t.Fatalf("TryDequeue = %q,%v", v, ok)
+	}
+}
+
+func TestDequeueBlocksUntilPublish(t *testing.T) {
+	q := New[int]()
+	got := make(chan int, 1)
+	go func() {
+		v, _ := q.Dequeue()
+		got <- v
+	}()
+	select {
+	case <-got:
+		t.Fatal("Dequeue returned before publish")
+	case <-time.After(20 * time.Millisecond):
+	}
+	q.Publish(42)
+	select {
+	case v := <-got:
+		if v != 42 {
+			t.Fatalf("got %d", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Dequeue never returned")
+	}
+}
+
+func TestCloseDrains(t *testing.T) {
+	q := New[int]()
+	q.Publish(1)
+	q.Close()
+	if err := q.Publish(2); err != ErrClosed {
+		t.Fatalf("Publish after close: %v", err)
+	}
+	if v, ok := q.Dequeue(); !ok || v != 1 {
+		t.Fatalf("pending message lost: %d,%v", v, ok)
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("Dequeue on closed+empty returned ok")
+	}
+}
+
+func TestCloseUnblocksWaiters(t *testing.T) {
+	q := New[int]()
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.Dequeue()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("waiter got a message from empty closed queue")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter not unblocked by Close")
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	q := New[int]()
+	const producers, perProducer = 4, 250
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Publish(base + i)
+			}
+		}(p * perProducer)
+	}
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	var cwg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				v, ok := q.Dequeue()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	cwg.Wait()
+	if len(seen) != producers*perProducer {
+		t.Fatalf("consumed %d distinct messages, want %d", len(seen), producers*perProducer)
+	}
+	pub, cons := q.Stats()
+	if pub != producers*perProducer || cons != pub {
+		t.Fatalf("stats = %d/%d", pub, cons)
+	}
+}
+
+func TestLen(t *testing.T) {
+	q := New[int]()
+	if q.Len() != 0 {
+		t.Fatal("new queue not empty")
+	}
+	q.Publish(1)
+	q.Publish(2)
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	q.TryDequeue()
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}

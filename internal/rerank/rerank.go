@@ -1,0 +1,117 @@
+// Package rerank implements the semantic reranking stage of Hybrid Search
+// with Semantic reranking (HSS). The production system uses a proprietary
+// multi-lingual deep model from Bing / Microsoft Research (multi-task
+// learning, Liu et al. 2019) that re-scores the fused top results; its
+// final relevance score is added to the RRF score.
+//
+// The substitute here is a deterministic cross-scorer with the same signal
+// structure a cross-encoder learns for this task: semantic affinity between
+// query and chunk (embedding cosine), lexical evidence (normalized term
+// overlap), and title affinity, combined through a calibrated logistic so
+// the output lives in (0, 1) like a relevance probability.
+package rerank
+
+import (
+	"math"
+	"strings"
+
+	"uniask/internal/textproc"
+	"uniask/internal/vector"
+)
+
+// Input is one candidate to re-score.
+type Input struct {
+	// ID identifies the chunk.
+	ID string
+	// Title and Content are the chunk's retrievable text fields.
+	Title   string
+	Content string
+	// ContentVector is the chunk's content embedding (may be nil; the
+	// semantic component is then skipped).
+	ContentVector vector.Vector
+}
+
+// Scored is a reranked candidate.
+type Scored struct {
+	ID string
+	// Score is the semantic relevance score in (0, 1).
+	Score float64
+}
+
+// Reranker is the simulated cross-encoder.
+type Reranker struct {
+	// Weights of the three evidence channels and the bias, pre-calibrated
+	// so that a strongly matching chunk scores ≈0.9 and an unrelated one
+	// ≈0.1.
+	WSemantic float64
+	WLexical  float64
+	WTitle    float64
+	Bias      float64
+
+	analyzer *textproc.Analyzer
+}
+
+// New returns a reranker with the default calibration.
+func New() *Reranker {
+	return &Reranker{
+		WSemantic: 4.0,
+		WLexical:  3.0,
+		WTitle:    1.5,
+		Bias:      -3.0,
+		analyzer:  textproc.ItalianFull(),
+	}
+}
+
+// Score re-scores a single candidate against the query (and its embedding,
+// which may be nil).
+func (r *Reranker) Score(query string, qvec vector.Vector, in Input) float64 {
+	qTerms := r.analyzer.AnalyzeUnique(query)
+
+	sem := 0.0
+	if qvec != nil && in.ContentVector != nil {
+		sem = float64(vector.Cosine(qvec, in.ContentVector))
+		if sem < 0 {
+			sem = 0
+		}
+	}
+	lex := overlap(qTerms, r.analyzer.AnalyzeUnique(in.Content))
+	title := overlap(qTerms, r.analyzer.AnalyzeUnique(in.Title))
+
+	z := r.WSemantic*sem + r.WLexical*lex + r.WTitle*title + r.Bias
+	return 1 / (1 + math.Exp(-z))
+}
+
+// Rerank scores every candidate; it does not reorder — UniAsk adds the
+// semantic score to the RRF score, so combination happens in the caller.
+func (r *Reranker) Rerank(query string, qvec vector.Vector, ins []Input) []Scored {
+	out := make([]Scored, len(ins))
+	for i, in := range ins {
+		out[i] = Scored{ID: in.ID, Score: r.Score(query, qvec, in)}
+	}
+	return out
+}
+
+// identifierWeight up-weights identifier-like query terms (error codes,
+// procedure codes): a cross-encoder attends very strongly to an exact match
+// on a rare identifier.
+const identifierWeight = 3.0
+
+// overlap is the weighted fraction of query terms present in the document
+// term set.
+func overlap(q, d map[string]struct{}) float64 {
+	if len(q) == 0 {
+		return 0
+	}
+	var n, total float64
+	for t := range q {
+		w := 1.0
+		if strings.ContainsAny(t, "0123456789") {
+			w = identifierWeight
+		}
+		total += w
+		if _, ok := d[t]; ok {
+			n += w
+		}
+	}
+	return n / total
+}

@@ -1,0 +1,346 @@
+// Package search implements UniAsk's retrieval module (§4): Hybrid Search
+// with Semantic reranking (HSS). Full-text BM25 retrieves the top n
+// documents, vector search retrieves the top K nearest chunks for each
+// vector field, Reciprocal Rank Fusion merges the rankings, and the final
+// relevance score adds a semantic-reranker score to the RRF score.
+//
+// The package also implements every retrieval variant the paper ablates in
+// Tables 2-4: text-only and vector-only modes, the QGA/MQ1/MQ2 query
+// expansions, multiplicative title boosting (T5/T50/T500), and searching
+// over the LLM-keyword enrichment fields (HSS-KT/HSS-KTC).
+package search
+
+import (
+	"context"
+	"fmt"
+
+	"uniask/internal/embedding"
+	"uniask/internal/fusion"
+	"uniask/internal/index"
+	"uniask/internal/llm"
+	"uniask/internal/rerank"
+	"uniask/internal/vector"
+)
+
+// Mode selects which retrieval components run.
+type Mode int
+
+// Retrieval modes.
+const (
+	// Hybrid runs text + vector search fused with RRF (the deployed mode).
+	Hybrid Mode = iota
+	// TextOnly runs BM25 full-text search alone (Table 2 ablation).
+	TextOnly
+	// VectorOnly runs ANN vector search alone (Table 2 ablation).
+	VectorOnly
+)
+
+// Expansion selects a query-expansion strategy (Table 3).
+type Expansion int
+
+// Query-expansion strategies.
+const (
+	// NoExpansion is the deployed configuration.
+	NoExpansion Expansion = iota
+	// QGA asks the LLM for a context-free answer and retrieves with the
+	// query expanded by that answer.
+	QGA
+	// MQ1 asks the LLM for related queries and fuses one hybrid search per
+	// query.
+	MQ1
+	// MQ2 asks the LLM for related queries, then runs one hybrid search on
+	// the text concatenation and the averaged embedding of all queries.
+	MQ2
+)
+
+// Options configures a search call. The zero value gives the deployed HSS
+// configuration of §7.
+type Options struct {
+	// TextN is the full-text result count (default 50).
+	TextN int
+	// VectorK is the ANN neighbor count per vector field (default 15; the
+	// paper swept K over {3,...,50} and picked 15).
+	VectorK int
+	// FinalN is the fused ranking length (default 50).
+	FinalN int
+	// RRFC is the RRF constant (default 60).
+	RRFC int
+	// Mode selects hybrid/text/vector retrieval.
+	Mode Mode
+	// DisableSemanticRerank turns the reranker off (plain hybrid search).
+	DisableSemanticRerank bool
+	// TitleBoost multiplies the BM25 weight of title matches (0 or 1 =
+	// no boost; the paper tried 5, 50, 500).
+	TitleBoost float64
+	// Expansion selects a query-expansion variant.
+	Expansion Expansion
+	// RelatedQueries is how many related queries MQ1/MQ2 request (default 3).
+	RelatedQueries int
+	// SearchKeywordsField includes the LLM-keyword enrichment field among
+	// the searchable text fields (HSS-KT / HSS-KTC; the field must exist in
+	// the index schema).
+	SearchKeywordsField string
+	// Filters restrict results by exact match on filterable fields.
+	Filters []index.Filter
+}
+
+func (o Options) withDefaults() Options {
+	if o.TextN <= 0 {
+		o.TextN = 50
+	}
+	if o.VectorK <= 0 {
+		o.VectorK = 15
+	}
+	if o.FinalN <= 0 {
+		o.FinalN = 50
+	}
+	if o.RRFC <= 0 {
+		o.RRFC = fusion.DefaultC
+	}
+	if o.RelatedQueries <= 0 {
+		o.RelatedQueries = 3
+	}
+	return o
+}
+
+// Result is one retrieved chunk.
+type Result struct {
+	// ChunkID is the index chunk identifier.
+	ChunkID string
+	// ParentID is the KB document the chunk belongs to.
+	ParentID string
+	// Title, Content and Summary are the retrievable fields.
+	Title   string
+	Content string
+	Summary string
+	// Score is the final relevance score (RRF + semantic rerank for HSS).
+	Score float64
+}
+
+// Searcher executes queries against an index.
+type Searcher struct {
+	// Index is the chunk index to search.
+	Index *index.Index
+	// Embedder produces query embeddings for vector search.
+	Embedder embedding.Embedder
+	// Reranker is the semantic reranking model (nil disables reranking).
+	Reranker *rerank.Reranker
+	// LLM serves the query-expansion prompts (required only when an
+	// Expansion is requested).
+	LLM llm.Client
+}
+
+// Search retrieves the chunks most relevant to query.
+func (s *Searcher) Search(ctx context.Context, query string, opts Options) ([]Result, error) {
+	opts = opts.withDefaults()
+
+	switch opts.Expansion {
+	case QGA:
+		return s.searchQGA(ctx, query, opts)
+	case MQ1:
+		return s.searchMQ1(ctx, query, opts)
+	case MQ2:
+		return s.searchMQ2(ctx, query, opts)
+	}
+	qvec := s.Embedder.Embed(query)
+	return s.searchOnce(query, qvec, opts), nil
+}
+
+// searchOnce runs one text+vector+RRF+rerank pass with the given query text
+// and query vector.
+func (s *Searcher) searchOnce(query string, qvec vector.Vector, opts Options) []Result {
+	rankings := s.componentRankings(query, qvec, opts)
+	fused := fusion.RRF(rankings, opts.RRFC)
+	if len(fused) > opts.FinalN {
+		fused = fused[:opts.FinalN]
+	}
+	return s.finalize(query, qvec, fused, opts)
+}
+
+// componentRankings produces the per-component rankings RRF merges: one
+// from full-text search and one per vector field.
+func (s *Searcher) componentRankings(query string, qvec vector.Vector, opts Options) []fusion.Ranking {
+	var rankings []fusion.Ranking
+	if opts.Mode != VectorOnly {
+		textOpts := index.TextOptions{Filters: opts.Filters}
+		textOpts.Fields = []string{"title", "content"}
+		if opts.SearchKeywordsField != "" {
+			textOpts.Fields = append(textOpts.Fields, opts.SearchKeywordsField)
+		}
+		if opts.TitleBoost > 1 {
+			textOpts.FieldWeights = map[string]float64{"title": opts.TitleBoost}
+		}
+		hits := s.Index.SearchText(query, opts.TextN, textOpts)
+		rankings = append(rankings, hitsToRanking(hits))
+	}
+	if opts.Mode != TextOnly {
+		for _, field := range s.Index.VectorFields() {
+			hits := s.Index.SearchVector(field, qvec, opts.VectorK, opts.Filters)
+			rankings = append(rankings, hitsToRanking(hits))
+		}
+	}
+	return rankings
+}
+
+// finalize materializes results and applies semantic reranking: the final
+// score is the RRF score plus the reranker score, re-sorted.
+func (s *Searcher) finalize(query string, qvec vector.Vector, fused []fusion.Fused, opts Options) []Result {
+	results := make([]Result, 0, len(fused))
+	for _, f := range fused {
+		doc, ok := s.Index.DocByID(f.ID)
+		if !ok {
+			continue
+		}
+		results = append(results, Result{
+			ChunkID:  doc.ID,
+			ParentID: doc.ParentID,
+			Title:    doc.Fields["title"],
+			Content:  doc.Fields["content"],
+			Summary:  doc.Fields["summary"],
+			Score:    f.Score,
+		})
+	}
+	if s.Reranker == nil || opts.DisableSemanticRerank {
+		return results
+	}
+	for i := range results {
+		doc, _ := s.Index.DocByID(results[i].ChunkID)
+		in := rerank.Input{
+			ID:            results[i].ChunkID,
+			Title:         results[i].Title,
+			Content:       results[i].Content,
+			ContentVector: doc.Vectors["contentVector"],
+		}
+		results[i].Score += s.Reranker.Score(query, qvec, in)
+	}
+	sortResults(results)
+	return results
+}
+
+// searchQGA expands the query with a context-free LLM answer.
+func (s *Searcher) searchQGA(ctx context.Context, query string, opts Options) ([]Result, error) {
+	resp, err := s.LLM.Complete(ctx, llm.BuildDirectAnswerPrompt(query))
+	if err != nil {
+		return nil, fmt.Errorf("search: QGA expansion: %w", err)
+	}
+	expanded := query + " " + resp.Content
+	qvec := s.Embedder.Embed(expanded)
+	opts.Expansion = NoExpansion
+	return s.searchOnce(expanded, qvec, opts), nil
+}
+
+// searchMQ1 fuses one hybrid search per generated related query (plus the
+// original).
+func (s *Searcher) searchMQ1(ctx context.Context, query string, opts Options) ([]Result, error) {
+	queries, err := s.relatedQueries(ctx, query, opts.RelatedQueries)
+	if err != nil {
+		return nil, err
+	}
+	queries = append([]string{query}, queries...)
+	var rankings []fusion.Ranking
+	for _, q := range queries {
+		rankings = append(rankings, s.componentRankings(q, s.Embedder.Embed(q), opts)...)
+	}
+	fused := fusion.RRF(rankings, opts.RRFC)
+	if len(fused) > opts.FinalN {
+		fused = fused[:opts.FinalN]
+	}
+	return s.finalize(query, s.Embedder.Embed(query), fused, opts), nil
+}
+
+// searchMQ2 runs a single hybrid search over the concatenated text and the
+// averaged embedding of all queries.
+func (s *Searcher) searchMQ2(ctx context.Context, query string, opts Options) ([]Result, error) {
+	queries, err := s.relatedQueries(ctx, query, opts.RelatedQueries)
+	if err != nil {
+		return nil, err
+	}
+	queries = append([]string{query}, queries...)
+	concat := ""
+	vecs := make([]vector.Vector, 0, len(queries))
+	for _, q := range queries {
+		if concat != "" {
+			concat += " "
+		}
+		concat += q
+		vecs = append(vecs, s.Embedder.Embed(q))
+	}
+	qvec := embedding.Mean(vecs, s.Embedder.Dim())
+	opts.Expansion = NoExpansion
+	return s.searchOnce(concat, qvec, opts), nil
+}
+
+func (s *Searcher) relatedQueries(ctx context.Context, query string, n int) ([]string, error) {
+	resp, err := s.LLM.Complete(ctx, llm.BuildRelatedQueriesPrompt(query, n))
+	if err != nil {
+		return nil, fmt.Errorf("search: related-query expansion: %w", err)
+	}
+	var out []string
+	for _, line := range splitLines(resp.Content) {
+		if line != "" {
+			out = append(out, line)
+		}
+	}
+	return out, nil
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '\n' {
+			line := trimSpace(s[start:i])
+			out = append(out, line)
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func trimSpace(s string) string {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t' || s[0] == '\r') {
+		s = s[1:]
+	}
+	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t' || s[len(s)-1] == '\r') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+func hitsToRanking(hits []index.Hit) fusion.Ranking {
+	r := make(fusion.Ranking, len(hits))
+	for i, h := range hits {
+		r[i] = h.ID
+	}
+	return r
+}
+
+func sortResults(rs []Result) {
+	// Insertion sort is fine for <= 50 results and keeps determinism with
+	// explicit tie-breaking by chunk id.
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0; j-- {
+			if rs[j-1].Score > rs[j].Score ||
+				(rs[j-1].Score == rs[j].Score && rs[j-1].ChunkID <= rs[j].ChunkID) {
+				break
+			}
+			rs[j-1], rs[j] = rs[j], rs[j-1]
+		}
+	}
+}
+
+// ParentRanking collapses a chunk ranking into a KB-document ranking,
+// keeping each parent's best-ranked occurrence — the document list shown to
+// the user and evaluated against the ground truth.
+func ParentRanking(results []Result) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range results {
+		if seen[r.ParentID] {
+			continue
+		}
+		seen[r.ParentID] = true
+		out = append(out, r.ParentID)
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package server
+
+import "net/http"
+
+// The FrontEnd service (§3) "exposes a search box to query the engine and a
+// feedback form where the user can provide information about the answer
+// quality". This file serves that interface: a single self-contained page
+// talking to the JSON API. In production it is a separate microservice; the
+// reproduction mounts it on the same server at "/".
+
+const frontendHTML = `<!DOCTYPE html>
+<html lang="it">
+<head>
+<meta charset="utf-8">
+<title>UniAsk</title>
+<style>
+  body { font-family: system-ui, sans-serif; max-width: 780px; margin: 2rem auto; padding: 0 1rem; color: #1c2733; }
+  h1 { font-size: 1.5rem; } h1 span { color: #b00; }
+  .box { display: flex; gap: .5rem; margin: 1rem 0; }
+  input[type=text] { flex: 1; padding: .6rem; font-size: 1rem; border: 1px solid #aaa; border-radius: 6px; }
+  button { padding: .6rem 1.2rem; border: 0; border-radius: 6px; background: #1c2733; color: #fff; cursor: pointer; }
+  #answer { background: #f4f6f8; border-radius: 8px; padding: 1rem; margin: 1rem 0; white-space: pre-wrap; }
+  #answer.blocked { background: #fdf1f1; }
+  .doc { border-bottom: 1px solid #e3e7ea; padding: .5rem 0; }
+  .doc b { display: block; } .doc small { color: #5a6a78; }
+  #feedback { border: 1px solid #e3e7ea; border-radius: 8px; padding: 1rem; margin-top: 1.5rem; }
+  #feedback label { display: block; margin: .4rem 0; }
+  .muted { color: #5a6a78; font-size: .9rem; }
+</style>
+</head>
+<body>
+<h1>Uni<span>Ask</span> <small class="muted">ricerca assistita della base di conoscenza</small></h1>
+<div class="box">
+  <input type="text" id="q" placeholder="Fai una domanda in italiano…" autofocus>
+  <button onclick="ask()">Cerca</button>
+</div>
+<div id="answer" hidden></div>
+<div id="docs"></div>
+<div id="feedback" hidden>
+  <b>La risposta è stata utile?</b>
+  <label><input type="radio" name="helpful" value="true"> Sì</label>
+  <label><input type="radio" name="helpful" value="false"> No</label>
+  <label>Voto (1-5): <input type="number" id="rating" min="1" max="5" value="4"></label>
+  <label>Link al documento corretto: <input type="text" id="links" placeholder="kb00042"></label>
+  <label>Commenti: <input type="text" id="comments"></label>
+  <button onclick="sendFeedback()">Invia feedback</button>
+  <span id="fbstate" class="muted"></span>
+</div>
+<script>
+let token = null, lastQuery = "";
+async function login() {
+  const r = await fetch("/api/login", {method: "POST", body: JSON.stringify({user: "web-user"})});
+  token = (await r.json()).token;
+}
+async function ask() {
+  if (!token) await login();
+  lastQuery = document.getElementById("q").value;
+  const r = await fetch("/api/ask", {
+    method: "POST",
+    headers: {Authorization: "Bearer " + token},
+    body: JSON.stringify({question: lastQuery}),
+  });
+  const data = await r.json();
+  const a = document.getElementById("answer");
+  a.hidden = false;
+  a.textContent = data.answer;
+  a.className = data.answerValid ? "" : "blocked";
+  const docs = document.getElementById("docs");
+  docs.innerHTML = "";
+  for (const d of data.documents || []) {
+    const div = document.createElement("div");
+    div.className = "doc";
+    div.innerHTML = "<b></b><small></small>";
+    div.querySelector("b").textContent = d.title;
+    div.querySelector("small").textContent = d.parent + " — " + d.snippet;
+    docs.appendChild(div);
+  }
+  document.getElementById("feedback").hidden = false;
+}
+async function sendFeedback() {
+  const helpful = document.querySelector('input[name=helpful]:checked');
+  const links = document.getElementById("links").value;
+  await fetch("/api/feedback", {
+    method: "POST",
+    headers: {Authorization: "Bearer " + token},
+    body: JSON.stringify({
+      query: lastQuery,
+      helpful: helpful ? helpful.value === "true" : false,
+      relevantDocs: true,
+      rating: parseInt(document.getElementById("rating").value, 10),
+      links: links ? links.split(",").map(s => s.trim()) : [],
+      comments: document.getElementById("comments").value,
+    }),
+  });
+  document.getElementById("fbstate").textContent = "grazie!";
+}
+document.getElementById("q").addEventListener("keydown", e => { if (e.key === "Enter") ask(); });
+</script>
+</body>
+</html>`
+
+// handleFrontend serves the search page.
+func (s *Server) handleFrontend(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write([]byte(frontendHTML))
+}

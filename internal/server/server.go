@@ -1,0 +1,324 @@
+// Package server implements UniAsk's BackEnd service (§3): a REST layer
+// with login, search/ask and feedback endpoints, a feedback store that
+// collects the granular feedback form of §8, and monitoring hooks feeding
+// the Figure-3 dashboard. The production deployment runs this as a
+// Kubernetes microservice behind a separate FrontEnd; here both are one
+// net/http server (the FrontEnd's search box and feedback modal are the
+// JSON API's clients).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"uniask/internal/core"
+	"uniask/internal/eventlog"
+	"uniask/internal/monitor"
+)
+
+// Feedback is one granular feedback submission, mirroring the §8 pop-up
+// modal fields.
+type Feedback struct {
+	// User is the session user that submitted the feedback.
+	User string `json:"user"`
+	// Query is the question the feedback refers to.
+	Query string `json:"query"`
+	// Helpful answers "Was the answer helpful?".
+	Helpful bool `json:"helpful"`
+	// RelevantDocs answers "Did the system retrieve relevant documents?".
+	RelevantDocs bool `json:"relevantDocs"`
+	// Rating is the 1-5 experience score (1-2 negative, 3-5 positive).
+	Rating int `json:"rating"`
+	// Links lets the user point at the documents holding the right answer.
+	Links []string `json:"links,omitempty"`
+	// Comments is the free-text field.
+	Comments string `json:"comments,omitempty"`
+	// At is the submission time.
+	At time.Time `json:"at"`
+}
+
+// Positive reports whether the rating counts as positive (3-5 per §8).
+func (f Feedback) Positive() bool { return f.Rating >= 3 }
+
+// FeedbackStore accumulates feedback submissions.
+type FeedbackStore struct {
+	mu    sync.Mutex
+	items []Feedback
+}
+
+// Add validates and stores a feedback entry.
+func (s *FeedbackStore) Add(f Feedback) error {
+	if f.Rating < 1 || f.Rating > 5 {
+		return fmt.Errorf("server: rating %d out of range 1-5", f.Rating)
+	}
+	if f.User == "" {
+		return errors.New("server: feedback requires a user")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items = append(s.items, f)
+	return nil
+}
+
+// All returns a copy of the stored feedback.
+func (s *FeedbackStore) All() []Feedback {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Feedback, len(s.items))
+	copy(out, s.items)
+	return out
+}
+
+// Server is the REST backend.
+type Server struct {
+	Engine   *core.Engine
+	Metrics  *monitor.Metrics
+	Feedback *FeedbackStore
+	// Log is the structured service log the §9 dashboard queries.
+	Log *eventlog.Log
+
+	mu       sync.Mutex
+	sessions map[string]string // token -> user
+	seq      int
+}
+
+// New creates a server over an engine.
+func New(engine *core.Engine) *Server {
+	return &Server{
+		Engine:   engine,
+		Metrics:  monitor.New(),
+		Feedback: &FeedbackStore{},
+		Log:      eventlog.New(),
+		sessions: make(map[string]string),
+	}
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/login", s.handleLogin)
+	mux.HandleFunc("POST /api/ask", s.handleAsk)
+	mux.HandleFunc("GET /api/search", s.handleSearch)
+	mux.HandleFunc("POST /api/feedback", s.handleFeedback)
+	mux.HandleFunc("GET /api/dashboard", s.handleDashboard)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /", s.handleFrontend)
+	return mux
+}
+
+// loginRequest is the login payload. The production system delegates to the
+// corporate identity provider; the reproduction accepts any non-empty
+// employee id and issues a bearer token.
+type loginRequest struct {
+	User string `json:"user"`
+}
+
+type loginResponse struct {
+	Token string `json:"token"`
+}
+
+func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
+	var req loginRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || strings.TrimSpace(req.User) == "" {
+		httpError(w, http.StatusBadRequest, "user required")
+		return
+	}
+	s.mu.Lock()
+	s.seq++
+	token := fmt.Sprintf("tok-%s-%06d", req.User, s.seq)
+	s.sessions[token] = req.User
+	s.mu.Unlock()
+	writeJSON(w, loginResponse{Token: token})
+}
+
+// auth resolves the bearer token to a user ("" when unauthenticated).
+func (s *Server) auth(r *http.Request) string {
+	h := r.Header.Get("Authorization")
+	token := strings.TrimPrefix(h, "Bearer ")
+	if token == h {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[token]
+}
+
+// askRequest is the question payload.
+type askRequest struct {
+	Question string `json:"question"`
+}
+
+// askResponse mirrors what the FrontEnd renders: the answer (or apology),
+// its validity, the guardrail outcome and the document list.
+type askResponse struct {
+	Answer      string        `json:"answer"`
+	AnswerValid bool          `json:"answerValid"`
+	Guardrail   string        `json:"guardrail"`
+	Citations   []string      `json:"citations,omitempty"`
+	Documents   []docResponse `json:"documents"`
+}
+
+type docResponse struct {
+	ID      string  `json:"id"`
+	Parent  string  `json:"parent"`
+	Title   string  `json:"title"`
+	Snippet string  `json:"snippet"`
+	Score   float64 `json:"score"`
+}
+
+func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	user := s.auth(r)
+	if user == "" {
+		httpError(w, http.StatusUnauthorized, "login required")
+		return
+	}
+	var req askRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || strings.TrimSpace(req.Question) == "" {
+		httpError(w, http.StatusBadRequest, "question required")
+		return
+	}
+	start := time.Now()
+	resp, err := s.Engine.Ask(r.Context(), req.Question)
+	latency := time.Since(start)
+	if err != nil {
+		s.Metrics.RecordQuery(user, latency, "", true)
+		s.Log.Append(eventlog.Event{At: time.Now(), Service: "backend", Type: "error", User: user})
+		httpError(w, http.StatusInternalServerError, "ask failed")
+		return
+	}
+	s.Metrics.RecordQuery(user, latency, resp.Guardrail.String(), false)
+	s.Log.Append(eventlog.Event{
+		At: time.Now(), Service: "backend", Type: "query", User: user,
+		DurationMS: latency.Milliseconds(),
+		Fields: map[string]string{
+			"guardrail": resp.Guardrail.String(),
+			"valid":     strconv.FormatBool(resp.AnswerValid),
+		},
+	})
+	out := askResponse{
+		Answer:      resp.Answer,
+		AnswerValid: resp.AnswerValid,
+		Guardrail:   resp.Guardrail.String(),
+		Citations:   resp.Citations,
+	}
+	for i, d := range resp.Documents {
+		if i >= 10 {
+			break
+		}
+		out.Documents = append(out.Documents, docResponse{
+			ID: d.ChunkID, Parent: d.ParentID, Title: d.Title,
+			Snippet: snippet(d.Content, 160), Score: d.Score,
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	user := s.auth(r)
+	if user == "" {
+		httpError(w, http.StatusUnauthorized, "login required")
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if strings.TrimSpace(q) == "" {
+		httpError(w, http.StatusBadRequest, "q required")
+		return
+	}
+	start := time.Now()
+	results, err := s.Engine.Search(r.Context(), q)
+	latency := time.Since(start)
+	if err != nil {
+		s.Metrics.RecordQuery(user, latency, "", true)
+		httpError(w, http.StatusInternalServerError, "search failed")
+		return
+	}
+	s.Metrics.RecordQuery(user, latency, "", false)
+	var out []docResponse
+	for i, d := range results {
+		if i >= 20 {
+			break
+		}
+		out = append(out, docResponse{
+			ID: d.ChunkID, Parent: d.ParentID, Title: d.Title,
+			Snippet: snippet(d.Content, 160), Score: d.Score,
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	user := s.auth(r)
+	if user == "" {
+		httpError(w, http.StatusUnauthorized, "login required")
+		return
+	}
+	var f Feedback
+	if err := json.NewDecoder(r.Body).Decode(&f); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid feedback")
+		return
+	}
+	f.User = user
+	f.At = time.Now()
+	if err := s.Feedback.Add(f); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.Metrics.RecordFeedback(f.Positive())
+	s.Log.Append(eventlog.Event{
+		At: time.Now(), Service: "backend", Type: "feedback", User: user,
+		Fields: map[string]string{"positive": strconv.FormatBool(f.Positive())},
+	})
+	w.WriteHeader(http.StatusCreated)
+}
+
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Metrics.Snapshot())
+}
+
+// Serve runs the server until ctx is cancelled.
+func (s *Server) Serve(ctx context.Context, addr string) error {
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	case err := <-errCh:
+		return err
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// snippet truncates text on a word boundary.
+func snippet(text string, max int) string {
+	if len(text) <= max {
+		return text
+	}
+	cut := text[:max]
+	if i := strings.LastIndexByte(cut, ' '); i > 0 {
+		cut = cut[:i]
+	}
+	return cut + "…"
+}

@@ -1,0 +1,112 @@
+package textproc
+
+// Analyzer composes the full analysis pipeline applied to both indexed
+// fields and queries: tokenize -> strip elision -> lowercase -> fold
+// diacritics -> drop stop words -> stem. Each stage can be disabled, which
+// the baseline engine (internal/baseline) uses to reproduce the previous
+// system's raw exact matching.
+type Analyzer struct {
+	// Language selects the stop-word list and stemmer (default Italian,
+	// the paper's deployment language).
+	Language Language
+	// KeepStopwords disables stop-word removal.
+	KeepStopwords bool
+	// NoStem disables stemming.
+	NoStem bool
+	// UseSnowball selects the full Snowball stemmer instead of the light
+	// stemmer (Italian only).
+	UseSnowball bool
+	// NoElision disables elision stripping.
+	NoElision bool
+	// NoFold disables diacritics folding.
+	NoFold bool
+}
+
+// ItalianFull returns the analyzer configuration equivalent to Lucene's
+// it-analyzer-lucene-full: all stages enabled.
+func ItalianFull() *Analyzer { return &Analyzer{} }
+
+// Raw returns an analyzer that only tokenizes and lower-cases, used by the
+// previous-generation keyword engine.
+func Raw() *Analyzer {
+	return &Analyzer{KeepStopwords: true, NoStem: true, NoElision: true, NoFold: true}
+}
+
+// AnalyzedToken is a normalized term together with the source token it was
+// derived from.
+type AnalyzedToken struct {
+	Term     string
+	Source   Token
+	Position int
+}
+
+// Analyze runs the pipeline over text and returns the surviving normalized
+// tokens in order.
+func (a *Analyzer) Analyze(text string) []AnalyzedToken {
+	raw := Tokenize(text)
+	out := make([]AnalyzedToken, 0, len(raw))
+	pos := 0
+	for _, tok := range raw {
+		term := tok.Text
+		if !a.NoElision {
+			term = StripElision(term)
+		}
+		term = Lowercase(term)
+		if !a.NoFold {
+			term = FoldDiacritics(term)
+		}
+		if term == "" {
+			continue
+		}
+		if !a.KeepStopwords && a.isStopword(term) {
+			continue
+		}
+		if !a.NoStem {
+			term = a.stem(term)
+		}
+		if term == "" {
+			continue
+		}
+		out = append(out, AnalyzedToken{Term: term, Source: tok, Position: pos})
+		pos++
+	}
+	return out
+}
+
+// isStopword dispatches on the analyzer language.
+func (a *Analyzer) isStopword(term string) bool {
+	if a.Language == English {
+		return IsEnglishStopword(term)
+	}
+	return IsStopword(term)
+}
+
+// stem dispatches on the analyzer language and stemmer flavor.
+func (a *Analyzer) stem(term string) string {
+	if a.Language == English {
+		return StemEnglish(term)
+	}
+	if a.UseSnowball {
+		return StemItalianSnowball(term)
+	}
+	return StemItalian(term)
+}
+
+// AnalyzeTerms returns only the normalized term strings.
+func (a *Analyzer) AnalyzeTerms(text string) []string {
+	toks := a.Analyze(text)
+	terms := make([]string, len(toks))
+	for i, t := range toks {
+		terms[i] = t.Term
+	}
+	return terms
+}
+
+// AnalyzeUnique returns the set of distinct normalized terms.
+func (a *Analyzer) AnalyzeUnique(text string) map[string]struct{} {
+	set := make(map[string]struct{})
+	for _, t := range a.Analyze(text) {
+		set[t.Term] = struct{}{}
+	}
+	return set
+}

@@ -1,0 +1,102 @@
+package textproc
+
+// English support: the paper's knowledge base exists in multiple languages
+// and §11 plans to adapt UniAsk beyond Italian. The analyzer is language-
+// pluggable; this file provides the English stages (stop words and a light
+// S/ed/ing stemmer in the spirit of Lucene's EnglishMinimalStemFilter),
+// selected through Analyzer.Language.
+
+// Language selects the analysis pipeline's language-specific stages.
+type Language int
+
+// Supported analyzer languages.
+const (
+	// Italian is the deployment language of the paper.
+	Italian Language = iota
+	// English is the first future-work language.
+	English
+)
+
+var englishStopwords = map[string]struct{}{}
+
+func init() {
+	words := []string{
+		"a", "an", "and", "are", "as", "at", "be", "but", "by", "for",
+		"if", "in", "into", "is", "it", "no", "not", "of", "on", "or",
+		"such", "that", "the", "their", "then", "there", "these", "they",
+		"this", "to", "was", "will", "with", "i", "you", "he", "she",
+		"we", "his", "her", "its", "our", "your", "from", "have", "has",
+		"had", "do", "does", "did", "can", "could", "should", "would",
+		"may", "might", "must", "shall", "about", "after", "before",
+		"between", "during", "each", "how", "what", "when", "where",
+		"which", "who", "why", "all", "any", "both", "more", "most", "my",
+		"other", "some", "than", "too", "very", "so", "also", "been",
+		"being", "am", "were", "up", "down", "out", "over", "under",
+	}
+	for _, w := range words {
+		englishStopwords[w] = struct{}{}
+	}
+}
+
+// IsEnglishStopword reports whether the lower-cased term is an English stop
+// word.
+func IsEnglishStopword(term string) bool {
+	_, ok := englishStopwords[term]
+	return ok
+}
+
+// StemEnglish applies a light English stemmer: plural -s forms, -ed and
+// -ing endings, mirroring minimal-stemming configurations used in
+// enterprise search. Terms with digits are identifiers and pass through.
+func StemEnglish(term string) string {
+	if len(term) < 4 {
+		return term
+	}
+	for _, r := range term {
+		if r >= '0' && r <= '9' {
+			return term
+		}
+	}
+	t := term
+	switch {
+	case hasSuffix(t, "sses"):
+		return t[:len(t)-2] // dresses -> dress
+	case hasSuffix(t, "ies") && len(t) > 4:
+		return t[:len(t)-3] + "y" // policies -> policy
+	case hasSuffix(t, "ss"):
+		return t
+	case hasSuffix(t, "s") && !hasSuffix(t, "us") && !hasSuffix(t, "is"):
+		return t[:len(t)-1] // accounts -> account
+	}
+	if hasSuffix(t, "ing") && len(t) > 5 {
+		stem := t[:len(t)-3]
+		return undouble(stem) // blocking -> block
+	}
+	if hasSuffix(t, "ed") && len(t) > 4 {
+		stem := t[:len(t)-2]
+		return undouble(stem) // blocked -> block
+	}
+	return t
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+// undouble collapses a doubled final consonant left by -ed/-ing stripping
+// (stopped -> stop) while keeping legitimate doubles like "fall".
+func undouble(s string) string {
+	n := len(s)
+	if n >= 2 && s[n-1] == s[n-2] {
+		switch s[n-1] {
+		case 'l', 's', 'z':
+			return s // calls, passes-type stems keep the double
+		}
+		return s[:n-1]
+	}
+	return s
+}
+
+// EnglishFull returns the analyzer configuration for English: all stages
+// enabled with the English stop-word list and stemmer.
+func EnglishFull() *Analyzer { return &Analyzer{Language: English} }

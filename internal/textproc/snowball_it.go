@@ -1,0 +1,356 @@
+package textproc
+
+import "strings"
+
+// StemItalianSnowball implements the Snowball (Porter-style) Italian
+// stemming algorithm — the full stemmer behind Lucene's ItalianStemmer,
+// which the it-analyzer-lucene-full configuration named in the paper can
+// run in place of the light stemmer. The Analyzer exposes it through the
+// UseSnowball flag; the light stemmer remains the default because
+// aggressive stemming over jargon-heavy corpora causes false conflations
+// (the trade-off enterprise deployments usually resolve the same way).
+//
+// The algorithm follows the published description: prelude (mark u/i
+// between vowels), region computation (RV, R1, R2), attached-pronoun
+// removal, standard suffix removal, verb suffix removal, and cleanup.
+func StemItalianSnowball(word string) string {
+	if len(word) < 3 {
+		return word
+	}
+	for _, r := range word {
+		if r >= '0' && r <= '9' {
+			return word // identifiers pass through
+		}
+	}
+	w := []rune(strings.ToLower(word))
+
+	// Prelude: replace á é í ó ú with accented-grave forms, and mark u/i
+	// between vowels as consonants (U/I).
+	for i, r := range w {
+		switch r {
+		case 'á':
+			w[i] = 'à'
+		case 'é':
+			w[i] = 'è'
+		case 'í':
+			w[i] = 'ì'
+		case 'ó':
+			w[i] = 'ò'
+		case 'ú':
+			w[i] = 'ù'
+		}
+	}
+	for i := 1; i < len(w)-1; i++ {
+		if isItVowel(w[i-1]) && isItVowel(w[i+1]) {
+			if w[i] == 'u' {
+				w[i] = 'U'
+			} else if w[i] == 'i' {
+				w[i] = 'I'
+			}
+		}
+	}
+	// "qu": the u after q is a consonant.
+	for i := 1; i < len(w); i++ {
+		if w[i-1] == 'q' && w[i] == 'u' {
+			w[i] = 'U'
+		}
+	}
+
+	rv := computeRV(w)
+	r1 := computeR(w, 0)
+	r2 := computeR(w, r1)
+
+	s := string(w)
+
+	// Step 0: attached pronouns, preceded by one of the verb endings
+	// -ando/-endo (delete pronoun) or -ar/-er/-ir (replace with e).
+	pronouns := []string{
+		"gliela", "gliele", "glieli", "glielo", "gliene",
+		"sene", "mela", "mele", "meli", "melo", "mene",
+		"tela", "tele", "teli", "telo", "tene",
+		"cela", "cele", "celi", "celo", "cene",
+		"vela", "vele", "veli", "velo", "vene",
+		"gli", "ci", "la", "le", "li", "lo", "mi", "ne", "si", "ti", "vi",
+	}
+	for _, p := range pronouns {
+		if !strings.HasSuffix(s, p) {
+			continue
+		}
+		base := s[:len(s)-len(p)]
+		inRV := len(s)-len(p) >= rv
+		if !inRV {
+			break
+		}
+		if strings.HasSuffix(base, "ando") || strings.HasSuffix(base, "endo") {
+			s = base
+		} else if strings.HasSuffix(base, "ar") || strings.HasSuffix(base, "er") || strings.HasSuffix(base, "ir") {
+			s = base + "e"
+		} else {
+			break
+		}
+		break
+	}
+
+	// Step 1: standard suffix removal.
+	step1Applied := false
+	// Ordered longest-match groups per the algorithm.
+	del := func(sufs []string, region int) bool {
+		for _, suf := range longestFirst(sufs) {
+			if strings.HasSuffix(s, suf) && len(s)-len(suf) >= region {
+				s = s[:len(s)-len(suf)]
+				return true
+			}
+		}
+		return false
+	}
+	// amente/imente (R1), with further trimming in R2.
+	for _, suf := range []string{"amente", "imente"} {
+		if strings.HasSuffix(s, suf) && len(s)-len(suf) >= r1 {
+			s = s[:len(s)-len(suf)]
+			step1Applied = true
+			// if preceded by iv (R2), delete; then if at/os/ic (R2), delete
+			if strings.HasSuffix(s, "iv") && len(s)-2 >= r2 {
+				s = s[:len(s)-2]
+				if strings.HasSuffix(s, "at") && len(s)-2 >= r2 {
+					s = s[:len(s)-2]
+				}
+			} else {
+				for _, t := range []string{"os", "ic", "abil"} {
+					if strings.HasSuffix(s, t) && len(s)-len(t) >= r2 {
+						s = s[:len(s)-len(t)]
+						break
+					}
+				}
+			}
+			break
+		}
+	}
+	if !step1Applied {
+		switch {
+		case del([]string{"amento", "amenti", "imento", "imenti"}, min2(rv, r2)):
+			step1Applied = true
+		case func() bool { // -mente in R2
+			if strings.HasSuffix(s, "mente") && len(s)-5 >= r2 {
+				s = s[:len(s)-5]
+				return true
+			}
+			return false
+		}():
+			step1Applied = true
+		case func() bool { // logia/logie -> log (R2)
+			for _, suf := range []string{"logia", "logie"} {
+				if strings.HasSuffix(s, suf) && len(s)-len(suf)+3 >= r2 {
+					s = s[:len(s)-len(suf)+3]
+					return true
+				}
+			}
+			return false
+		}():
+			step1Applied = true
+		case func() bool { // uzione/uzioni/usione/usioni -> u (R2)
+			for _, suf := range []string{"uzione", "uzioni", "usione", "usioni"} {
+				if strings.HasSuffix(s, suf) && len(s)-len(suf)+1 >= r2 {
+					s = s[:len(s)-len(suf)+1]
+					return true
+				}
+			}
+			return false
+		}():
+			step1Applied = true
+		case func() bool { // enza/enze -> ente (R2)
+			for _, suf := range []string{"enza", "enze"} {
+				if strings.HasSuffix(s, suf) && len(s)-len(suf) >= r2 {
+					s = s[:len(s)-len(suf)] + "ente"
+					return true
+				}
+			}
+			return false
+		}():
+			step1Applied = true
+		case func() bool { // ic/abil/iv + ità (R2)
+			for _, suf := range []string{"ità"} {
+				if strings.HasSuffix(s, suf) && len(s)-len(suf) >= r2 {
+					s = s[:len(s)-len(suf)]
+					for _, t := range []string{"abil", "ic", "iv"} {
+						if strings.HasSuffix(s, t) && len(s)-len(t) >= r2 {
+							s = s[:len(s)-len(t)]
+							break
+						}
+					}
+					return true
+				}
+			}
+			return false
+		}():
+			step1Applied = true
+		case func() bool { // ivo/ivi/iva/ive (R2), then at (R2), then ic (R2)
+			for _, suf := range []string{"ivo", "ivi", "iva", "ive"} {
+				if strings.HasSuffix(s, suf) && len(s)-len(suf) >= r2 {
+					s = s[:len(s)-len(suf)]
+					if strings.HasSuffix(s, "at") && len(s)-2 >= r2 {
+						s = s[:len(s)-2]
+						if strings.HasSuffix(s, "ic") && len(s)-2 >= r2 {
+							s = s[:len(s)-2]
+						}
+					}
+					return true
+				}
+			}
+			return false
+		}():
+			step1Applied = true
+		case del([]string{
+			"atrice", "atrici", "abile", "abili", "ibile", "ibili", "mente",
+			"anza", "anze", "iche", "ichi", "ismo", "ismi", "ista", "iste",
+			"isti", "istà", "istè", "istì", "ante", "anti",
+			"ico", "ici", "ica", "ice", "oso", "osi", "osa", "ose",
+		}, r2):
+			step1Applied = true
+		case func() bool { // azione/azioni/atore/atori (R2, preceded by ic also removed)
+			for _, suf := range []string{"azione", "azioni", "atore", "atori"} {
+				if strings.HasSuffix(s, suf) && len(s)-len(suf) >= r2 {
+					s = s[:len(s)-len(suf)]
+					if strings.HasSuffix(s, "ic") && len(s)-2 >= r2 {
+						s = s[:len(s)-2]
+					}
+					return true
+				}
+			}
+			return false
+		}():
+			step1Applied = true
+		}
+	}
+
+	// Step 2: verb suffixes (only if step 1 removed nothing), in RV.
+	if !step1Applied {
+		verbSuffixes := []string{
+			"erebbero", "irebbero", "assero", "assimo", "eranno", "erebbe",
+			"eremmo", "ereste", "eresti", "essero", "iranno", "irebbe",
+			"iremmo", "ireste", "iresti", "iscano", "iscono", "issero",
+			"arono", "avamo", "avano", "avate", "eremo", "erete", "erono",
+			"evamo", "evano", "evate", "iremo", "irete", "irono", "ivamo",
+			"ivano", "ivate", "ammo", "ando", "asse", "assi", "emmo",
+			"enda", "ende", "endi", "endo", "erai", "erei", "yamo", "iamo",
+			"immo", "irai", "irei", "isca", "isce", "isci", "isco", "ano",
+			"are", "ata", "ate", "ati", "ato", "ava", "avi", "avo", "erà",
+			"ere", "erò", "ete", "eva", "evi", "evo", "irà", "ire", "irò",
+			"ita", "ite", "iti", "ito", "iva", "ivi", "ivo", "ono", "uta",
+			"ute", "uti", "uto", "ar", "ir",
+		}
+		for _, suf := range longestFirst(verbSuffixes) {
+			if strings.HasSuffix(s, suf) && len(s)-len(suf) >= rv {
+				s = s[:len(s)-len(suf)]
+				break
+			}
+		}
+	}
+
+	// Step 3a: delete a final a/e/i/o/à/è/ì/ò in RV, and a preceding i in RV.
+	if len(s) > 0 {
+		last := []rune(s)
+		r := last[len(last)-1]
+		if strings.ContainsRune("aeioàèìò", r) && len(string(last[:len(last)-1])) >= rv {
+			s = string(last[:len(last)-1])
+			if strings.HasSuffix(s, "i") && len(s)-1 >= rv {
+				s = s[:len(s)-1]
+			}
+		}
+	}
+	// Step 3b: ch -> c, gh -> g (in RV).
+	if (strings.HasSuffix(s, "ch") || strings.HasSuffix(s, "gh")) && len(s)-1 >= rv {
+		s = s[:len(s)-1]
+	}
+
+	// Postlude: unmark U/I.
+	s = strings.Map(func(r rune) rune {
+		switch r {
+		case 'U':
+			return 'u'
+		case 'I':
+			return 'i'
+		}
+		return r
+	}, s)
+	return s
+}
+
+func isItVowel(r rune) bool {
+	return strings.ContainsRune("aeiouàèìòù", r)
+}
+
+// computeRV finds the RV region start (byte offset) per the Snowball
+// definition.
+func computeRV(w []rune) int {
+	n := len(w)
+	byteAt := func(i int) int { return len(string(w[:i])) }
+	if n < 2 {
+		return byteAt(n)
+	}
+	if !isItVowel(w[1]) {
+		// Second letter is a consonant: RV after the next vowel.
+		for i := 2; i < n; i++ {
+			if isItVowel(w[i]) {
+				return byteAt(i + 1)
+			}
+		}
+		return byteAt(n)
+	}
+	if isItVowel(w[0]) && isItVowel(w[1]) {
+		// First two letters are vowels: RV after the next consonant.
+		for i := 2; i < n; i++ {
+			if !isItVowel(w[i]) {
+				return byteAt(i + 1)
+			}
+		}
+		return byteAt(n)
+	}
+	// Consonant-vowel start: RV after the third letter.
+	if n >= 3 {
+		return byteAt(3)
+	}
+	return byteAt(n)
+}
+
+// computeR finds R1 (from 0) or R2 (from r1): the region after the first
+// consonant following a vowel, searching from the given byte offset.
+func computeR(w []rune, fromByte int) int {
+	// Convert byte offset to rune index.
+	start := 0
+	off := 0
+	for i := range w {
+		if off >= fromByte {
+			start = i
+			break
+		}
+		off += len(string(w[i]))
+		start = i + 1
+	}
+	n := len(w)
+	byteAt := func(i int) int { return len(string(w[:i])) }
+	for i := start; i < n-1; i++ {
+		if isItVowel(w[i]) && !isItVowel(w[i+1]) {
+			return byteAt(i + 2)
+		}
+	}
+	return byteAt(n)
+}
+
+// longestFirst returns suffixes sorted by descending length (stable).
+func longestFirst(sufs []string) []string {
+	out := make([]string, len(sufs))
+	copy(out, sufs)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && len(out[j]) > len(out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

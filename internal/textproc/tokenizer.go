@@ -1,0 +1,148 @@
+// Package textproc implements the text-analysis pipeline UniAsk uses for
+// full-text search over Italian documents. It mirrors the stages of the
+// Lucene Italian analyzer the paper relies on (it-analyzer-lucene-full):
+// tokenization, elision removal, lower-casing, stop-word removal and light
+// stemming, plus a sentence splitter used by chunking and answer generation.
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is a single lexical unit produced by the tokenizer, annotated with
+// its byte offsets in the original text so callers can map analysis results
+// back to source spans.
+type Token struct {
+	// Text is the token surface form (not normalized).
+	Text string
+	// Start and End are byte offsets of the token in the input.
+	Start, End int
+	// Position is the token's ordinal position in the token stream.
+	Position int
+}
+
+// isTokenRune reports whether r can appear inside a token. Letters and
+// digits always can; a small set of connector punctuation is admitted so
+// domain codes such as "ERR-4032", "PROC_118" or "v2.3" survive as single
+// tokens, matching how enterprise search engines index jargon identifiers.
+func isTokenRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// isConnector reports whether r may join two token runs (it must be
+// surrounded by token runes on both sides to be kept).
+func isConnector(r rune) bool {
+	switch r {
+	case '-', '_', '.', '/':
+		return true
+	}
+	return false
+}
+
+// Tokenize splits text into tokens. It is Unicode-aware and keeps
+// identifier-style tokens (error codes, procedure codes, versions) intact
+// when letters/digits are joined by -, _, . or /.
+func Tokenize(text string) []Token {
+	var tokens []Token
+	runes := []rune(text)
+	// byteOff tracks the byte offset of runes[i].
+	byteOff := make([]int, len(runes)+1)
+	off := 0
+	for i, r := range runes {
+		byteOff[i] = off
+		off += len(string(r))
+	}
+	byteOff[len(runes)] = off
+
+	pos := 0
+	i := 0
+	for i < len(runes) {
+		if !isTokenRune(runes[i]) {
+			i++
+			continue
+		}
+		start := i
+		for i < len(runes) {
+			if isTokenRune(runes[i]) {
+				i++
+				continue
+			}
+			// Admit a connector only if flanked by token runes.
+			if isConnector(runes[i]) && i+1 < len(runes) && isTokenRune(runes[i+1]) {
+				i += 2
+				continue
+			}
+			break
+		}
+		tokens = append(tokens, Token{
+			Text:     string(runes[start:i]),
+			Start:    byteOff[start],
+			End:      byteOff[i],
+			Position: pos,
+		})
+		pos++
+	}
+	return tokens
+}
+
+// Terms is a convenience wrapper returning only the token surface forms.
+func Terms(text string) []string {
+	toks := Tokenize(text)
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Text
+	}
+	return out
+}
+
+// StripElision removes Italian elided articles and prepositions from the
+// front of a token: "l'ufficio" -> "ufficio", "dell'operazione" ->
+// "operazione". Lucene's Italian analyzer applies the same filter before
+// stemming.
+func StripElision(term string) string {
+	idx := strings.IndexAny(term, "'’")
+	if idx <= 0 || idx == len(term)-1 {
+		return term
+	}
+	prefix := strings.ToLower(term[:idx])
+	switch prefix {
+	case "c", "l", "all", "dall", "dell", "nell", "sull", "coll", "pell",
+		"gl", "agl", "dagl", "degl", "negl", "sugl", "un", "m", "t", "s", "v", "d", "quell", "quest", "sant", "senz", "tutt":
+		rest := term[idx:]
+		// Skip the apostrophe rune (ASCII ' is 1 byte, ’ is 3 bytes).
+		if strings.HasPrefix(rest, "'") {
+			return rest[1:]
+		}
+		return rest[len("’"):]
+	}
+	return term
+}
+
+// Lowercase normalizes a term to lower case, Unicode-aware.
+func Lowercase(term string) string { return strings.ToLower(term) }
+
+// FoldDiacritics maps common Italian accented vowels onto their base form,
+// so "perché" and "perche" match. Enterprise queries are typed quickly and
+// frequently omit accents.
+func FoldDiacritics(term string) string {
+	var b strings.Builder
+	b.Grow(len(term))
+	for _, r := range term {
+		switch r {
+		case 'à', 'á', 'â', 'ä':
+			b.WriteRune('a')
+		case 'è', 'é', 'ê', 'ë':
+			b.WriteRune('e')
+		case 'ì', 'í', 'î', 'ï':
+			b.WriteRune('i')
+		case 'ò', 'ó', 'ô', 'ö':
+			b.WriteRune('o')
+		case 'ù', 'ú', 'û', 'ü':
+			b.WriteRune('u')
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

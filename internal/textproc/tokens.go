@@ -1,0 +1,33 @@
+package textproc
+
+// ApproxTokens estimates the number of LLM (BPE) tokens in text. The paper
+// sizes chunks in tokens of the text-embedding-ada-002 tokenizer; without
+// the proprietary BPE vocabulary we use the standard approximation that one
+// token covers about four characters of natural-language text, with a floor
+// of one token per whitespace-separated word. The estimate is deterministic,
+// monotone in text length, and accurate enough for chunk sizing and rate
+// limiting.
+func ApproxTokens(text string) int {
+	tokens := 0
+	wordLen := 0
+	flush := func() {
+		if wordLen == 0 {
+			return
+		}
+		t := (wordLen + 3) / 4
+		if t < 1 {
+			t = 1
+		}
+		tokens += t
+		wordLen = 0
+	}
+	for _, r := range text {
+		if r == ' ' || r == '\n' || r == '\t' || r == '\r' {
+			flush()
+			continue
+		}
+		wordLen++
+	}
+	flush()
+	return tokens
+}

@@ -1,0 +1,101 @@
+package tickets
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOutcomeOrdering(t *testing.T) {
+	p := DefaultPropensities()
+	if !(p.AnsweredWell < p.DocsOnly && p.DocsOnly < p.Irrelevant && p.Irrelevant < p.Nothing) {
+		t.Fatalf("propensities not ordered: %+v", p)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	names := map[Outcome]string{
+		AnsweredWell: "answered-well", DocsOnly: "docs-only",
+		Irrelevant: "irrelevant", Nothing: "nothing",
+	}
+	for o, want := range names {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q", o, o.String())
+		}
+	}
+	if Outcome(99).String() != "unknown" {
+		t.Error("unknown outcome name")
+	}
+}
+
+func TestTallyAccumulates(t *testing.T) {
+	p := DefaultPropensities()
+	tl := NewTally("x")
+	tl.Record("q1", AnsweredWell, p, 1)
+	tl.Record("q2", Nothing, p, 1)
+	if tl.Queries != 2 {
+		t.Fatalf("queries = %d", tl.Queries)
+	}
+	if tl.ByOutcome[AnsweredWell] != 1 || tl.ByOutcome[Nothing] != 1 {
+		t.Fatalf("by outcome = %v", tl.ByOutcome)
+	}
+	want := p.AnsweredWell + p.Nothing
+	if tl.ExpectedTkt != want {
+		t.Fatalf("expected tickets = %v, want %v", tl.ExpectedTkt, want)
+	}
+	if rate := tl.TicketRate(); rate != want/2 {
+		t.Fatalf("rate = %v", rate)
+	}
+}
+
+func TestRecordDeterministic(t *testing.T) {
+	p := DefaultPropensities()
+	a, b := NewTally("a"), NewTally("b")
+	for i := 0; i < 200; i++ {
+		q := "query" + string(rune('a'+i%26)) + string(rune('0'+i%10))
+		a.Record(q, Nothing, p, 7)
+		b.Record(q, Nothing, p, 7)
+	}
+	if a.Tickets != b.Tickets {
+		t.Fatalf("sampled tickets differ: %d vs %d", a.Tickets, b.Tickets)
+	}
+	// Sampled count should approximate expectation.
+	if a.Tickets < 70 || a.Tickets > 150 {
+		t.Fatalf("sampled tickets = %d, expected ~%d", a.Tickets, int(a.ExpectedTkt))
+	}
+}
+
+func TestReduction(t *testing.T) {
+	p := DefaultPropensities()
+	before, after := NewTally("before"), NewTally("after")
+	for i := 0; i < 100; i++ {
+		before.Record("q", Nothing, p, 1)
+		after.Record("q", AnsweredWell, p, 1)
+	}
+	red := Reduction(before, after)
+	want := 1 - p.AnsweredWell/p.Nothing
+	if red < want-1e-9 || red > want+1e-9 {
+		t.Fatalf("reduction = %v, want %v", red, want)
+	}
+	if Reduction(NewTally("e"), after) != 0 {
+		t.Fatal("reduction with empty baseline should be 0")
+	}
+}
+
+func TestTicketRateEmpty(t *testing.T) {
+	if NewTally("x").TicketRate() != 0 {
+		t.Fatal("empty tally rate != 0")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	p := DefaultPropensities()
+	before, after := NewTally("previous"), NewTally("uniask")
+	before.Record("q", Nothing, p, 1)
+	after.Record("q", AnsweredWell, p, 1)
+	out := Report(before, after)
+	for _, want := range []string{"Post-launch", "previous", "uniask", "ticket reduction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

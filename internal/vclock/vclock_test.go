@@ -1,0 +1,86 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestVirtualNow(t *testing.T) {
+	v := NewVirtual(epoch)
+	if !v.Now().Equal(epoch) {
+		t.Fatalf("Now = %v", v.Now())
+	}
+	v.Advance(time.Hour)
+	if !v.Now().Equal(epoch.Add(time.Hour)) {
+		t.Fatalf("Now after advance = %v", v.Now())
+	}
+}
+
+func TestVirtualAfterFires(t *testing.T) {
+	v := NewVirtual(epoch)
+	ch := v.After(10 * time.Minute)
+	select {
+	case <-ch:
+		t.Fatal("fired before advance")
+	default:
+	}
+	v.Advance(9 * time.Minute)
+	select {
+	case <-ch:
+		t.Fatal("fired too early")
+	default:
+	}
+	v.Advance(2 * time.Minute)
+	select {
+	case at := <-ch:
+		if !at.Equal(epoch.Add(10 * time.Minute)) {
+			t.Fatalf("fired at %v", at)
+		}
+	default:
+		t.Fatal("did not fire")
+	}
+}
+
+func TestVirtualAfterNonPositive(t *testing.T) {
+	v := NewVirtual(epoch)
+	select {
+	case <-v.After(0):
+	default:
+		t.Fatal("zero-duration After did not fire immediately")
+	}
+	select {
+	case <-v.After(-time.Second):
+	default:
+		t.Fatal("negative After did not fire immediately")
+	}
+}
+
+func TestVirtualMultipleWaitersOrdered(t *testing.T) {
+	v := NewVirtual(epoch)
+	ch2 := v.After(2 * time.Minute)
+	ch1 := v.After(1 * time.Minute)
+	v.Advance(5 * time.Minute)
+	at1 := <-ch1
+	at2 := <-ch2
+	if !at1.Before(at2) {
+		t.Fatalf("order wrong: %v then %v", at1, at2)
+	}
+	if v.PendingWaiters() != 0 {
+		t.Fatalf("pending = %d", v.PendingWaiters())
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	var c Clock = Real{}
+	before := time.Now()
+	if c.Now().Before(before.Add(-time.Second)) {
+		t.Fatal("Real.Now in the past")
+	}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(time.Second):
+		t.Fatal("Real.After never fired")
+	}
+}

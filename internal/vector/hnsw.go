@@ -1,0 +1,344 @@
+package vector
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// HNSWConfig holds the construction parameters of an HNSW graph.
+type HNSWConfig struct {
+	// M is the maximum number of bidirectional links per node on layers
+	// above 0; layer 0 allows 2*M. Default 16 (the Azure AI Search default).
+	M int
+	// EfConstruction is the size of the candidate list during insertion.
+	// Default 200.
+	EfConstruction int
+	// EfSearch is the default size of the candidate list during search; it
+	// is raised to k when k is larger. Default 64.
+	EfSearch int
+	// Seed drives the level generator so index construction is
+	// deterministic.
+	Seed int64
+}
+
+func (c HNSWConfig) withDefaults() HNSWConfig {
+	if c.M <= 0 {
+		c.M = 16
+	}
+	if c.EfConstruction <= 0 {
+		c.EfConstruction = 200
+	}
+	if c.EfSearch <= 0 {
+		c.EfSearch = 64
+	}
+	return c
+}
+
+type hnswNode struct {
+	id    int
+	vec   Vector
+	level int
+	// links[l] is the adjacency list at layer l (internal node indexes).
+	links [][]int32
+}
+
+// HNSW is a Hierarchical Navigable Small World graph for approximate
+// nearest-neighbor search under cosine distance.
+type HNSW struct {
+	cfg    HNSWConfig
+	nodes  []hnswNode
+	byID   map[int]int32 // external id -> node index
+	entry  int32         // entry point node index (-1 when empty)
+	maxLvl int
+	rng    *rand.Rand
+	levelM float64 // 1/ln(M): the level-assignment normalizer from the paper
+	dim    int
+}
+
+// NewHNSW creates an empty HNSW index with the given configuration.
+func NewHNSW(cfg HNSWConfig) *HNSW {
+	cfg = cfg.withDefaults()
+	return &HNSW{
+		cfg:    cfg,
+		byID:   make(map[int]int32),
+		entry:  -1,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		levelM: 1 / math.Log(float64(cfg.M)),
+	}
+}
+
+// Len implements Index.
+func (h *HNSW) Len() int { return len(h.nodes) }
+
+// randomLevel draws a node level from the exponential distribution of the
+// HNSW paper: floor(-ln(U) * mL).
+func (h *HNSW) randomLevel() int {
+	u := h.rng.Float64()
+	for u == 0 {
+		u = h.rng.Float64()
+	}
+	return int(-math.Log(u) * h.levelM)
+}
+
+// Add implements Index. The vector is copied and normalized on insertion:
+// cosine distance is invariant to scaling, and unit-length storage turns
+// every distance evaluation into a single dot product.
+func (h *HNSW) Add(id int, v Vector) error {
+	if _, dup := h.byID[id]; dup {
+		return ErrDuplicateID
+	}
+	if h.dim == 0 {
+		h.dim = len(v)
+	} else if len(v) != h.dim {
+		return ErrDimensionMismatch
+	}
+	v = Normalize(append(Vector(nil), v...))
+	level := h.randomLevel()
+	node := hnswNode{id: id, vec: v, level: level, links: make([][]int32, level+1)}
+	idx := int32(len(h.nodes))
+	h.nodes = append(h.nodes, node)
+	h.byID[id] = idx
+
+	if h.entry < 0 {
+		h.entry = idx
+		h.maxLvl = level
+		return nil
+	}
+
+	ep := h.entry
+	// Greedy descent through layers above the new node's level.
+	for l := h.maxLvl; l > level; l-- {
+		ep = h.greedyClosest(v, ep, l)
+	}
+	// Insert with neighbor selection from min(level, maxLvl) down to 0.
+	top := level
+	if top > h.maxLvl {
+		top = h.maxLvl
+	}
+	eps := []int32{ep}
+	for l := top; l >= 0; l-- {
+		cand := h.searchLayer(v, eps, h.cfg.EfConstruction, l)
+		neighbors := h.selectHeuristic(v, cand, h.maxM(l))
+		h.nodes[idx].links[l] = neighbors
+		for _, n := range neighbors {
+			h.nodes[n].links[l] = append(h.nodes[n].links[l], idx)
+			if len(h.nodes[n].links[l]) > h.maxM(l) {
+				h.shrink(n, l)
+			}
+		}
+		eps = cand
+	}
+	if level > h.maxLvl {
+		h.maxLvl = level
+		h.entry = idx
+	}
+	return nil
+}
+
+func (h *HNSW) maxM(layer int) int {
+	if layer == 0 {
+		return 2 * h.cfg.M
+	}
+	return h.cfg.M
+}
+
+// shrink re-selects the best maxM neighbors of node n at layer l using the
+// same heuristic used at insertion.
+func (h *HNSW) shrink(n int32, l int) {
+	h.nodes[n].links[l] = h.selectHeuristic(h.nodes[n].vec, h.nodes[n].links[l], h.maxM(l))
+}
+
+// greedyClosest walks layer l greedily from ep toward q and returns the
+// local minimum.
+func (h *HNSW) greedyClosest(q Vector, ep int32, l int) int32 {
+	best := ep
+	bestD := unitDistance(q, h.nodes[ep].vec)
+	for {
+		improved := false
+		for _, n := range h.nodes[best].links[l] {
+			if d := unitDistance(q, h.nodes[n].vec); d < bestD {
+				best, bestD = n, d
+				improved = true
+			}
+		}
+		if !improved {
+			return best
+		}
+	}
+}
+
+// distHeap is a heap of (node, distance) pairs; min or max order by sign.
+type distItem struct {
+	node int32
+	dist float32
+}
+
+type minHeap []distItem
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+type maxHeap []distItem
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i].dist > h[j].dist }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// searchLayer is Algorithm 2 of the HNSW paper: beam search with candidate
+// list size ef at layer l, starting from entry points eps. It returns up to
+// ef node indexes ordered from closest to farthest.
+func (h *HNSW) searchLayer(q Vector, eps []int32, ef, l int) []int32 {
+	visited := make(map[int32]bool, ef*4)
+	var candidates minHeap // frontier, closest first
+	var results maxHeap    // best ef found, farthest on top
+
+	for _, ep := range eps {
+		if visited[ep] {
+			continue
+		}
+		visited[ep] = true
+		d := unitDistance(q, h.nodes[ep].vec)
+		heap.Push(&candidates, distItem{ep, d})
+		heap.Push(&results, distItem{ep, d})
+	}
+	for candidates.Len() > 0 {
+		c := heap.Pop(&candidates).(distItem)
+		if results.Len() >= ef && c.dist > results[0].dist {
+			break
+		}
+		for _, n := range h.nodes[c.node].links[l] {
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			d := unitDistance(q, h.nodes[n].vec)
+			if results.Len() < ef || d < results[0].dist {
+				heap.Push(&candidates, distItem{n, d})
+				heap.Push(&results, distItem{n, d})
+				if results.Len() > ef {
+					heap.Pop(&results)
+				}
+			}
+		}
+	}
+	out := make([]int32, results.Len())
+	dists := make([]float32, results.Len())
+	for i := results.Len() - 1; i >= 0; i-- {
+		it := heap.Pop(&results).(distItem)
+		out[i] = it.node
+		dists[i] = it.dist
+	}
+	return out
+}
+
+// selectHeuristic is Algorithm 4 (select-neighbors-heuristic): it keeps a
+// candidate only if it is closer to q than to every already-selected
+// neighbor, producing diverse links that preserve graph navigability.
+func (h *HNSW) selectHeuristic(q Vector, cand []int32, m int) []int32 {
+	if len(cand) <= m {
+		out := make([]int32, len(cand))
+		copy(out, cand)
+		return out
+	}
+	type cd struct {
+		node int32
+		dist float32
+	}
+	cds := make([]cd, len(cand))
+	for i, c := range cand {
+		cds[i] = cd{c, unitDistance(q, h.nodes[c].vec)}
+	}
+	sort.Slice(cds, func(i, j int) bool { return cds[i].dist < cds[j].dist })
+
+	var selected []int32
+	var discarded []cd
+	for _, c := range cds {
+		if len(selected) >= m {
+			break
+		}
+		good := true
+		for _, s := range selected {
+			if unitDistance(h.nodes[c.node].vec, h.nodes[s].vec) < c.dist {
+				good = false
+				break
+			}
+		}
+		if good {
+			selected = append(selected, c.node)
+		} else {
+			discarded = append(discarded, c)
+		}
+	}
+	// keepPruned: fill remaining slots with the closest discarded nodes.
+	for _, c := range discarded {
+		if len(selected) >= m {
+			break
+		}
+		selected = append(selected, c.node)
+	}
+	return selected
+}
+
+// Search implements Index: beam search from the top layer down.
+func (h *HNSW) Search(q Vector, k int) []Result {
+	if k <= 0 || h.entry < 0 {
+		return nil
+	}
+	q = Normalize(append(Vector(nil), q...))
+	ep := h.entry
+	for l := h.maxLvl; l > 0; l-- {
+		ep = h.greedyClosest(q, ep, l)
+	}
+	ef := h.cfg.EfSearch
+	if ef < k {
+		ef = k
+	}
+	nodes := h.searchLayer(q, []int32{ep}, ef, 0)
+	if k > len(nodes) {
+		k = len(nodes)
+	}
+	out := make([]Result, k)
+	for i := 0; i < k; i++ {
+		out[i] = Result{ID: h.nodes[nodes[i]].id, Distance: unitDistance(q, h.nodes[nodes[i]].vec)}
+	}
+	return out
+}
+
+// MaxLevel reports the current top layer of the graph (diagnostics).
+func (h *HNSW) MaxLevel() int { return h.maxLvl }
+
+// AvgDegree reports the mean layer-0 out-degree (diagnostics).
+func (h *HNSW) AvgDegree() float64 {
+	if len(h.nodes) == 0 {
+		return 0
+	}
+	total := 0
+	for _, n := range h.nodes {
+		total += len(n.links[0])
+	}
+	return float64(total) / float64(len(h.nodes))
+}
+
+// unitDistance is the cosine distance between unit-length vectors: a
+// single dot product. Both the stored vectors and the search query are
+// normalized before use.
+func unitDistance(a, b Vector) float32 { return 1 - Dot(a, b) }

@@ -1,0 +1,56 @@
+package vector
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// hnswNodeSnapshot is the gob-serializable form of one graph node.
+type hnswNodeSnapshot struct {
+	ID    int
+	Vec   Vector
+	Level int
+	Links [][]int32
+}
+
+// hnswSnapshot is the gob-serializable form of the whole graph.
+type hnswSnapshot struct {
+	Cfg    HNSWConfig
+	Nodes  []hnswNodeSnapshot
+	Entry  int32
+	MaxLvl int
+	Dim    int
+}
+
+// Save serializes the graph, including its adjacency structure, so that
+// loading skips reconstruction.
+func (h *HNSW) Save(w io.Writer) error {
+	snap := hnswSnapshot{Cfg: h.cfg, Entry: h.entry, MaxLvl: h.maxLvl, Dim: h.dim}
+	snap.Nodes = make([]hnswNodeSnapshot, len(h.nodes))
+	for i, n := range h.nodes {
+		snap.Nodes[i] = hnswNodeSnapshot{ID: n.id, Vec: n.vec, Level: n.level, Links: n.links}
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("vector: encode hnsw: %w", err)
+	}
+	return nil
+}
+
+// ReadHNSW deserializes a graph written by Save.
+func ReadHNSW(r io.Reader) (*HNSW, error) {
+	var snap hnswSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("vector: decode hnsw: %w", err)
+	}
+	h := NewHNSW(snap.Cfg)
+	h.entry = snap.Entry
+	h.maxLvl = snap.MaxLvl
+	h.dim = snap.Dim
+	h.nodes = make([]hnswNode, len(snap.Nodes))
+	for i, n := range snap.Nodes {
+		h.nodes[i] = hnswNode{id: n.ID, vec: n.Vec, level: n.Level, links: n.Links}
+		h.byID[n.ID] = int32(i)
+	}
+	return h, nil
+}

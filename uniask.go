@@ -1,0 +1,186 @@
+// Package uniask is the public API of the UniAsk reproduction: a
+// Retrieval-Augmented-Generation search system for enterprise knowledge
+// bases, after "UniAsk: AI-powered search for banking knowledge bases"
+// (EDBT 2025).
+//
+// A System wraps the full pipeline the paper describes: HTML ingestion and
+// paragraph-aware chunking, a hybrid index (Italian-analyzed BM25 full-text
+// search plus HNSW vector search over synthetic embeddings), Reciprocal
+// Rank Fusion with semantic reranking, grounded answer generation with
+// citations through a chat-completion LLM interface, and the guardrail
+// pipeline (ROUGE-L, citation, clarification, content filter).
+//
+// Quick start:
+//
+//	corpus := uniask.SyntheticCorpus(1000, 42)
+//	sys, err := uniask.NewFromCorpus(context.Background(), corpus, uniask.Config{})
+//	if err != nil { ... }
+//	resp, err := sys.Ask(context.Background(), "Come posso bloccare la carta di credito?")
+//	fmt.Println(resp.Answer)
+package uniask
+
+import (
+	"context"
+	"io"
+
+	"uniask/internal/core"
+	"uniask/internal/embedding"
+	"uniask/internal/guardrails"
+	"uniask/internal/index"
+	"uniask/internal/indexer"
+	"uniask/internal/ingest"
+	"uniask/internal/kb"
+	"uniask/internal/llm"
+	"uniask/internal/queue"
+	"uniask/internal/search"
+	"uniask/internal/server"
+)
+
+// Config configures a System. The zero value reproduces the deployed
+// configuration of the paper: 512-token chunks, m=4 context chunks,
+// ROUGE-L guardrail threshold 0.15, hybrid search with n=50/K=15/c=60 and
+// semantic reranking.
+type Config struct {
+	// LLM is the chat-completion backend. Nil selects the built-in
+	// deterministic simulator.
+	LLM llm.Client
+	// Lexicon is the concept lexicon driving the synthetic embedder's (and
+	// simulator's) paraphrase understanding. NewFromCorpus fills it from
+	// the corpus automatically.
+	Lexicon embedding.Lexicon
+	// EmbeddingDim overrides the embedding dimensionality (default 256).
+	EmbeddingDim int
+	// ChunkTokens overrides the chunk-size target (default 512).
+	ChunkTokens int
+	// M overrides the number of context chunks given to the LLM (default 4).
+	M int
+	// RougeThreshold overrides the ROUGE-L guardrail threshold (default 0.15).
+	RougeThreshold float64
+	// EnrichSummary asks the LLM for a per-document summary at indexing
+	// time, stored as retrievable metadata.
+	EnrichSummary bool
+	// SearchOptions overrides the default retrieval configuration.
+	SearchOptions search.Options
+}
+
+// System is a fully assembled UniAsk instance.
+type System struct {
+	engine *core.Engine
+}
+
+// Response is the outcome of an Ask call: the answer (or the apology /
+// clarification message when a guardrail fired), the guardrail verdict,
+// the citations and the retrieved document list.
+type Response = core.Response
+
+// Result is one retrieved chunk.
+type Result = search.Result
+
+// Corpus is a synthetic knowledge base (see SyntheticCorpus).
+type Corpus = kb.Corpus
+
+// New creates a System with an empty index. Feed it with IndexHTML or
+// IndexCorpus.
+func New(cfg Config) *System {
+	return &System{engine: core.New(core.Config{
+		LLM:          cfg.LLM,
+		EmbeddingDim: cfg.EmbeddingDim,
+		Lexicon:      cfg.Lexicon,
+		Indexer: indexer.Config{
+			ChunkTokens:   cfg.ChunkTokens,
+			EnrichSummary: cfg.EnrichSummary,
+		},
+		Guardrails:    guardrails.Config{RougeThreshold: cfg.RougeThreshold},
+		M:             cfg.M,
+		SearchOptions: cfg.SearchOptions,
+	})}
+}
+
+// NewFromCorpus creates a System and indexes the given corpus through the
+// full ingestion pipeline. When cfg.Lexicon is nil the corpus' own concept
+// lexicon is used, which is what gives the embedder paraphrase proximity.
+func NewFromCorpus(ctx context.Context, corpus *Corpus, cfg Config) (*System, error) {
+	if cfg.Lexicon == nil {
+		cfg.Lexicon = corpus.Lexicon()
+	}
+	s := New(cfg)
+	if err := s.IndexCorpus(ctx, corpus); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SyntheticCorpus generates a deterministic synthetic Italian banking
+// knowledge base with the statistical shape of the paper's corpus: short
+// HTML documents, editor tags, jargon codes and near-duplicate clusters.
+// The paper's deployment indexed 59308 documents.
+func SyntheticCorpus(docs int, seed int64) *Corpus {
+	return kb.Generate(kb.GenConfig{Docs: docs, Seed: seed})
+}
+
+// IndexCorpus ingests and indexes every page of a corpus.
+func (s *System) IndexCorpus(ctx context.Context, corpus *Corpus) error {
+	return s.engine.IndexCorpus(ctx, corpus)
+}
+
+// IndexHTML ingests and indexes a single HTML page under the given id,
+// exercising the same extraction/chunking/enrichment path as bulk loads.
+func (s *System) IndexHTML(ctx context.Context, id, html string) error {
+	q := queue.New[ingest.Extracted]()
+	ing := &ingest.Ingester{Source: ingest.StaticSource{{ID: id, HTML: html}}, Out: q}
+	if _, err := ing.SyncOnce(); err != nil {
+		return err
+	}
+	q.Close()
+	in := indexer.New(s.engine.Index, s.engine.Embedder, s.engine.Client, indexer.Config{})
+	_, err := in.Run(ctx, q)
+	return err
+}
+
+// Ask runs the full RAG query flow: content filter, hybrid retrieval with
+// semantic reranking, grounded generation, guardrails. The document list in
+// the response is populated even when a guardrail invalidates the answer.
+func (s *System) Ask(ctx context.Context, question string) (Response, error) {
+	return s.engine.Ask(ctx, question)
+}
+
+// Search runs retrieval only and returns the ranked chunks.
+func (s *System) Search(ctx context.Context, query string) ([]Result, error) {
+	return s.engine.Search(ctx, query)
+}
+
+// SearchWith runs retrieval with explicit options (modes, expansions,
+// boosts — see the search package).
+func (s *System) SearchWith(ctx context.Context, query string, opts search.Options) ([]Result, error) {
+	return s.engine.Searcher.Search(ctx, query, opts)
+}
+
+// IndexedChunks reports how many chunks the index holds.
+func (s *System) IndexedChunks() int { return s.engine.Index.Len() }
+
+// Engine exposes the underlying core engine for advanced composition
+// (custom evaluation harnesses, servers, experiments).
+func (s *System) Engine() *core.Engine { return s.engine }
+
+// NewServer wraps the system in the REST backend (login, ask, search,
+// feedback, dashboard endpoints).
+func (s *System) NewServer() *server.Server { return server.New(s.engine) }
+
+// SaveIndex serializes the system's index (documents, inverted postings,
+// HNSW graphs) so a later LoadIndex skips the expensive build.
+func (s *System) SaveIndex(w io.Writer) error {
+	return s.engine.Index.Save(w)
+}
+
+// LoadIndex replaces the system's index with one previously written by
+// SaveIndex. The embedder configuration must match the one used when the
+// index was built.
+func (s *System) LoadIndex(r io.Reader) error {
+	ix, err := index.Read(r, index.Config{})
+	if err != nil {
+		return err
+	}
+	s.engine.Index = ix
+	s.engine.Searcher.Index = ix
+	return nil
+}

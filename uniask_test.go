@@ -1,0 +1,121 @@
+package uniask_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"uniask"
+)
+
+func newSystem(t *testing.T) (*uniask.System, *uniask.Corpus) {
+	t.Helper()
+	corpus := uniask.SyntheticCorpus(200, 7)
+	sys, err := uniask.NewFromCorpus(context.Background(), corpus, uniask.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, corpus
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	sys, corpus := newSystem(t)
+	if sys.IndexedChunks() < len(corpus.Docs) {
+		t.Fatalf("indexed %d chunks for %d docs", sys.IndexedChunks(), len(corpus.Docs))
+	}
+	d := corpus.Docs[0]
+	resp, err := sys.Ask(context.Background(), "Come posso "+strings.ToLower(d.Title)+"?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Answer == "" {
+		t.Fatal("empty answer")
+	}
+	if len(resp.Documents) == 0 {
+		t.Fatal("no documents")
+	}
+}
+
+func TestSearchAPI(t *testing.T) {
+	sys, corpus := newSystem(t)
+	res, err := sys.Search(context.Background(), corpus.Docs[3].Title)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	if res[0].ParentID == "" || res[0].Title == "" {
+		t.Fatalf("result incomplete: %+v", res[0])
+	}
+}
+
+func TestIndexHTMLIncremental(t *testing.T) {
+	sys := uniask.New(uniask.Config{})
+	html := `<html><head><title>Pagina incrementale</title></head><body>
+<p>Per attivare il servizio speciale degli incrementi chiamare il numero interno.</p></body></html>`
+	if err := sys.IndexHTML(context.Background(), "extra1", html); err != nil {
+		t.Fatal(err)
+	}
+	if sys.IndexedChunks() == 0 {
+		t.Fatal("nothing indexed")
+	}
+	res, err := sys.Search(context.Background(), "servizio speciale incrementi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 || res[0].ParentID != "extra1" {
+		t.Fatalf("results = %+v", res)
+	}
+}
+
+func TestGuardrailOnOffTopic(t *testing.T) {
+	sys, _ := newSystem(t)
+	resp, err := sys.Ask(context.Background(), "Qual è la ricetta della carbonara?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.AnswerValid {
+		t.Fatalf("off-topic question got a valid answer: %q", resp.Answer)
+	}
+	if resp.Guardrail.String() == "none" {
+		t.Fatal("no guardrail reported")
+	}
+}
+
+func TestNewServerServesTraffic(t *testing.T) {
+	sys, _ := newSystem(t)
+	srv := sys.NewServer()
+	if srv == nil || srv.Engine != sys.Engine() {
+		t.Fatal("server not wired to engine")
+	}
+}
+
+func TestSaveLoadIndex(t *testing.T) {
+	sys, corpus := newSystem(t)
+	var buf bytes.Buffer
+	if err := sys.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh system sharing the same lexicon loads the snapshot.
+	sys2 := uniask.New(uniask.Config{Lexicon: corpus.Lexicon()})
+	if err := sys2.LoadIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if sys2.IndexedChunks() != sys.IndexedChunks() {
+		t.Fatalf("chunks %d != %d", sys2.IndexedChunks(), sys.IndexedChunks())
+	}
+	a, _ := sys.Search(context.Background(), corpus.Docs[0].Title)
+	b, _ := sys2.Search(context.Background(), corpus.Docs[0].Title)
+	if len(a) == 0 || len(a) != len(b) || a[0] != b[0] {
+		t.Fatalf("restored search differs: %v vs %v", a[:min(2, len(a))], b[:min(2, len(b))])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
