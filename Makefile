@@ -1,0 +1,30 @@
+# Developer entry points. `make check` is the tier-1 verification gate:
+# vet + the full test suite with the race detector on, since the query
+# pipeline fans retrieval out over a worker pool and the determinism
+# tests only mean something when raced.
+
+GO ?= go
+
+.PHONY: all build test race vet check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-enabled run of the concurrent packages plus everything that sits
+# on top of them. Slower than `make test`; required before merging
+# changes to pipeline, search, core, or monitor.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+check: vet build race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -16,6 +16,7 @@ import (
 
 	"uniask/internal/llm"
 	"uniask/internal/loadtest"
+	"uniask/internal/monitor"
 	"uniask/internal/vclock"
 )
 
@@ -35,11 +36,17 @@ func main() {
 		BurstTokens:     *quota,
 		Clock:           clk,
 	})
+	metrics := monitor.New()
 	report := loadtest.Run(svc, clk, loadtest.Config{
 		Duration:         time.Duration(*minutes) * time.Minute,
 		InitialRate:      *initial,
 		TargetRate:       *target,
 		TokensPerRequest: *tokens,
+		Observer:         metrics,
 	})
 	fmt.Println(report)
+	// Per-request stage stats (count, rejections, wall-clock latency of
+	// the rate-limited service call) through the same observer hook the
+	// query pipeline reports into.
+	fmt.Print(metrics.Snapshot().StagesString())
 }

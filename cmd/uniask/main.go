@@ -25,16 +25,20 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", ":8080", "listen address")
-		docs = flag.Int("docs", 6000, "synthetic corpus size (paper: 59308)")
-		seed = flag.Int64("seed", 1, "corpus generation seed")
+		addr    = flag.String("addr", ":8080", "listen address")
+		docs    = flag.Int("docs", 6000, "synthetic corpus size (paper: 59308)")
+		seed    = flag.Int64("seed", 1, "corpus generation seed")
+		workers = flag.Int("workers", 0, "retrieval fan-out width (0 = one per CPU, 1 = sequential)")
 	)
 	flag.Parse()
 
 	fmt.Fprintf(os.Stderr, "generating and indexing %d documents...\n", *docs)
 	start := time.Now()
 	corpus := uniask.SyntheticCorpus(*docs, *seed)
-	sys, err := uniask.NewFromCorpus(context.Background(), corpus, uniask.Config{EnrichSummary: true})
+	sys, err := uniask.NewFromCorpus(context.Background(), corpus, uniask.Config{
+		EnrichSummary: true,
+		SearchWorkers: *workers,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "setup failed:", err)
 		os.Exit(1)

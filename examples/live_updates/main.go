@@ -41,7 +41,7 @@ func main() {
 	}}
 
 	clk := vclock.NewVirtual(time.Date(2025, 6, 1, 8, 0, 0, 0, time.UTC))
-	sync := engine.NewPoller(kbase)
+	sync := engine.NewPoller(ctx, kbase)
 
 	show := func(q string) {
 		res, err := sys.Search(ctx, q)

@@ -4,6 +4,11 @@
 // Figure 1 (content filter → hybrid retrieval with semantic reranking →
 // grounded generation → guardrails), returning a natural-language answer
 // with citations together with the retrieved document list.
+//
+// The query flow runs as an instrumented stage pipeline: each Figure-1
+// stage honors context cancellation and reports its latency and sizes
+// through a pipeline.Observer (see SetObserver), which the monitoring
+// layer uses for the per-stage dashboard of §9.
 package core
 
 import (
@@ -19,6 +24,7 @@ import (
 	"uniask/internal/ingest"
 	"uniask/internal/kb"
 	"uniask/internal/llm"
+	"uniask/internal/pipeline"
 	"uniask/internal/queue"
 	"uniask/internal/rerank"
 	"uniask/internal/search"
@@ -43,11 +49,16 @@ type Config struct {
 	// SearchOptions is the default retrieval configuration (zero value =
 	// the deployed HSS configuration).
 	SearchOptions search.Options
+	// Observer receives per-stage pipeline reports (nil = discard).
+	Observer pipeline.Observer
+	// SearchWorkers bounds the retrieval fan-out (0 = one per CPU).
+	SearchWorkers int
 }
 
 // Engine is a fully assembled UniAsk instance.
 type Engine struct {
 	cfg       Config
+	obs       pipeline.Observer
 	Index     *index.Index
 	Searcher  *search.Searcher
 	Generator *generation.Generator
@@ -73,6 +84,7 @@ func New(cfg Config) *Engine {
 	ix := index.New(index.Config{Schema: indexer.Schema()})
 	eng := &Engine{
 		cfg:      cfg,
+		obs:      pipeline.OrNop(cfg.Observer),
 		Index:    ix,
 		Embedder: emb,
 		Client:   cfg.LLM,
@@ -82,10 +94,21 @@ func New(cfg Config) *Engine {
 		Embedder: emb,
 		Reranker: rerank.New(),
 		LLM:      cfg.LLM,
+		Observer: eng.obs,
+		Workers:  cfg.SearchWorkers,
 	}
 	eng.Generator = &generation.Generator{Client: cfg.LLM, M: cfg.M}
 	eng.Guards = guardrails.New(cfg.Guardrails)
 	return eng
+}
+
+// SetObserver replaces the engine's stage observer (nil = discard) for the
+// whole query pipeline, including the searcher's retrieval stages. The
+// server wires its metrics registry here so every Ask feeds the per-stage
+// dashboard.
+func (e *Engine) SetObserver(obs pipeline.Observer) {
+	e.obs = pipeline.OrNop(obs)
+	e.Searcher.Observer = e.obs
 }
 
 // BuildFromCorpus creates an engine and indexes a generated corpus through
@@ -159,18 +182,31 @@ func (e *Engine) Search(ctx context.Context, query string) ([]search.Result, err
 	return e.Searcher.Search(ctx, query, e.cfg.SearchOptions)
 }
 
-// Ask runs the full user query flow of Figure 1.
+// Ask runs the full user query flow of Figure 1 as an instrumented stage
+// pipeline: filter → retrieval (itself staged inside the searcher) →
+// generation → guardrails. Every stage honors ctx cancellation and reports
+// to the engine's observer.
 func (e *Engine) Ask(ctx context.Context, question string) (Response, error) {
 	resp := Response{Query: question}
 
-	// 1. Content filter on the question.
-	if trigger := e.Guards.CheckQuestion(question); trigger != guardrails.None {
-		resp.Guardrail = trigger
+	// 1. Content filter on the question. A firing guardrail is a normal
+	// outcome, not a stage error.
+	var filterTrigger guardrails.Trigger
+	err := pipeline.Run(ctx, e.obs, pipeline.StageFilter, 1, func(context.Context) (int, error) {
+		filterTrigger = e.Guards.CheckQuestion(question)
+		return 1, nil
+	})
+	if err != nil {
+		return resp, err
+	}
+	if filterTrigger != guardrails.None {
+		resp.Guardrail = filterTrigger
 		resp.Answer = guardrails.ApologyMessage
 		return resp, nil
 	}
 
-	// 2. Retrieval.
+	// 2. Retrieval (the searcher reports its own retrieval/fusion/rerank
+	// stages).
 	results, err := e.Searcher.Search(ctx, question, e.cfg.SearchOptions)
 	if err != nil {
 		return resp, fmt.Errorf("core: search: %w", err)
@@ -189,7 +225,12 @@ func (e *Engine) Ask(ctx context.Context, question string) (Response, error) {
 		chunks[i] = generation.RetrievedChunk{ID: r.ChunkID, Title: r.Title, Content: r.Content}
 		contexts[i] = r.Content
 	}
-	ans, err := e.Generator.Generate(ctx, question, chunks)
+	var ans generation.Answer
+	err = pipeline.Run(ctx, e.obs, pipeline.StageGeneration, len(chunks), func(ctx context.Context) (int, error) {
+		var err error
+		ans, err = e.Generator.Generate(ctx, question, chunks)
+		return 1, err
+	})
 	if err != nil {
 		return resp, fmt.Errorf("core: generate: %w", err)
 	}
@@ -197,7 +238,14 @@ func (e *Engine) Ask(ctx context.Context, question string) (Response, error) {
 	resp.Citations = ans.Citations
 
 	// 4. Guardrails on the generated answer.
-	trigger := e.Guards.CheckAnswer(ans.Text, ans.Citations, contexts)
+	var trigger guardrails.Trigger
+	err = pipeline.Run(ctx, e.obs, pipeline.StageGuardrails, len(contexts), func(context.Context) (int, error) {
+		trigger = e.Guards.CheckAnswer(ans.Text, ans.Citations, contexts)
+		return 1, nil
+	})
+	if err != nil {
+		return resp, err
+	}
 	resp.Guardrail = trigger
 	switch trigger {
 	case guardrails.None:
@@ -228,11 +276,17 @@ func (e *Engine) Retriever(ctx context.Context, opts search.Options) func(string
 // and indexed in place; vanished pages are tombstoned. The returned
 // function reports how many pages changed. State (content fingerprints)
 // persists across calls, exactly like the 15-minute cron ingester.
-func (e *Engine) NewPoller(src ingest.Source) func() (int, error) {
+//
+// Every pass runs under ctx, so a poller wired to the server's context
+// stops indexing as soon as the server shuts down.
+func (e *Engine) NewPoller(ctx context.Context, src ingest.Source) func() (int, error) {
 	q := queue.New[ingest.Extracted]()
 	ing := &ingest.Ingester{Source: src, Out: q}
 	in := indexer.New(e.Index, e.Embedder, e.Client, e.cfg.Indexer)
 	return func() (int, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		changed, err := ing.SyncOnce()
 		if err != nil {
 			return 0, fmt.Errorf("core: poll: %w", err)
@@ -242,7 +296,7 @@ func (e *Engine) NewPoller(src ingest.Source) func() (int, error) {
 			if !ok {
 				break
 			}
-			if _, err := in.IndexDocument(context.Background(), doc); err != nil {
+			if _, err := in.IndexDocument(ctx, doc); err != nil {
 				return changed, fmt.Errorf("core: poll index: %w", err)
 			}
 		}

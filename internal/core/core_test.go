@@ -2,12 +2,15 @@ package core
 
 import (
 	"context"
+	"errors"
 	"strings"
+	"sync"
 	"testing"
 
 	"uniask/internal/guardrails"
 	"uniask/internal/ingest"
 	"uniask/internal/kb"
+	"uniask/internal/pipeline"
 	"uniask/internal/search"
 )
 
@@ -159,6 +162,97 @@ func TestRetrieverAdapter(t *testing.T) {
 	}
 }
 
+// stageRecorder is a thread-safe observer counting stage reports.
+type stageRecorder struct {
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+func (r *stageRecorder) ObserveStage(info pipeline.StageInfo) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counts == nil {
+		r.counts = map[string]int{}
+	}
+	r.counts[info.Stage]++
+}
+
+func (r *stageRecorder) count(stage string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts[stage]
+}
+
+// TestAskReportsAllPipelineStages checks that one Ask reports every
+// Figure-1 stage exactly once through the engine's observer.
+func TestAskReportsAllPipelineStages(t *testing.T) {
+	e, c := engine(t)
+	rec := &stageRecorder{}
+	e.SetObserver(rec)
+	defer e.SetObserver(nil)
+	if _, err := e.Ask(context.Background(), c.Docs[0].Title+"?"); err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range []string{
+		pipeline.StageFilter, pipeline.StageEmbed, pipeline.StageRetrieval,
+		pipeline.StageFusion, pipeline.StageRerank,
+		pipeline.StageGeneration, pipeline.StageGuardrails,
+	} {
+		if n := rec.count(stage); n != 1 {
+			t.Errorf("stage %q reported %d times, want 1 (counts=%v)", stage, n, rec.counts)
+		}
+	}
+}
+
+// TestAskContentFilterStopsPipeline checks a filtered question reports the
+// filter stage but never reaches retrieval or generation.
+func TestAskContentFilterStopsPipeline(t *testing.T) {
+	e, _ := engine(t)
+	rec := &stageRecorder{}
+	e.SetObserver(rec)
+	defer e.SetObserver(nil)
+	resp, err := e.Ask(context.Background(), "questo maledetto sistema, come apro un conto?")
+	if err != nil || resp.Guardrail != guardrails.Content {
+		t.Fatalf("resp=%+v err=%v", resp, err)
+	}
+	if rec.count(pipeline.StageFilter) != 1 {
+		t.Fatal("filter stage not reported")
+	}
+	if rec.count(pipeline.StageRetrieval) != 0 || rec.count(pipeline.StageGeneration) != 0 {
+		t.Fatalf("filtered question still ran later stages: %v", rec.counts)
+	}
+}
+
+// TestAskHonorsCancellation checks Ask surfaces ctx.Err() at every stage
+// boundary instead of returning a partial response.
+func TestAskHonorsCancellation(t *testing.T) {
+	e, c := engine(t)
+	defer e.SetObserver(nil)
+	question := c.Docs[0].Title + "?"
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Ask(ctx, question); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Ask err = %v", err)
+	}
+
+	for _, stage := range []string{pipeline.StageFilter, pipeline.StageRetrieval, pipeline.StageGeneration} {
+		ctx, cancel := context.WithCancel(context.Background())
+		stage := stage
+		var once sync.Once
+		e.SetObserver(pipeline.ObserverFunc(func(info pipeline.StageInfo) {
+			if info.Stage == stage {
+				once.Do(cancel)
+			}
+		}))
+		_, err := e.Ask(ctx, question)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancel after %q: err = %v", stage, err)
+		}
+		cancel()
+	}
+}
+
 func min(a, b int) int {
 	if a < b {
 		return a
@@ -176,7 +270,7 @@ func TestPollerAppliesEditsAndDeletions(t *testing.T) {
 	src := &mutableSource{pages: []ingest.Page{
 		{ID: "p1", HTML: "<html><head><title>Pagina uno</title></head><body><p>Contenuto originale con parola unicaoriginale.</p></body></html>"},
 	}}
-	sync := eng.NewPoller(src)
+	sync := eng.NewPoller(context.Background(), src)
 
 	if n, err := sync(); err != nil || n != 1 {
 		t.Fatalf("initial sync = %d, %v", n, err)

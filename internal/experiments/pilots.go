@@ -279,9 +279,12 @@ func Figure2() loadtest.Report {
 // Figure 3 — monitoring dashboard.
 
 // Figure3 replays a slice of query traffic through the engine while
-// recording monitoring metrics, then returns the dashboard snapshot.
+// recording monitoring metrics — including per-stage pipeline latency via
+// the engine's observer hook — then returns the dashboard snapshot.
 func (e *Env) Figure3(ctx context.Context) (monitor.Dashboard, error) {
 	m := monitor.New()
+	e.Engine.SetObserver(m)
+	defer e.Engine.SetObserver(nil)
 	rng := rand.New(rand.NewSource(e.Scale.Seed + 900))
 	queries := e.Corpus.HumanDataset(150, e.Scale.Seed+901).Queries
 	for i, q := range queries {

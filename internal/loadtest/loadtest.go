@@ -15,8 +15,12 @@ import (
 	"time"
 
 	"uniask/internal/llm"
+	"uniask/internal/pipeline"
 	"uniask/internal/vclock"
 )
+
+// StageLLM is the stage name load-test requests report under.
+const StageLLM = "llm"
 
 // Config describes a load test. The zero value reproduces the paper's run:
 // 60 minutes, ramp from 1 to 3 users/second, 7200 tokens per request.
@@ -31,6 +35,11 @@ type Config struct {
 	// MaxRequests optionally caps total arrivals (the paper reports 7200
 	// requests in the window; 0 = no cap).
 	MaxRequests int
+	// Observer, when set, receives one "llm" stage report per request
+	// (wall-clock latency, token payload as input size, rejections as
+	// errors) — the same hook the query pipeline uses, so the monitoring
+	// dashboard can aggregate load-test traffic.
+	Observer pipeline.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -123,13 +132,23 @@ func Run(svc *llm.Service, clk *vclock.Virtual, cfg Config) Report {
 		rep.Buckets[i].Start = time.Duration(i) * bucketLen
 	}
 
+	obs := pipeline.OrNop(cfg.Observer)
 	prev := 0.0
 	for _, at := range arrivals {
 		clk.Advance(time.Duration((at - prev) * float64(time.Second)))
 		prev = at
 		rep.TotalRequests++
 		rep.TotalTokens += cfg.TokensPerRequest
+		start := time.Now()
 		_, err := svc.Complete(context.Background(), req)
+		out := 1
+		if err != nil {
+			out = 0
+		}
+		obs.ObserveStage(pipeline.StageInfo{
+			Stage: StageLLM, Duration: time.Since(start),
+			In: cfg.TokensPerRequest, Out: out, Err: err,
+		})
 		bi := int(at / dur * float64(nBuckets))
 		if bi >= nBuckets {
 			bi = nBuckets - 1

@@ -2,6 +2,12 @@
 // 3): a thread-safe metrics registry the services write into, and a
 // dashboard snapshot reporting the number of users, feedbacks, average
 // response time, failed requests and triggered guardrails.
+//
+// The registry is also a pipeline.Observer: wired into the query pipeline
+// (core.Engine.SetObserver) it aggregates per-stage call counts, errors,
+// latency and input/output sizes for every Figure-1 stage — filter,
+// retrieval, fusion, rerank, generation, guardrails — surfaced both in the
+// dashboard string and in the server's /api/dashboard JSON.
 package monitor
 
 import (
@@ -10,6 +16,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"uniask/internal/pipeline"
 )
 
 // Metrics is the registry the microservices record events into.
@@ -22,11 +30,25 @@ type Metrics struct {
 	feedbacks         int
 	positiveFeedbacks int
 	totalLatency      time.Duration
+	stages            map[string]*stageAgg
+}
+
+// stageAgg accumulates one pipeline stage's reports.
+type stageAgg struct {
+	count        int
+	errors       int
+	totalLatency time.Duration
+	totalIn      int
+	totalOut     int
 }
 
 // New returns an empty registry.
 func New() *Metrics {
-	return &Metrics{users: make(map[string]bool), guardrails: make(map[string]int)}
+	return &Metrics{
+		users:      make(map[string]bool),
+		guardrails: make(map[string]int),
+		stages:     make(map[string]*stageAgg),
+	}
 }
 
 // RecordQuery logs one user query: who asked, how long the request took,
@@ -55,6 +77,39 @@ func (m *Metrics) RecordFeedback(positive bool) {
 	}
 }
 
+// ObserveStage implements pipeline.Observer: one report per stage
+// execution, aggregated into per-stage counters and latency.
+func (m *Metrics) ObserveStage(info pipeline.StageInfo) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	agg, ok := m.stages[info.Stage]
+	if !ok {
+		agg = &stageAgg{}
+		m.stages[info.Stage] = agg
+	}
+	agg.count++
+	agg.totalLatency += info.Duration
+	agg.totalIn += info.In
+	agg.totalOut += info.Out
+	if info.Err != nil {
+		agg.errors++
+	}
+}
+
+// StageStats is the dashboard view of one pipeline stage.
+type StageStats struct {
+	// Stage is the stage name (pipeline.Stage* or custom).
+	Stage string
+	// Count and Errors are executions and failed executions (cancellation
+	// counts as a failure).
+	Count  int
+	Errors int
+	// AvgLatency is mean stage latency over all executions.
+	AvgLatency time.Duration
+	// AvgIn and AvgOut are the mean input/output sizes (items).
+	AvgIn, AvgOut float64
+}
+
 // Dashboard is a point-in-time snapshot (the Figure 3 page).
 type Dashboard struct {
 	Users               int
@@ -65,6 +120,9 @@ type Dashboard struct {
 	FailedRequests      int
 	GuardrailsTriggered int
 	PerGuardrail        map[string]int
+	// Stages holds per-pipeline-stage latency and size aggregates, in
+	// query-flow order (filter … guardrails, then custom stages).
+	Stages []StageStats
 }
 
 // Snapshot reads the current dashboard.
@@ -86,7 +144,33 @@ func (m *Metrics) Snapshot() Dashboard {
 	if m.queries > 0 {
 		d.AvgResponse = m.totalLatency / time.Duration(m.queries)
 	}
+	for name, agg := range m.stages {
+		s := StageStats{Stage: name, Count: agg.count, Errors: agg.errors}
+		if agg.count > 0 {
+			s.AvgLatency = agg.totalLatency / time.Duration(agg.count)
+			s.AvgIn = float64(agg.totalIn) / float64(agg.count)
+			s.AvgOut = float64(agg.totalOut) / float64(agg.count)
+		}
+		d.Stages = append(d.Stages, s)
+	}
+	sort.Slice(d.Stages, func(i, j int) bool {
+		oi, oj := pipeline.StageOrder(d.Stages[i].Stage), pipeline.StageOrder(d.Stages[j].Stage)
+		if oi != oj {
+			return oi < oj
+		}
+		return d.Stages[i].Stage < d.Stages[j].Stage
+	})
 	return d
+}
+
+// StageByName returns the stats for one stage (zero value when absent).
+func (d Dashboard) StageByName(stage string) (StageStats, bool) {
+	for _, s := range d.Stages {
+		if s.Stage == stage {
+			return s, true
+		}
+	}
+	return StageStats{}, false
 }
 
 // String renders the dashboard page.
@@ -106,6 +190,22 @@ func (d Dashboard) String() string {
 	sort.Strings(keys)
 	for _, k := range keys {
 		fmt.Fprintf(&b, "    %-20s %d\n", k+":", d.PerGuardrail[k])
+	}
+	b.WriteString(d.StagesString())
+	return b.String()
+}
+
+// StagesString renders the per-stage pipeline section of the dashboard
+// (empty when no stage was ever observed).
+func (d Dashboard) StagesString() string {
+	if len(d.Stages) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "  pipeline stages:       (calls / errors / avg latency / avg in -> out)\n")
+	for _, s := range d.Stages {
+		fmt.Fprintf(&b, "    %-12s %6d  %4d  %10v  %8.1f -> %.1f\n",
+			s.Stage+":", s.Count, s.Errors, s.AvgLatency.Round(time.Microsecond), s.AvgIn, s.AvgOut)
 	}
 	return b.String()
 }

@@ -1,10 +1,13 @@
 package monitor
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"uniask/internal/pipeline"
 )
 
 func TestSnapshotBasics(t *testing.T) {
@@ -64,6 +67,65 @@ func TestDashboardString(t *testing.T) {
 	}
 }
 
+func TestObserveStageAggregates(t *testing.T) {
+	m := New()
+	m.ObserveStage(pipeline.StageInfo{Stage: pipeline.StageRetrieval, Duration: 10 * time.Millisecond, In: 3, Out: 90})
+	m.ObserveStage(pipeline.StageInfo{Stage: pipeline.StageRetrieval, Duration: 30 * time.Millisecond, In: 3, Out: 110})
+	m.ObserveStage(pipeline.StageInfo{Stage: pipeline.StageFusion, Duration: time.Millisecond, In: 200, Out: 50, Err: errors.New("x")})
+
+	d := m.Snapshot()
+	r, ok := d.StageByName(pipeline.StageRetrieval)
+	if !ok {
+		t.Fatalf("retrieval stage missing: %+v", d.Stages)
+	}
+	if r.Count != 2 || r.Errors != 0 || r.AvgLatency != 20*time.Millisecond || r.AvgIn != 3 || r.AvgOut != 100 {
+		t.Fatalf("retrieval stats = %+v", r)
+	}
+	f, ok := d.StageByName(pipeline.StageFusion)
+	if !ok || f.Count != 1 || f.Errors != 1 {
+		t.Fatalf("fusion stats = %+v", f)
+	}
+	if _, ok := d.StageByName("nonexistent"); ok {
+		t.Fatal("StageByName invented a stage")
+	}
+}
+
+func TestSnapshotStagesOrdered(t *testing.T) {
+	m := New()
+	for _, s := range []string{pipeline.StageGuardrails, "custom", pipeline.StageFilter, pipeline.StageRerank} {
+		m.ObserveStage(pipeline.StageInfo{Stage: s})
+	}
+	d := m.Snapshot()
+	var names []string
+	for _, s := range d.Stages {
+		names = append(names, s.Stage)
+	}
+	want := []string{pipeline.StageFilter, pipeline.StageRerank, pipeline.StageGuardrails, "custom"}
+	if len(names) != len(want) {
+		t.Fatalf("stages = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("stage order = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestDashboardStringIncludesStages(t *testing.T) {
+	m := New()
+	m.ObserveStage(pipeline.StageInfo{Stage: pipeline.StageFilter, Duration: time.Millisecond, In: 1, Out: 1})
+	out := m.Snapshot().String()
+	for _, want := range []string{"pipeline stages", "filter:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dashboard missing %q:\n%s", want, out)
+		}
+	}
+	// A dashboard with no stage reports omits the section entirely.
+	if strings.Contains(New().Snapshot().String(), "pipeline stages") {
+		t.Error("empty dashboard shows a stage section")
+	}
+}
+
 func TestConcurrentRecording(t *testing.T) {
 	m := New()
 	var wg sync.WaitGroup
@@ -74,6 +136,7 @@ func TestConcurrentRecording(t *testing.T) {
 			for j := 0; j < 100; j++ {
 				m.RecordQuery("user", time.Millisecond, "none", false)
 				m.RecordFeedback(j%2 == 0)
+				m.ObserveStage(pipeline.StageInfo{Stage: pipeline.StageRetrieval, Duration: time.Microsecond, In: 3, Out: 50})
 			}
 		}(i)
 	}
@@ -81,5 +144,8 @@ func TestConcurrentRecording(t *testing.T) {
 	d := m.Snapshot()
 	if d.Queries != 800 || d.Feedbacks != 800 {
 		t.Fatalf("lost events: %d queries, %d feedbacks", d.Queries, d.Feedbacks)
+	}
+	if s, _ := d.StageByName(pipeline.StageRetrieval); s.Count != 800 {
+		t.Fatalf("lost stage reports: %+v", s)
 	}
 }

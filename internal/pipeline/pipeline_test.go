@@ -1,0 +1,249 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// recorder is a thread-safe test observer.
+type recorder struct {
+	mu    sync.Mutex
+	infos []StageInfo
+}
+
+func (r *recorder) ObserveStage(info StageInfo) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.infos = append(r.infos, info)
+}
+
+func (r *recorder) byStage(stage string) []StageInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []StageInfo
+	for _, i := range r.infos {
+		if i.Stage == stage {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestRunReportsStage(t *testing.T) {
+	rec := &recorder{}
+	err := Run(context.Background(), rec, StageFusion, 7, func(ctx context.Context) (int, error) {
+		time.Sleep(time.Millisecond)
+		return 3, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rec.byStage(StageFusion)
+	if len(got) != 1 {
+		t.Fatalf("reports = %+v", got)
+	}
+	info := got[0]
+	if info.In != 7 || info.Out != 3 || info.Err != nil || info.Duration <= 0 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestRunReportsError(t *testing.T) {
+	rec := &recorder{}
+	boom := errors.New("boom")
+	err := Run(context.Background(), rec, StageGeneration, 1, func(ctx context.Context) (int, error) {
+		return 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := rec.byStage(StageGeneration); len(got) != 1 || !errors.Is(got[0].Err, boom) {
+		t.Fatalf("reports = %+v", got)
+	}
+}
+
+func TestRunRefusesCancelledContext(t *testing.T) {
+	rec := &recorder{}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := Run(ctx, rec, StageRerank, 5, func(ctx context.Context) (int, error) {
+		ran = true
+		return 5, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran {
+		t.Fatal("stage body ran under a cancelled context")
+	}
+	got := rec.byStage(StageRerank)
+	if len(got) != 1 || !errors.Is(got[0].Err, context.Canceled) || got[0].In != 5 {
+		t.Fatalf("reports = %+v", got)
+	}
+}
+
+func TestRunNilObserver(t *testing.T) {
+	if err := Run(context.Background(), nil, "x", 0, func(ctx context.Context) (int, error) {
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		out, err := Map(context.Background(), workers, 100, func(ctx context.Context, i int) (string, error) {
+			return fmt.Sprintf("task-%03d", i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != fmt.Sprintf("task-%03d", i) {
+				t.Fatalf("workers=%d: out[%d] = %q", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	_, err := Map(context.Background(), workers, 50, func(ctx context.Context, i int) (int, error) {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		cur.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent tasks with %d workers", p, workers)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), 4, 0, func(ctx context.Context, i int) (int, error) {
+		t.Fatal("task ran for n=0")
+		return 0, nil
+	})
+	if err != nil || out != nil {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestMapTaskErrorCancelsRest(t *testing.T) {
+	boom := errors.New("task failed")
+	var ran atomic.Int32
+	_, err := Map(context.Background(), 2, 100, func(ctx context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n == 100 {
+		t.Fatal("error did not cancel remaining tasks")
+	}
+}
+
+func TestMapErrorNotMaskedByCancellationEcho(t *testing.T) {
+	boom := errors.New("real failure")
+	release := make(chan struct{})
+	_, err := Map(context.Background(), 2, 4, func(ctx context.Context, i int) (int, error) {
+		if i == 0 {
+			// Wait until task 1 has failed, then echo the internal
+			// cancellation like a well-behaved ctx-aware task.
+			<-release
+			<-ctx.Done()
+			return 0, ctx.Err()
+		}
+		if i == 1 {
+			defer close(release)
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the real failure", err)
+	}
+}
+
+func TestMapCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := Map(ctx, 4, 10, func(ctx context.Context, i int) (int, error) {
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) || out != nil {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestMapMidFlightCancellationReturnsNoPartialResults(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		out, err := Map(ctx, workers, 100, func(c context.Context, i int) (int, error) {
+			if i == 10 {
+				cancel()
+			}
+			if err := c.Err(); err != nil {
+				return 0, err
+			}
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if out != nil {
+			t.Fatalf("workers=%d: partial results leaked: %v", workers, out)
+		}
+	}
+}
+
+func TestMultiAndOrNop(t *testing.T) {
+	a, b := &recorder{}, &recorder{}
+	obs := Multi(nil, a, b)
+	obs.ObserveStage(StageInfo{Stage: "x"})
+	if len(a.byStage("x")) != 1 || len(b.byStage("x")) != 1 {
+		t.Fatal("multi observer dropped a report")
+	}
+	if Multi() != Nop {
+		t.Fatal("empty Multi is not Nop")
+	}
+	if OrNop(nil) != Nop || OrNop(a) != Observer(a) {
+		t.Fatal("OrNop misbehaves")
+	}
+}
+
+func TestStageOrder(t *testing.T) {
+	if !(StageOrder(StageFilter) < StageOrder(StageRetrieval) &&
+		StageOrder(StageRetrieval) < StageOrder(StageFusion) &&
+		StageOrder(StageFusion) < StageOrder(StageRerank) &&
+		StageOrder(StageRerank) < StageOrder(StageGeneration) &&
+		StageOrder(StageGeneration) < StageOrder(StageGuardrails)) {
+		t.Fatal("canonical stage order broken")
+	}
+	if StageOrder("custom") <= StageOrder(StageGuardrails) {
+		t.Fatal("unknown stages must sort after canonical ones")
+	}
+}

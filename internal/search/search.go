@@ -4,6 +4,14 @@
 // vector field, Reciprocal Rank Fusion merges the rankings, and the final
 // relevance score adds a semantic-reranker score to the RRF score.
 //
+// The retrieval legs are independent, so the Searcher runs them as a
+// concurrent fan-out over a bounded worker pool (see internal/pipeline):
+// BM25 and the per-field ANN searches — and, under MQ1 expansion, the
+// per-query searches — execute in parallel and join before RRF. The join
+// preserves component order, so the fused ranking is byte-identical to a
+// sequential execution. Every stage honors context cancellation and
+// reports latency and sizes through a pipeline.Observer.
+//
 // The package also implements every retrieval variant the paper ablates in
 // Tables 2-4: text-only and vector-only modes, the QGA/MQ1/MQ2 query
 // expansions, multiplicative title boosting (T5/T50/T500), and searching
@@ -13,11 +21,14 @@ package search
 import (
 	"context"
 	"fmt"
+	"sort"
+	"strings"
 
 	"uniask/internal/embedding"
 	"uniask/internal/fusion"
 	"uniask/internal/index"
 	"uniask/internal/llm"
+	"uniask/internal/pipeline"
 	"uniask/internal/rerank"
 	"uniask/internal/vector"
 )
@@ -128,6 +139,19 @@ type Searcher struct {
 	// LLM serves the query-expansion prompts (required only when an
 	// Expansion is requested).
 	LLM llm.Client
+	// Observer receives per-stage reports (nil = discard).
+	Observer pipeline.Observer
+	// Workers bounds the retrieval fan-out (0 = pipeline.DefaultWorkers).
+	Workers int
+}
+
+func (s *Searcher) obs() pipeline.Observer { return pipeline.OrNop(s.Observer) }
+
+func (s *Searcher) workers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return pipeline.DefaultWorkers()
 }
 
 // Search retrieves the chunks most relevant to query.
@@ -142,25 +166,50 @@ func (s *Searcher) Search(ctx context.Context, query string, opts Options) ([]Re
 	case MQ2:
 		return s.searchMQ2(ctx, query, opts)
 	}
-	qvec := s.Embedder.Embed(query)
-	return s.searchOnce(query, qvec, opts), nil
+	qvec, err := s.embed(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	return s.searchOnce(ctx, query, qvec, opts)
+}
+
+// embed runs one query embedding as an observed stage.
+func (s *Searcher) embed(ctx context.Context, query string) (vector.Vector, error) {
+	var qvec vector.Vector
+	err := pipeline.Run(ctx, s.obs(), pipeline.StageEmbed, 1, func(context.Context) (int, error) {
+		qvec = s.Embedder.Embed(query)
+		return 1, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return qvec, nil
 }
 
 // searchOnce runs one text+vector+RRF+rerank pass with the given query text
 // and query vector.
-func (s *Searcher) searchOnce(query string, qvec vector.Vector, opts Options) []Result {
-	rankings := s.componentRankings(query, qvec, opts)
-	fused := fusion.RRF(rankings, opts.RRFC)
-	if len(fused) > opts.FinalN {
-		fused = fused[:opts.FinalN]
+func (s *Searcher) searchOnce(ctx context.Context, query string, qvec vector.Vector, opts Options) ([]Result, error) {
+	rankings, err := s.runComponents(ctx, s.components(query, qvec, opts))
+	if err != nil {
+		return nil, err
 	}
-	return s.finalize(query, qvec, fused, opts)
+	fused, err := s.fuse(ctx, rankings, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.finalize(ctx, query, qvec, fused, opts)
 }
 
-// componentRankings produces the per-component rankings RRF merges: one
-// from full-text search and one per vector field.
-func (s *Searcher) componentRankings(query string, qvec vector.Vector, opts Options) []fusion.Ranking {
-	var rankings []fusion.Ranking
+// component is one independent retrieval leg: BM25 full-text search or one
+// ANN search over a vector field. Components are pure reads over the index
+// and safe to run concurrently.
+type component func() fusion.Ranking
+
+// components lists the retrieval legs for one (query, vector) pair, in the
+// deterministic order RRF fuses them: text first, then vector fields in
+// the index's sorted field order.
+func (s *Searcher) components(query string, qvec vector.Vector, opts Options) []component {
+	var comps []component
 	if opts.Mode != VectorOnly {
 		textOpts := index.TextOptions{Filters: opts.Filters}
 		textOpts.Fields = []string{"title", "content"}
@@ -170,21 +219,76 @@ func (s *Searcher) componentRankings(query string, qvec vector.Vector, opts Opti
 		if opts.TitleBoost > 1 {
 			textOpts.FieldWeights = map[string]float64{"title": opts.TitleBoost}
 		}
-		hits := s.Index.SearchText(query, opts.TextN, textOpts)
-		rankings = append(rankings, hitsToRanking(hits))
+		comps = append(comps, func() fusion.Ranking {
+			return hitsToRanking(s.Index.SearchText(query, opts.TextN, textOpts))
+		})
 	}
 	if opts.Mode != TextOnly {
 		for _, field := range s.Index.VectorFields() {
-			hits := s.Index.SearchVector(field, qvec, opts.VectorK, opts.Filters)
-			rankings = append(rankings, hitsToRanking(hits))
+			field := field
+			comps = append(comps, func() fusion.Ranking {
+				return hitsToRanking(s.Index.SearchVector(field, qvec, opts.VectorK, opts.Filters))
+			})
 		}
 	}
-	return rankings
+	return comps
+}
+
+// runComponents executes the retrieval legs over the bounded worker pool
+// as one observed "retrieval" stage. Results keep component order, so the
+// rankings slice is identical to a sequential loop's.
+func (s *Searcher) runComponents(ctx context.Context, comps []component) ([]fusion.Ranking, error) {
+	var rankings []fusion.Ranking
+	err := pipeline.Run(ctx, s.obs(), pipeline.StageRetrieval, len(comps), func(ctx context.Context) (int, error) {
+		var err error
+		rankings, err = pipeline.Map(ctx, s.workers(), len(comps), func(ctx context.Context, i int) (fusion.Ranking, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return comps[i](), nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		total := 0
+		for _, r := range rankings {
+			total += len(r)
+		}
+		return total, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rankings, nil
+}
+
+// fuse merges the component rankings with RRF and truncates to FinalN, as
+// one observed "fusion" stage.
+func (s *Searcher) fuse(ctx context.Context, rankings []fusion.Ranking, opts Options) ([]fusion.Fused, error) {
+	in := 0
+	for _, r := range rankings {
+		in += len(r)
+	}
+	var fused []fusion.Fused
+	err := pipeline.Run(ctx, s.obs(), pipeline.StageFusion, in, func(context.Context) (int, error) {
+		fused = fusion.RRF(rankings, opts.RRFC)
+		if len(fused) > opts.FinalN {
+			fused = fused[:opts.FinalN]
+		}
+		return len(fused), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fused, nil
 }
 
 // finalize materializes results and applies semantic reranking: the final
 // score is the RRF score plus the reranker score, re-sorted.
-func (s *Searcher) finalize(query string, qvec vector.Vector, fused []fusion.Fused, opts Options) []Result {
+func (s *Searcher) finalize(ctx context.Context, query string, qvec vector.Vector, fused []fusion.Fused, opts Options) ([]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	results := make([]Result, 0, len(fused))
 	for _, f := range fused {
 		doc, ok := s.Index.DocByID(f.ID)
@@ -201,51 +305,91 @@ func (s *Searcher) finalize(query string, qvec vector.Vector, fused []fusion.Fus
 		})
 	}
 	if s.Reranker == nil || opts.DisableSemanticRerank {
-		return results
+		return results, nil
 	}
-	for i := range results {
-		doc, _ := s.Index.DocByID(results[i].ChunkID)
-		in := rerank.Input{
-			ID:            results[i].ChunkID,
-			Title:         results[i].Title,
-			Content:       results[i].Content,
-			ContentVector: doc.Vectors["contentVector"],
+	err := pipeline.Run(ctx, s.obs(), pipeline.StageRerank, len(results), func(ctx context.Context) (int, error) {
+		for i := range results {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			doc, _ := s.Index.DocByID(results[i].ChunkID)
+			in := rerank.Input{
+				ID:            results[i].ChunkID,
+				Title:         results[i].Title,
+				Content:       results[i].Content,
+				ContentVector: doc.Vectors["contentVector"],
+			}
+			results[i].Score += s.Reranker.Score(query, qvec, in)
 		}
-		results[i].Score += s.Reranker.Score(query, qvec, in)
+		sortResults(results)
+		return len(results), nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	sortResults(results)
-	return results
+	return results, nil
 }
 
 // searchQGA expands the query with a context-free LLM answer.
 func (s *Searcher) searchQGA(ctx context.Context, query string, opts Options) ([]Result, error) {
-	resp, err := s.LLM.Complete(ctx, llm.BuildDirectAnswerPrompt(query))
+	var resp llm.Response
+	err := pipeline.Run(ctx, s.obs(), pipeline.StageExpand, 1, func(ctx context.Context) (int, error) {
+		var err error
+		resp, err = s.LLM.Complete(ctx, llm.BuildDirectAnswerPrompt(query))
+		return 1, err
+	})
 	if err != nil {
 		return nil, fmt.Errorf("search: QGA expansion: %w", err)
 	}
 	expanded := query + " " + resp.Content
-	qvec := s.Embedder.Embed(expanded)
+	qvec, err := s.embed(ctx, expanded)
+	if err != nil {
+		return nil, err
+	}
 	opts.Expansion = NoExpansion
-	return s.searchOnce(expanded, qvec, opts), nil
+	return s.searchOnce(ctx, expanded, qvec, opts)
 }
 
 // searchMQ1 fuses one hybrid search per generated related query (plus the
-// original).
+// original). The per-query component searches form one flat fan-out over
+// the shared worker pool; the original query's embedding is computed once
+// and reused for its component searches and for reranking.
 func (s *Searcher) searchMQ1(ctx context.Context, query string, opts Options) ([]Result, error) {
 	queries, err := s.relatedQueries(ctx, query, opts.RelatedQueries)
 	if err != nil {
 		return nil, err
 	}
 	queries = append([]string{query}, queries...)
-	var rankings []fusion.Ranking
-	for _, q := range queries {
-		rankings = append(rankings, s.componentRankings(q, s.Embedder.Embed(q), opts)...)
+
+	var vecs []vector.Vector
+	err = pipeline.Run(ctx, s.obs(), pipeline.StageEmbed, len(queries), func(ctx context.Context) (int, error) {
+		var err error
+		vecs, err = pipeline.Map(ctx, s.workers(), len(queries), func(ctx context.Context, i int) (vector.Vector, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return s.Embedder.Embed(queries[i]), nil
+		})
+		return len(vecs), err
+	})
+	if err != nil {
+		return nil, err
 	}
-	fused := fusion.RRF(rankings, opts.RRFC)
-	if len(fused) > opts.FinalN {
-		fused = fused[:opts.FinalN]
+
+	var comps []component
+	for qi := range queries {
+		comps = append(comps, s.components(queries[qi], vecs[qi], opts)...)
 	}
-	return s.finalize(query, s.Embedder.Embed(query), fused, opts), nil
+	rankings, err := s.runComponents(ctx, comps)
+	if err != nil {
+		return nil, err
+	}
+	fused, err := s.fuse(ctx, rankings, opts)
+	if err != nil {
+		return nil, err
+	}
+	// vecs[0] is the original query's embedding — reused, not re-embedded.
+	return s.finalize(ctx, query, vecs[0], fused, opts)
 }
 
 // searchMQ2 runs a single hybrid search over the concatenated text and the
@@ -256,55 +400,43 @@ func (s *Searcher) searchMQ2(ctx context.Context, query string, opts Options) ([
 		return nil, err
 	}
 	queries = append([]string{query}, queries...)
-	concat := ""
-	vecs := make([]vector.Vector, 0, len(queries))
-	for _, q := range queries {
-		if concat != "" {
-			concat += " "
+	concat := strings.Join(queries, " ")
+	var qvec vector.Vector
+	err = pipeline.Run(ctx, s.obs(), pipeline.StageEmbed, len(queries), func(ctx context.Context) (int, error) {
+		vecs := make([]vector.Vector, 0, len(queries))
+		for _, q := range queries {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			vecs = append(vecs, s.Embedder.Embed(q))
 		}
-		concat += q
-		vecs = append(vecs, s.Embedder.Embed(q))
+		qvec = embedding.Mean(vecs, s.Embedder.Dim())
+		return 1, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	qvec := embedding.Mean(vecs, s.Embedder.Dim())
 	opts.Expansion = NoExpansion
-	return s.searchOnce(concat, qvec, opts), nil
+	return s.searchOnce(ctx, concat, qvec, opts)
 }
 
 func (s *Searcher) relatedQueries(ctx context.Context, query string, n int) ([]string, error) {
-	resp, err := s.LLM.Complete(ctx, llm.BuildRelatedQueriesPrompt(query, n))
+	var resp llm.Response
+	err := pipeline.Run(ctx, s.obs(), pipeline.StageExpand, 1, func(ctx context.Context) (int, error) {
+		var err error
+		resp, err = s.LLM.Complete(ctx, llm.BuildRelatedQueriesPrompt(query, n))
+		return n, err
+	})
 	if err != nil {
 		return nil, fmt.Errorf("search: related-query expansion: %w", err)
 	}
 	var out []string
-	for _, line := range splitLines(resp.Content) {
-		if line != "" {
+	for _, line := range strings.Split(resp.Content, "\n") {
+		if line = strings.TrimSpace(line); line != "" {
 			out = append(out, line)
 		}
 	}
 	return out, nil
-}
-
-func splitLines(s string) []string {
-	var out []string
-	start := 0
-	for i := 0; i <= len(s); i++ {
-		if i == len(s) || s[i] == '\n' {
-			line := trimSpace(s[start:i])
-			out = append(out, line)
-			start = i + 1
-		}
-	}
-	return out
-}
-
-func trimSpace(s string) string {
-	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t' || s[0] == '\r') {
-		s = s[1:]
-	}
-	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t' || s[len(s)-1] == '\r') {
-		s = s[:len(s)-1]
-	}
-	return s
 }
 
 func hitsToRanking(hits []index.Hit) fusion.Ranking {
@@ -315,18 +447,15 @@ func hitsToRanking(hits []index.Hit) fusion.Ranking {
 	return r
 }
 
+// sortResults orders by score descending, ties broken by ChunkID ascending
+// for determinism.
 func sortResults(rs []Result) {
-	// Insertion sort is fine for <= 50 results and keeps determinism with
-	// explicit tie-breaking by chunk id.
-	for i := 1; i < len(rs); i++ {
-		for j := i; j > 0; j-- {
-			if rs[j-1].Score > rs[j].Score ||
-				(rs[j-1].Score == rs[j].Score && rs[j-1].ChunkID <= rs[j].ChunkID) {
-				break
-			}
-			rs[j-1], rs[j] = rs[j], rs[j-1]
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Score != rs[j].Score {
+			return rs[i].Score > rs[j].Score
 		}
-	}
+		return rs[i].ChunkID < rs[j].ChunkID
+	})
 }
 
 // ParentRanking collapses a chunk ranking into a KB-document ranking,

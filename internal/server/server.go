@@ -89,15 +89,20 @@ type Server struct {
 	seq      int
 }
 
-// New creates a server over an engine.
+// New creates a server over an engine. The server's metrics registry is
+// installed as the engine's pipeline observer, so every Ask/Search that
+// flows through the engine feeds the per-stage section of the Figure-3
+// dashboard (GET /api/dashboard).
 func New(engine *core.Engine) *Server {
-	return &Server{
+	s := &Server{
 		Engine:   engine,
 		Metrics:  monitor.New(),
 		Feedback: &FeedbackStore{},
 		Log:      eventlog.New(),
 		sessions: make(map[string]string),
 	}
+	engine.SetObserver(s.Metrics)
+	return s
 }
 
 // Handler returns the HTTP routes.

@@ -15,6 +15,7 @@ import (
 	"uniask/internal/eventlog"
 	"uniask/internal/kb"
 	"uniask/internal/monitor"
+	"uniask/internal/pipeline"
 )
 
 var (
@@ -203,6 +204,31 @@ func TestDashboardReflectsTraffic(t *testing.T) {
 	}
 	if d.Queries == 0 || d.Users == 0 {
 		t.Fatalf("dashboard empty: %+v", d)
+	}
+}
+
+// TestDashboardRecordsPipelineStages checks the acceptance criterion that
+// an end-to-end Ask through the server records per-stage latency for every
+// Figure-1 stage in the monitoring dashboard.
+func TestDashboardRecordsPipelineStages(t *testing.T) {
+	srv, _ := setup(t)
+	token := login(t, srv.URL, "stage.user")
+	resp := authedReq(t, "POST", srv.URL+"/api/ask", token, map[string]string{"question": corpus.Docs[3].Title + "?"})
+	resp.Body.Close()
+	resp = authedReq(t, "GET", srv.URL+"/api/dashboard", token, nil)
+	defer resp.Body.Close()
+	var d monitor.Dashboard
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range []string{
+		pipeline.StageFilter, pipeline.StageRetrieval, pipeline.StageFusion,
+		pipeline.StageRerank, pipeline.StageGeneration, pipeline.StageGuardrails,
+	} {
+		s, ok := d.StageByName(stage)
+		if !ok || s.Count == 0 {
+			t.Errorf("stage %q not recorded in dashboard: %+v", stage, d.Stages)
+		}
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"uniask/internal/ingest"
 	"uniask/internal/kb"
 	"uniask/internal/llm"
+	"uniask/internal/pipeline"
 	"uniask/internal/queue"
 	"uniask/internal/search"
 	"uniask/internal/server"
@@ -61,6 +62,14 @@ type Config struct {
 	EnrichSummary bool
 	// SearchOptions overrides the default retrieval configuration.
 	SearchOptions search.Options
+	// SearchWorkers bounds the concurrent retrieval fan-out (BM25 + one
+	// ANN search per vector field run in parallel; default: one worker
+	// per CPU). 1 forces fully sequential retrieval.
+	SearchWorkers int
+	// Observer receives per-stage pipeline reports for every query
+	// (latency, sizes, errors). NewServer overrides it with the server's
+	// metrics registry; set it here for custom instrumentation.
+	Observer pipeline.Observer
 }
 
 // System is a fully assembled UniAsk instance.
@@ -93,6 +102,8 @@ func New(cfg Config) *System {
 		Guardrails:    guardrails.Config{RougeThreshold: cfg.RougeThreshold},
 		M:             cfg.M,
 		SearchOptions: cfg.SearchOptions,
+		Observer:      cfg.Observer,
+		SearchWorkers: cfg.SearchWorkers,
 	})}
 }
 
