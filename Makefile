@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench
+.PHONY: all build test race vet check bench bench-paper
 
 all: check
 
@@ -26,5 +26,14 @@ vet:
 
 check: vet build race
 
+# Query hot-path micro-benchmarks (BM25, ANN, filter bitsets, query cache)
+# with allocation stats, recorded as BENCH_query.json via cmd/benchjson.
 bench:
+	$(GO) test -bench 'BenchmarkSearchText|BenchmarkSearchVector|BenchmarkFilterSet|BenchmarkQueryCache' \
+		-benchmem -run '^$$' ./internal/index/ ./internal/search/ \
+		| $(GO) run ./cmd/benchjson -baseline BENCH_query_baseline.json > BENCH_query.json
+	@echo "wrote BENCH_query.json"
+
+# Paper-scale end-to-end benchmark (Tables 1-3 reproduction).
+bench-paper:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

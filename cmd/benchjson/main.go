@@ -1,0 +1,89 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// report on stdout, so the Makefile's bench target can emit a
+// machine-readable BENCH_query.json next to the human-readable log.
+//
+//	go test -bench . -benchmem ./internal/index/ | benchjson > BENCH_query.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with the -N GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iterations is the b.N the runner settled on.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present only under -benchmem.
+	BytesPerOp  *int64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkSearchText-8   17612   67289 ns/op   3066 B/op   10 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	baselinePath := flag.String("baseline", "",
+		"JSON file with pre-change numbers to embed under \"baseline\" (skipped when absent)")
+	flag.Parse()
+
+	var results []Result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			// Pass non-benchmark lines through to stderr so the terminal
+			// still shows the usual go test chatter.
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		fmt.Fprintln(os.Stderr, line)
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			b, _ := strconv.ParseInt(m[4], 10, 64)
+			r.BytesPerOp = &b
+		}
+		if m[5] != "" {
+			a, _ := strconv.ParseInt(m[5], 10, 64)
+			r.AllocsPerOp = &a
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	out := map[string]any{"benchmarks": results}
+	if *baselinePath != "" {
+		if raw, err := os.ReadFile(*baselinePath); err == nil {
+			var baseline any
+			if err := json.Unmarshal(raw, &baseline); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+				os.Exit(1)
+			}
+			out["baseline"] = baseline
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

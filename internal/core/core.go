@@ -53,6 +53,9 @@ type Config struct {
 	Observer pipeline.Observer
 	// SearchWorkers bounds the retrieval fan-out (0 = one per CPU).
 	SearchWorkers int
+	// QueryCacheCapacity sizes the epoch-invalidated query-result cache
+	// (0 = search.DefaultQueryCacheCapacity; negative disables caching).
+	QueryCacheCapacity int
 }
 
 // Engine is a fully assembled UniAsk instance.
@@ -96,6 +99,9 @@ func New(cfg Config) *Engine {
 		LLM:      cfg.LLM,
 		Observer: eng.obs,
 		Workers:  cfg.SearchWorkers,
+	}
+	if cfg.QueryCacheCapacity >= 0 {
+		eng.Searcher.Cache = search.NewQueryCache(cfg.QueryCacheCapacity)
 	}
 	eng.Generator = &generation.Generator{Client: cfg.LLM, M: cfg.M}
 	eng.Guards = guardrails.New(cfg.Guardrails)

@@ -237,6 +237,10 @@ func TestAskHonorsCancellation(t *testing.T) {
 	}
 
 	for _, stage := range []string{pipeline.StageFilter, pipeline.StageRetrieval, pipeline.StageGeneration} {
+		// The test asserts every stage actually runs, so a query-cache hit
+		// (the shared engine may have answered this question already) would
+		// skip retrieval and never trigger the cancel.
+		e.Searcher.Cache.Purge()
 		ctx, cancel := context.WithCancel(context.Background())
 		stage := stage
 		var once sync.Once

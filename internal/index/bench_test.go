@@ -1,0 +1,137 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"uniask/internal/vector"
+)
+
+// benchIndex builds the warm 2000-doc corpus the query micro-benchmarks run
+// against: realistic Italian banking text with shared vocabulary (so posting
+// lists are long), four filterable domains, and 64-dim vectors in both
+// vector fields.
+func benchIndex(tb testing.TB) (*Index, vector.Vector) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(42))
+	ix := New(Config{})
+	subjects := []string{
+		"carta di credito", "bonifico estero", "conto corrente",
+		"mutuo prima casa", "prestito personale", "deposito titoli",
+	}
+	actions := []string{"bloccare", "aprire", "chiudere", "modificare", "verificare", "autorizzare"}
+	domains := []string{"prodotti", "pagamenti", "errori", "normativa"}
+	dim := 64
+	for i := 0; i < 2000; i++ {
+		subj := subjects[i%len(subjects)]
+		act := actions[(i/len(subjects))%len(actions)]
+		title := fmt.Sprintf("Procedura %d: %s %s", i, act, subj)
+		content := fmt.Sprintf(
+			"La procedura operativa %d per %s il servizio %s prevede passaggi autorizzativi, "+
+				"controlli di conformità interni e la verifica del codice cliente PRC-%04d.",
+			i, act, subj, i%97)
+		tv := make(vector.Vector, dim)
+		cv := make(vector.Vector, dim)
+		for j := 0; j < dim; j++ {
+			tv[j] = float32(rng.NormFloat64())
+			cv[j] = float32(rng.NormFloat64())
+		}
+		err := ix.Add(Document{
+			ID:       fmt.Sprintf("d%04d#0", i),
+			ParentID: fmt.Sprintf("d%04d", i),
+			Fields: map[string]string{
+				"title":   title,
+				"content": content,
+				"domain":  domains[i%len(domains)],
+				"topic":   subj,
+			},
+			Vectors: map[string]vector.Vector{
+				"titleVector":   tv,
+				"contentVector": cv,
+			},
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+	q := make(vector.Vector, dim)
+	for j := 0; j < dim; j++ {
+		q[j] = float32(rng.NormFloat64())
+	}
+	return ix, q
+}
+
+// BenchmarkSearchText is the headline hot-path benchmark: BM25 over two
+// searchable fields, top-50 of ~2000 matching candidates.
+func BenchmarkSearchText(b *testing.B) {
+	ix, _ := benchIndex(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.SearchText("procedura autorizzativa per verificare il conto corrente", 50, TextOptions{})
+	}
+}
+
+// BenchmarkSearchTextFiltered adds a conjunctive filter, exercising the
+// filter path on every posting.
+func BenchmarkSearchTextFiltered(b *testing.B) {
+	ix, _ := benchIndex(b)
+	opts := TextOptions{Filters: []Filter{{Field: "domain", Value: "prodotti"}}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.SearchText("procedura autorizzativa per verificare il conto corrente", 50, opts)
+	}
+}
+
+// BenchmarkSearchTextTitleBoost exercises the weighted-field path used by
+// the paper's T5/T50/T500 experiments.
+func BenchmarkSearchTextTitleBoost(b *testing.B) {
+	ix, _ := benchIndex(b)
+	opts := TextOptions{FieldWeights: map[string]float64{"title": 50}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.SearchText("procedura autorizzativa per verificare il conto corrente", 50, opts)
+	}
+}
+
+// BenchmarkSearchVector times one ANN leg (k=15, the deployed K).
+func BenchmarkSearchVector(b *testing.B) {
+	ix, q := benchIndex(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.SearchVector("contentVector", q, 15, nil)
+	}
+}
+
+// BenchmarkSearchVectorFiltered times the filtered ANN leg (over-fetch +
+// post-filter).
+func BenchmarkSearchVectorFiltered(b *testing.B) {
+	ix, q := benchIndex(b)
+	filters := []Filter{{Field: "domain", Value: "pagamenti"}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.SearchVector("contentVector", q, 15, filters)
+	}
+}
+
+// BenchmarkFilterSet times resolving a two-term conjunctive filter to the
+// allowed-document set (cached bitsets intersected by AND).
+func BenchmarkFilterSet(b *testing.B) {
+	ix, _ := benchIndex(b)
+	filters := []Filter{
+		{Field: "domain", Value: "prodotti"},
+		{Field: "topic", Value: "carta di credito"},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.mu.RLock()
+		ix.filterBits(filters)
+		ix.mu.RUnlock()
+	}
+}

@@ -1,0 +1,206 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"uniask/internal/vector"
+)
+
+// smallIndex builds a compact corpus with vectors for the concurrency and
+// allocation tests (the 2000-doc bench corpus is too slow to build per test).
+func smallIndex(tb testing.TB, docs int) (*Index, vector.Vector) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(7))
+	ix := New(Config{})
+	domains := []string{"prodotti", "pagamenti", "errori"}
+	dim := 16
+	for i := 0; i < docs; i++ {
+		v := make(vector.Vector, dim)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		err := ix.Add(Document{
+			ID:       fmt.Sprintf("c%03d#0", i),
+			ParentID: fmt.Sprintf("c%03d", i),
+			Fields: map[string]string{
+				"title":   fmt.Sprintf("Procedura %d per il conto corrente", i),
+				"content": fmt.Sprintf("La procedura operativa %d prevede controlli sul conto e verifica del codice PRC-%03d.", i, i%37),
+				"domain":  domains[i%len(domains)],
+			},
+			Vectors: map[string]vector.Vector{"contentVector": v},
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+	q := make(vector.Vector, dim)
+	for j := range q {
+		q[j] = float32(rng.NormFloat64())
+	}
+	return ix, q
+}
+
+// TestConcurrentSearchWithLiveWriter races text and vector searches, filtered
+// variants, and metadata reads against a live stream of Add/Delete/
+// DeleteParent calls. Run under -race (the Makefile's check target does) it
+// verifies the RWMutex discipline of the index.
+func TestConcurrentSearchWithLiveWriter(t *testing.T) {
+	ix, q := smallIndex(t, 300)
+	filters := []Filter{{Field: "domain", Value: "prodotti"}}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	reader := func(fn func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					fn()
+				}
+			}
+		}()
+	}
+
+	reader(func() { ix.SearchText("procedura per verificare il conto corrente", 20, TextOptions{}) })
+	reader(func() {
+		ix.SearchText("controlli sul conto", 20, TextOptions{Filters: filters})
+	})
+	reader(func() { ix.SearchVector("contentVector", q, 10, nil) })
+	reader(func() { ix.SearchVector("contentVector", q, 10, filters) })
+	reader(func() {
+		ix.DocByID("c005#0")
+		ix.LiveLen()
+		ix.Epoch()
+		ix.Tombstones()
+	})
+
+	// Writer: interleave adds, deletes and parent deletes.
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 150; i++ {
+		switch i % 3 {
+		case 0:
+			v := make(vector.Vector, 16)
+			for j := range v {
+				v[j] = float32(rng.NormFloat64())
+			}
+			err := ix.Add(Document{
+				ID:       fmt.Sprintf("w%03d#0", i),
+				ParentID: fmt.Sprintf("w%03d", i),
+				Fields: map[string]string{
+					"title":   fmt.Sprintf("Nuova procedura %d", i),
+					"content": "Aggiornamento della procedura per il conto corrente.",
+					"domain":  "prodotti",
+				},
+				Vectors: map[string]vector.Vector{"contentVector": v},
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		case 1:
+			ix.Delete(fmt.Sprintf("c%03d#0", i))
+		case 2:
+			ix.DeleteParent(fmt.Sprintf("c%03d", i+100))
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := ix.Epoch(); got == 0 {
+		t.Fatal("epoch did not advance under writes")
+	}
+	if hits := ix.SearchText("procedura conto corrente", 10, TextOptions{}); len(hits) == 0 {
+		t.Fatal("no hits after concurrent mutation")
+	}
+}
+
+// TestSearchTextAllocs guards the zero-allocation hot path: a warm SearchText
+// must stay within a small constant allocation budget (term slice, hit slice,
+// nothing per-posting). The measured value is ~10; the threshold leaves slack
+// for runtime noise while still catching a reintroduced per-query map or
+// per-token copy (which costs hundreds).
+func TestSearchTextAllocs(t *testing.T) {
+	ix := New(Config{})
+	for i := 0; i < 500; i++ {
+		err := ix.Add(Document{
+			ID:       fmt.Sprintf("a%03d#0", i),
+			ParentID: fmt.Sprintf("a%03d", i),
+			Fields: map[string]string{
+				"title":   fmt.Sprintf("Procedura %d verificare conto corrente", i),
+				"content": fmt.Sprintf("La procedura autorizzativa %d per il conto corrente prevede controlli.", i),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	query := "procedura autorizzativa per verificare il conto corrente"
+	// Warm the accumulator pool.
+	ix.SearchText(query, 50, TextOptions{})
+	allocs := testing.AllocsPerRun(50, func() {
+		ix.SearchText(query, 50, TextOptions{})
+	})
+	if allocs > 30 {
+		t.Fatalf("SearchText allocated %.0f times per run, want <= 30", allocs)
+	}
+}
+
+// TestSearchVectorGrowsFetchUnderSelectiveFilter pins the satellite fix for
+// the fixed k*4 over-fetch: with a filter matching few documents, the ANN
+// fetch must keep growing until k survivors are found instead of silently
+// under-filling the result.
+func TestSearchVectorGrowsFetchUnderSelectiveFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ix := New(Config{})
+	dim := 16
+	const total, rare = 400, 12
+	for i := 0; i < total; i++ {
+		v := make(vector.Vector, dim)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		domain := "comune"
+		if i%(total/rare) == 0 {
+			domain = "raro"
+		}
+		err := ix.Add(Document{
+			ID:       fmt.Sprintf("v%03d#0", i),
+			ParentID: fmt.Sprintf("v%03d", i),
+			Fields:   map[string]string{"content": "testo", "domain": domain},
+			Vectors:  map[string]vector.Vector{"contentVector": v},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := make(vector.Vector, dim)
+	for j := range q {
+		q[j] = float32(rng.NormFloat64())
+	}
+	k := 10 // k*4 = 40 fetched, but only ~12/400 docs pass the filter
+	hits := ix.SearchVector("contentVector", q, k, []Filter{{Field: "domain", Value: "raro"}})
+	if len(hits) != k {
+		t.Fatalf("got %d hits, want %d (fetch must grow past the k*4 floor)", len(hits), k)
+	}
+	for _, h := range hits {
+		if got := ix.Doc(h.Ord).Fields["domain"]; got != "raro" {
+			t.Fatalf("hit %s has domain %q, want raro", h.ID, got)
+		}
+	}
+}
+
+// TestSearchVectorEmptyFilter checks the selectivity estimate handles a
+// filter value that matches nothing.
+func TestSearchVectorEmptyFilter(t *testing.T) {
+	ix, q := smallIndex(t, 50)
+	hits := ix.SearchVector("contentVector", q, 5, []Filter{{Field: "domain", Value: "inesistente"}})
+	if len(hits) != 0 {
+		t.Fatalf("got %d hits for a filter matching nothing", len(hits))
+	}
+}

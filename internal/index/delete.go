@@ -5,11 +5,21 @@ package index
 // support deleting and replacing documents without a rebuild. Deletions are
 // tombstones: the chunk stays in the posting lists and the ANN graph but is
 // filtered out of every search result; its external id is freed for
-// re-insertion. Compact rebuilds reclaim the space.
+// re-insertion. Compact rebuilds reclaim the space. Tombstoning does not
+// touch the filter bitset cache — deletion is checked separately on the
+// query path — but it does bump the mutation epoch so query-result caches
+// invalidate.
 
 // Delete tombstones a chunk by external id. It reports whether the id was
 // present.
 func (ix *Index) Delete(chunkID string) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.deleteLocked(chunkID)
+}
+
+// deleteLocked is Delete with ix.mu already held for writing.
+func (ix *Index) deleteLocked(chunkID string) bool {
 	ord, ok := ix.byID[chunkID]
 	if !ok {
 		return false
@@ -31,16 +41,19 @@ func (ix *Index) Delete(chunkID string) bool {
 	} else {
 		ix.byParent[parent] = live
 	}
+	ix.epoch.Add(1)
 	return true
 }
 
 // DeleteParent tombstones every chunk of a KB document and returns how many
 // chunks were removed.
 func (ix *Index) DeleteParent(parentID string) int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	ords := append([]int32(nil), ix.byParent[parentID]...)
 	n := 0
 	for _, ord := range ords {
-		if ix.Delete(ix.docs[ord].ID) {
+		if ix.deleteLocked(ix.docs[ord].ID) {
 			n++
 		}
 	}
@@ -49,16 +62,27 @@ func (ix *Index) DeleteParent(parentID string) int {
 
 // HasParent reports whether any live chunk of the KB document remains.
 func (ix *Index) HasParent(parentID string) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return len(ix.byParent[parentID]) > 0
 }
 
 // LiveLen reports the number of live (non-tombstoned) chunks.
-func (ix *Index) LiveLen() int { return len(ix.byID) }
+func (ix *Index) LiveLen() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.byID)
+}
 
 // Tombstones reports how many chunks are tombstoned (compaction metric).
-func (ix *Index) Tombstones() int { return len(ix.deleted) }
+func (ix *Index) Tombstones() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.deleted)
+}
 
-// isDeleted reports whether an ordinal is tombstoned.
+// isDeleted reports whether an ordinal is tombstoned; the caller must hold
+// ix.mu.
 func (ix *Index) isDeleted(ord int32) bool {
 	return ix.deleted != nil && ix.deleted[ord]
 }
@@ -66,6 +90,8 @@ func (ix *Index) isDeleted(ord int32) bool {
 // Compact rebuilds the index without tombstoned chunks, reclaiming posting
 // and graph space. It returns the rebuilt index; the receiver is unchanged.
 func (ix *Index) Compact() (*Index, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	out := New(ix.cfg)
 	for ord, doc := range ix.docs {
 		if ix.isDeleted(int32(ord)) {

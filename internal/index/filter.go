@@ -1,0 +1,80 @@
+package index
+
+// Filter bitsets: filterable fields are low-cardinality metadata (domain,
+// topic, section, keywords), so the same (field, value) predicates recur on
+// nearly every filtered query. Instead of materializing a throwaway
+// map[int32]bool per call, each (field, value) pair resolves once to a
+// []uint64 bitset over document ordinals, cached on the index; conjunctive
+// filters intersect cached bitsets with word-wise AND. Add invalidates
+// exactly the entries whose posting list it extends, so a cached bitset is
+// never stale. Tombstones are deliberately not folded in — deletion is
+// checked separately on the query path, keeping Delete from invalidating
+// the cache at all.
+
+// filterKey identifies one cached (field, value) bitset.
+type filterKey struct {
+	field, value string
+}
+
+// bitTest reports whether ord is set in bits. Ordinals past the end of the
+// bitset (documents added after the bitset was built, with other values)
+// are correctly absent.
+func bitTest(bits []uint64, ord int32) bool {
+	w := int(ord >> 6)
+	return w < len(bits) && bits[w]&(1<<(uint(ord)&63)) != 0
+}
+
+// filterBits resolves conjunctive filters to the allowed-ordinal bitset.
+// filtered is false when no filters are given (everything allowed); an
+// empty bits slice with filtered=true allows nothing. The caller must hold
+// ix.mu (read or write).
+func (ix *Index) filterBits(filters []Filter) (bits []uint64, filtered bool) {
+	if len(filters) == 0 {
+		return nil, false
+	}
+	bits = ix.valueBits(filters[0])
+	if len(filters) == 1 {
+		return bits, true
+	}
+	// Intersect into a scratch copy so cached bitsets stay pristine.
+	out := make([]uint64, len(bits))
+	copy(out, bits)
+	for _, f := range filters[1:] {
+		b := ix.valueBits(f)
+		if len(b) < len(out) {
+			out = out[:len(b)]
+		}
+		for i := range out {
+			out[i] &= b[i]
+		}
+	}
+	return out, true
+}
+
+// valueBits returns the cached bitset of ordinals carrying value in field,
+// building it on first use. Concurrent readers may race to build the same
+// entry; fcMu serializes the cache map itself.
+func (ix *Index) valueBits(f Filter) []uint64 {
+	key := filterKey{field: f.Field, value: f.Value}
+	ix.fcMu.Lock()
+	defer ix.fcMu.Unlock()
+	if b, ok := ix.filterCache[key]; ok {
+		return b
+	}
+	docs := ix.filters[f.Field][f.Value]
+	var bits []uint64
+	if len(docs) > 0 {
+		max := docs[0]
+		for _, d := range docs {
+			if d > max {
+				max = d
+			}
+		}
+		bits = make([]uint64, int(max)>>6+1)
+		for _, d := range docs {
+			bits[d>>6] |= 1 << (uint(d) & 63)
+		}
+	}
+	ix.filterCache[key] = bits
+	return bits
+}

@@ -9,6 +9,9 @@ package index
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"uniask/internal/textproc"
 	"uniask/internal/vector"
@@ -97,8 +100,18 @@ type Config struct {
 }
 
 // Index is the searchable chunk store.
+//
+// Concurrency: an Index is safe for any number of concurrent readers
+// (SearchText, SearchVector, Doc, DocByID, ...) racing a single live writer
+// (Add, Delete, DeleteParent) — the 15-minute ingestion poller updating the
+// index under production query traffic. Readers take mu.RLock, writers take
+// mu.Lock, and every successful mutation bumps a monotonically increasing
+// epoch that callers (e.g. the search-layer query cache) use to detect
+// staleness without holding any lock.
 type Index struct {
 	cfg      Config
+	mu       sync.RWMutex
+	epoch    atomic.Uint64
 	docs     []Document
 	byID     map[string]int32
 	byParent map[string][]int32 // live chunk ordinals per KB document
@@ -106,6 +119,21 @@ type Index struct {
 	fields   map[string]*fieldIndex
 	vecs     map[string]vector.Index
 	filters  map[string]map[string][]int32 // field -> value -> docs
+
+	// searchNames and vecNames are the sorted searchable / vector field
+	// names, computed once at construction (the schema is immutable after
+	// New) so the query path never re-sorts them.
+	searchNames []string
+	vecNames    []string
+
+	// filterCache memoizes the ordinal bitset of each (field, value) pair;
+	// Add invalidates exactly the entries whose value it extends. Guarded
+	// by fcMu (mu alone is not enough: concurrent readers populate it).
+	fcMu        sync.Mutex
+	filterCache map[filterKey][]uint64
+
+	// accPool recycles the flat score accumulators of the BM25 hot path.
+	accPool sync.Pool
 }
 
 // ErrDuplicateID is returned when a document id is added twice.
@@ -135,30 +163,45 @@ func New(cfg Config) *Index {
 		}
 	}
 	ix := &Index{
-		cfg:      cfg,
-		byID:     make(map[string]int32),
-		byParent: make(map[string][]int32),
-		fields:   make(map[string]*fieldIndex),
-		vecs:     make(map[string]vector.Index),
-		filters:  make(map[string]map[string][]int32),
+		cfg:         cfg,
+		byID:        make(map[string]int32),
+		byParent:    make(map[string][]int32),
+		fields:      make(map[string]*fieldIndex),
+		vecs:        make(map[string]vector.Index),
+		filters:     make(map[string]map[string][]int32),
+		filterCache: make(map[filterKey][]uint64),
 	}
 	for name, attr := range cfg.Schema {
 		if attr.Searchable {
 			ix.fields[name] = &fieldIndex{postings: make(map[string][]posting)}
+			ix.searchNames = append(ix.searchNames, name)
 		}
 		if attr.Vector {
 			ix.vecs[name] = cfg.VectorIndex(name)
+			ix.vecNames = append(ix.vecNames, name)
 		}
 		if attr.Filterable {
 			ix.filters[name] = make(map[string][]int32)
 		}
 	}
+	sort.Strings(ix.searchNames)
+	sort.Strings(ix.vecNames)
 	return ix
 }
 
+// Epoch returns the index mutation epoch: a counter bumped by every
+// successful Add/Delete. Readers snapshot it to detect concurrent mutation
+// (the search-layer query cache invalidates on epoch change). It is safe to
+// call without holding any lock.
+func (ix *Index) Epoch() uint64 { return ix.epoch.Load() }
+
 // Len reports the number of chunks ever inserted, including tombstoned
 // ones; LiveLen counts only searchable chunks.
-func (ix *Index) Len() int { return len(ix.docs) }
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docs)
+}
 
 // Schema returns the index schema.
 func (ix *Index) Schema() Schema { return ix.cfg.Schema }
@@ -169,6 +212,8 @@ func (ix *Index) Analyzer() *textproc.Analyzer { return ix.cfg.Analyzer }
 // Add indexes a document. Vector fields present in the schema but missing
 // from the document are skipped; unknown fields are an error.
 func (ix *Index) Add(doc Document) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if _, dup := ix.byID[doc.ID]; dup {
 		return fmt.Errorf("%w: %s", ErrDuplicateID, doc.ID)
 	}
@@ -182,6 +227,10 @@ func (ix *Index) Add(doc Document) error {
 			return fmt.Errorf("index: vector field %q not in schema", f)
 		}
 	}
+	// Bump before the first mutation: even a failed vector insert below has
+	// already changed index state, and a too-early bump only costs a cache
+	// miss while a missed bump would serve stale results.
+	ix.epoch.Add(1)
 	id := int32(len(ix.docs))
 	ix.docs = append(ix.docs, doc)
 	ix.byID[doc.ID] = id
@@ -203,6 +252,9 @@ func (ix *Index) Add(doc Document) error {
 	for name, vals := range ix.filters {
 		if v, ok := doc.Fields[name]; ok && v != "" {
 			vals[v] = append(vals[v], id)
+			ix.fcMu.Lock()
+			delete(ix.filterCache, filterKey{field: name, value: v})
+			ix.fcMu.Unlock()
 		}
 	}
 	for name, vx := range ix.vecs {
@@ -216,10 +268,16 @@ func (ix *Index) Add(doc Document) error {
 }
 
 // Doc returns the stored document at the given internal ordinal.
-func (ix *Index) Doc(ord int) Document { return ix.docs[ord] }
+func (ix *Index) Doc(ord int) Document {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.docs[ord]
+}
 
 // DocByID returns a stored document by external id.
 func (ix *Index) DocByID(id string) (Document, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	ord, ok := ix.byID[id]
 	if !ok {
 		return Document{}, false

@@ -251,24 +251,6 @@ func TestTermStats(t *testing.T) {
 	}
 }
 
-func BenchmarkSearchText(b *testing.B) {
-	ix := New(Config{})
-	for i := 0; i < 5000; i++ {
-		ix.Add(Document{
-			ID: fmt.Sprintf("d%d", i),
-			Fields: map[string]string{
-				"title":   fmt.Sprintf("Documento %d sulla procedura operativa", i),
-				"content": "La procedura operativa per la gestione della richiesta prevede passaggi autorizzativi e controlli di conformità interni.",
-			},
-		})
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		ix.SearchText("procedura autorizzativa di gestione richieste", 50, TextOptions{})
-	}
-}
-
 // Property: any document added to the index is findable by a distinctive
 // term of its own content, and the returned hit maps back to the document.
 func TestAddThenFindProperty(t *testing.T) {

@@ -41,8 +41,11 @@ type indexSnapshot struct {
 	Deleted []int32
 }
 
-// Save serializes the index.
+// Save serializes the index. It holds the read lock for the duration, so a
+// snapshot taken under live traffic is internally consistent.
 func (ix *Index) Save(w io.Writer) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	snap := indexSnapshot{
 		Schema:  ix.cfg.Schema,
 		BM25:    ix.cfg.BM25,

@@ -2,6 +2,7 @@ package index
 
 import (
 	"math"
+	"math/bits"
 	"sort"
 
 	"uniask/internal/vector"
@@ -35,36 +36,94 @@ type TextOptions struct {
 	Filters []Filter
 }
 
+// scoreAcc is the pooled flat score accumulator of the BM25 hot path: a
+// []float64 indexed by document ordinal, a bitset marking which ordinals
+// were touched, and the touched-ordinal list used to reset both in O(hits)
+// instead of O(corpus).
+type scoreAcc struct {
+	scores  []float64
+	seen    []uint64
+	touched []int32
+}
+
+// getAcc returns an accumulator sized for the current corpus; the caller
+// must hold ix.mu.
+func (ix *Index) getAcc() *scoreAcc {
+	a, _ := ix.accPool.Get().(*scoreAcc)
+	if a == nil {
+		a = &scoreAcc{}
+	}
+	if n := len(ix.docs); len(a.scores) < n {
+		a.scores = make([]float64, n)
+		a.seen = make([]uint64, (n+63)/64)
+	}
+	return a
+}
+
+// putAcc zeroes the touched entries and recycles the accumulator.
+func (ix *Index) putAcc(a *scoreAcc) {
+	for _, ord := range a.touched {
+		a.scores[ord] = 0
+		a.seen[ord>>6] &^= 1 << (uint(ord) & 63)
+	}
+	a.touched = a.touched[:0]
+	ix.accPool.Put(a)
+}
+
 // SearchText ranks documents against query with Okapi BM25, summing
 // per-field scores (weighted when FieldWeights is set), and returns the top
 // n hits.
+//
+// Hot path: scores accumulate into a pooled flat []float64 indexed by doc
+// ordinal (no per-query map), the top n are selected with a bounded
+// min-heap instead of sorting every candidate, and the tombstone and filter
+// branches are skipped entirely when no deletes/filters exist. The ranking
+// (score desc, id asc) is identical to a full sort.
 func (ix *Index) SearchText(query string, n int, opts TextOptions) []Hit {
-	if n <= 0 || len(ix.docs) == 0 {
+	if n <= 0 {
 		return nil
 	}
 	terms := ix.cfg.Analyzer.AnalyzeTerms(query)
 	if len(terms) == 0 {
 		return nil
 	}
-	// Deduplicate query terms but keep multiplicity as a weight, matching
-	// Lucene's behavior of scoring repeated terms once per occurrence.
-	qcount := make(map[string]int, len(terms))
+	// Deduplicate query terms in place, keeping multiplicity as a weight —
+	// Lucene scores repeated terms once per occurrence. Queries are short,
+	// so the quadratic scan beats a map.
+	counts := make([]int32, 0, len(terms))
+	uniq := 0
+dedup:
 	for _, t := range terms {
-		qcount[t]++
+		for i := 0; i < uniq; i++ {
+			if terms[i] == t {
+				counts[i]++
+				continue dedup
+			}
+		}
+		terms[uniq] = t
+		counts = append(counts, 1)
+		uniq++
+	}
+	terms = terms[:uniq]
+
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if len(ix.docs) == 0 {
+		return nil
 	}
 
 	fieldNames := opts.Fields
 	if len(fieldNames) == 0 {
-		for name := range ix.fields {
-			fieldNames = append(fieldNames, name)
-		}
-		sort.Strings(fieldNames)
+		fieldNames = ix.searchNames
 	}
+	allowed, filtered := ix.filterBits(opts.Filters)
+	noDeletes := len(ix.deleted) == 0
 
-	allowed := ix.filterSet(opts.Filters)
+	acc := ix.getAcc()
+	scores, seen, touched := acc.scores, acc.seen, acc.touched
 
-	scores := make(map[int32]float64)
 	N := float64(len(ix.docs))
+	k1, b := ix.cfg.BM25.K1, ix.cfg.BM25.B
 	for _, fname := range fieldNames {
 		fi, ok := ix.fields[fname]
 		if !ok {
@@ -74,14 +133,15 @@ func (ix *Index) SearchText(query string, n int, opts TextOptions) []Hit {
 		if w, ok := opts.FieldWeights[fname]; ok && w != 0 {
 			weight = w
 		}
-		avgLen := 0.0
-		if len(fi.docLens) > 0 {
-			avgLen = float64(fi.totalLen) / float64(len(fi.docLens))
+		if len(fi.docLens) == 0 {
+			continue
 		}
+		avgLen := float64(fi.totalLen) / float64(len(fi.docLens))
 		if avgLen == 0 {
 			continue
 		}
-		for term, mult := range qcount {
+		docLens := fi.docLens
+		for ti, term := range terms {
 			pl := fi.postings[term]
 			if len(pl) == 0 {
 				continue
@@ -89,111 +149,203 @@ func (ix *Index) SearchText(query string, n int, opts TextOptions) []Hit {
 			// Okapi BM25 idf with the standard +1 smoothing (Lucene).
 			df := float64(len(pl))
 			idf := math.Log(1 + (N-df+0.5)/(df+0.5))
+			wm := weight * float64(counts[ti])
+			if noDeletes && !filtered {
+				// Fast path: no tombstone or filter check per posting.
+				for _, p := range pl {
+					tf := float64(p.tf)
+					dl := float64(docLens[p.doc])
+					s := idf * (tf * (k1 + 1)) / (tf + k1*(1-b+b*dl/avgLen))
+					if seen[p.doc>>6]&(1<<(uint(p.doc)&63)) == 0 {
+						seen[p.doc>>6] |= 1 << (uint(p.doc) & 63)
+						touched = append(touched, p.doc)
+					}
+					scores[p.doc] += wm * s
+				}
+				continue
+			}
 			for _, p := range pl {
-				if ix.isDeleted(p.doc) {
+				if !noDeletes && ix.deleted[p.doc] {
 					continue
 				}
-				if allowed != nil && !allowed[p.doc] {
+				if filtered && !bitTest(allowed, p.doc) {
 					continue
 				}
 				tf := float64(p.tf)
-				dl := float64(fi.docLens[p.doc])
-				k1, b := ix.cfg.BM25.K1, ix.cfg.BM25.B
+				dl := float64(docLens[p.doc])
 				s := idf * (tf * (k1 + 1)) / (tf + k1*(1-b+b*dl/avgLen))
-				scores[p.doc] += weight * float64(mult) * s
+				if seen[p.doc>>6]&(1<<(uint(p.doc)&63)) == 0 {
+					seen[p.doc>>6] |= 1 << (uint(p.doc) & 63)
+					touched = append(touched, p.doc)
+				}
+				scores[p.doc] += wm * s
 			}
 		}
 	}
-	hits := make([]Hit, 0, len(scores))
-	for doc, s := range scores {
-		hits = append(hits, Hit{Ord: int(doc), ID: ix.docs[doc].ID, Score: s})
+	acc.touched = touched
+
+	hits := ix.selectTopN(scores, touched, n)
+	ix.putAcc(acc)
+	return hits
+}
+
+// selectTopN picks the n best candidates under the total order (score desc,
+// id asc). For candidate sets larger than n it maintains a bounded min-heap
+// rooted at the current worst hit; since the order is total (ids are
+// unique) the result is identical to fully sorting all candidates and
+// truncating. The caller must hold ix.mu.
+func (ix *Index) selectTopN(scores []float64, touched []int32, n int) []Hit {
+	if len(touched) <= n {
+		hits := make([]Hit, 0, len(touched))
+		for _, ord := range touched {
+			hits = append(hits, Hit{Ord: int(ord), ID: ix.docs[ord].ID, Score: scores[ord]})
+		}
+		sortHits(hits)
+		return hits
 	}
+	hits := make([]Hit, 0, n)
+	for _, ord := range touched {
+		h := Hit{Ord: int(ord), ID: ix.docs[ord].ID, Score: scores[ord]}
+		if len(hits) < n {
+			hits = append(hits, h)
+			siftUp(hits, len(hits)-1)
+			continue
+		}
+		if worseHit(hits[0], h) {
+			hits[0] = h
+			siftDown(hits, 0)
+		}
+	}
+	sortHits(hits)
+	return hits
+}
+
+// worseHit reports whether a ranks strictly below b (lower score, or equal
+// score and lexicographically greater id).
+func worseHit(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.ID > b.ID
+}
+
+// siftUp restores the min-heap (worst hit at the root) after appending at i.
+func siftUp(h []Hit, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !worseHit(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// siftDown restores the min-heap after replacing the root.
+func siftDown(h []Hit, i int) {
+	for {
+		worst := i
+		if l := 2*i + 1; l < len(h) && worseHit(h[l], h[worst]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < len(h) && worseHit(h[r], h[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
+}
+
+// sortHits orders by score descending, ties broken by id ascending.
+func sortHits(hits []Hit) {
 	sort.Slice(hits, func(i, j int) bool {
 		if hits[i].Score != hits[j].Score {
 			return hits[i].Score > hits[j].Score
 		}
 		return hits[i].ID < hits[j].ID
 	})
-	if n < len(hits) {
-		hits = hits[:n]
-	}
-	return hits
 }
 
 // SearchVector returns the k nearest chunks to q in the given vector field,
-// optionally post-filtered.
+// optionally post-filtered. When filters or tombstones can disqualify
+// neighbors, the ANN fetch starts at 4k and grows geometrically until k
+// survivors are found or the graph is exhausted, so heavy filtering never
+// silently under-fills the result.
 func (ix *Index) SearchVector(field string, q vector.Vector, k int, filters []Filter) []Hit {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	vx, ok := ix.vecs[field]
 	if !ok || k <= 0 {
 		return nil
 	}
-	allowed := ix.filterSet(filters)
-	// Over-fetch when filtering or when tombstones exist so k survivors
-	// remain.
-	fetch := k
-	if allowed != nil || len(ix.deleted) > 0 {
-		fetch = k * 4
-	}
-	res := vx.Search(q, fetch)
+	allowed, filtered := ix.filterBits(filters)
+	noDeletes := len(ix.deleted) == 0
+	total := vx.Len()
 	hits := make([]Hit, 0, k)
-	for _, r := range res {
-		if ix.isDeleted(int32(r.ID)) {
-			continue
-		}
-		if allowed != nil && !allowed[int32(r.ID)] {
-			continue
-		}
-		hits = append(hits, Hit{Ord: r.ID, ID: ix.docs[r.ID].ID, Score: 1 - float64(r.Distance)})
-		if len(hits) == k {
-			break
-		}
-	}
-	return hits
-}
-
-// VectorFields lists the vector fields present in the schema, sorted.
-func (ix *Index) VectorFields() []string {
-	var out []string
-	for name := range ix.vecs {
-		out = append(out, name)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// filterSet resolves conjunctive filters to the allowed doc set (nil when
-// no filters are given).
-func (ix *Index) filterSet(filters []Filter) map[int32]bool {
-	if len(filters) == 0 {
-		return nil
-	}
-	var allowed map[int32]bool
-	for _, f := range filters {
-		vals := ix.filters[f.Field]
-		docs := vals[f.Value]
-		set := make(map[int32]bool, len(docs))
-		for _, d := range docs {
-			set[d] = true
-		}
-		if allowed == nil {
-			allowed = set
-			continue
-		}
-		for d := range allowed {
-			if !set[d] {
-				delete(allowed, d)
+	fetch := k
+	if filtered || !noDeletes {
+		// Estimate how many graph entries can survive and size the first
+		// fetch for ~2x the needed survivor rate (never below the 4k
+		// floor), so the geometric growth below rarely has to re-search.
+		avail := total - len(ix.deleted)
+		if filtered {
+			pc := 0
+			for _, w := range allowed {
+				pc += bits.OnesCount64(w)
+			}
+			if pc < avail {
+				avail = pc
 			}
 		}
+		if avail <= 0 {
+			return hits
+		}
+		fetch = k * 4
+		if est := 2 * k * total / avail; est > fetch {
+			fetch = est
+		}
+		if fetch > total {
+			fetch = total
+		}
 	}
-	if allowed == nil {
-		allowed = map[int32]bool{}
+	for {
+		res := vx.Search(q, fetch)
+		hits = hits[:0]
+		for _, r := range res {
+			if !noDeletes && ix.deleted[int32(r.ID)] {
+				continue
+			}
+			if filtered && !bitTest(allowed, int32(r.ID)) {
+				continue
+			}
+			hits = append(hits, Hit{Ord: r.ID, ID: ix.docs[r.ID].ID, Score: 1 - float64(r.Distance)})
+			if len(hits) == k {
+				return hits
+			}
+		}
+		if len(res) >= total || fetch >= total {
+			return hits
+		}
+		fetch *= 2
 	}
-	return allowed
 }
+
+// VectorFields lists the vector fields present in the schema, sorted. The
+// returned slice is computed once at construction and shared — callers must
+// treat it as read-only.
+func (ix *Index) VectorFields() []string { return ix.vecNames }
+
+// SearchableFields lists the searchable fields, sorted; shared, read-only.
+func (ix *Index) SearchableFields() []string { return ix.searchNames }
 
 // TermStats reports document frequency of an analyzed term in a field
 // (diagnostics and tests).
 func (ix *Index) TermStats(field, term string) (df int) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	fi, ok := ix.fields[field]
 	if !ok {
 		return 0

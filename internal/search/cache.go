@@ -1,0 +1,209 @@
+package search
+
+// Query-result cache: pilot traffic and load tests hammer a small set of
+// recurring questions (§8), so the searcher memoizes full retrieval results
+// in an LRU keyed on (query, options). Entries carry the index mutation
+// epoch they were computed at and are invalidated lazily when the epoch
+// moves — the 15-minute ingestion poller bumping the index flushes exactly
+// the stale answers, with no TTL guesswork. Concurrent identical queries
+// collapse into one execution (singleflight): the first caller computes,
+// the rest wait and share the result.
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// DefaultQueryCacheCapacity is the entry budget used when NewQueryCache is
+// given a non-positive capacity.
+const DefaultQueryCacheCapacity = 512
+
+// QueryCache is an epoch-invalidated LRU of search results with in-flight
+// deduplication. Safe for concurrent use.
+type QueryCache struct {
+	mu      sync.Mutex
+	cap     int
+	lru     *list.List               // front = most recently used
+	entries map[string]*list.Element // key -> element holding *cacheEntry
+	flights map[flightKey]*flight
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	key     string
+	epoch   uint64
+	results []Result
+}
+
+// flightKey includes the epoch so a flight started against a stale index
+// never absorbs callers that already observed a newer epoch.
+type flightKey struct {
+	key   string
+	epoch uint64
+}
+
+// flight is one in-progress computation; results/err are published before
+// done is closed.
+type flight struct {
+	done    chan struct{}
+	results []Result
+	err     error
+}
+
+// NewQueryCache creates a cache holding up to capacity entries
+// (DefaultQueryCacheCapacity when capacity <= 0).
+func NewQueryCache(capacity int) *QueryCache {
+	if capacity <= 0 {
+		capacity = DefaultQueryCacheCapacity
+	}
+	return &QueryCache{
+		cap:     capacity,
+		lru:     list.New(),
+		entries: make(map[string]*list.Element),
+		flights: make(map[flightKey]*flight),
+	}
+}
+
+// lookup returns a copy of the results cached under key at the given epoch.
+// A key cached at any other epoch counts as a miss and is evicted.
+func (c *QueryCache) lookup(key string, epoch uint64) ([]Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.epoch != epoch {
+		c.lru.Remove(el)
+		delete(c.entries, key)
+		c.misses++
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return copyResults(e.results), true
+}
+
+// join registers interest in (key, epoch): the first caller becomes the
+// leader (leader=true) and must call complete; later callers receive the
+// same flight and wait on its done channel.
+func (c *QueryCache) join(key string, epoch uint64) (f *flight, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fk := flightKey{key: key, epoch: epoch}
+	if f, ok := c.flights[fk]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	c.flights[fk] = f
+	return f, true
+}
+
+// complete publishes the leader's outcome to waiters and, when the search
+// succeeded and the index epoch is still current, stores it in the LRU.
+func (c *QueryCache) complete(key string, epoch uint64, f *flight, results []Result, err error, stillCurrent bool) {
+	c.mu.Lock()
+	delete(c.flights, flightKey{key: key, epoch: epoch})
+	if err == nil && stillCurrent {
+		c.storeLocked(key, epoch, copyResults(results))
+	}
+	c.mu.Unlock()
+	f.results, f.err = results, err
+	close(f.done)
+}
+
+// storeLocked inserts or refreshes an entry; the caller holds c.mu.
+func (c *QueryCache) storeLocked(key string, epoch uint64, results []Result) {
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.epoch, e.results = epoch, results
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, epoch: epoch, results: results})
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+	}
+}
+
+// Purge drops every cached entry (used when the backing index object is
+// swapped wholesale, e.g. LoadIndex, where epochs restart from zero).
+func (c *QueryCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	c.entries = make(map[string]*list.Element)
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}
+
+// Stats reports hit/miss counters and the current entry count.
+func (c *QueryCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.lru.Len()}
+}
+
+// copyResults returns a defensive copy so cached slices are never aliased
+// by callers (Result itself holds only immutable fields).
+func copyResults(rs []Result) []Result {
+	if rs == nil {
+		return nil
+	}
+	out := make([]Result, len(rs))
+	copy(out, rs)
+	return out
+}
+
+// cacheKey canonicalizes a (query, options) pair. Every Options field that
+// can change the ranking participates; filters are keyed in the order given
+// (conjunction is order-insensitive semantically, so differently ordered
+// but equal filter sets merely cache twice).
+func cacheKey(query string, o Options) string {
+	var b strings.Builder
+	b.Grow(len(query) + len(o.SearchKeywordsField) + 64)
+	b.WriteString(query)
+	b.WriteByte(0)
+	b.WriteString(strconv.Itoa(o.TextN))
+	b.WriteByte(0)
+	b.WriteString(strconv.Itoa(o.VectorK))
+	b.WriteByte(0)
+	b.WriteString(strconv.Itoa(o.FinalN))
+	b.WriteByte(0)
+	b.WriteString(strconv.Itoa(o.RRFC))
+	b.WriteByte(0)
+	b.WriteString(strconv.Itoa(int(o.Mode)))
+	b.WriteByte(0)
+	if o.DisableSemanticRerank {
+		b.WriteByte('1')
+	} else {
+		b.WriteByte('0')
+	}
+	b.WriteByte(0)
+	b.WriteString(strconv.FormatFloat(o.TitleBoost, 'g', -1, 64))
+	b.WriteByte(0)
+	b.WriteString(strconv.Itoa(int(o.Expansion)))
+	b.WriteByte(0)
+	b.WriteString(strconv.Itoa(o.RelatedQueries))
+	b.WriteByte(0)
+	b.WriteString(o.SearchKeywordsField)
+	for _, f := range o.Filters {
+		b.WriteByte(1)
+		b.WriteString(f.Field)
+		b.WriteByte(0)
+		b.WriteString(f.Value)
+	}
+	return b.String()
+}

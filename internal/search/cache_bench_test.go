@@ -1,0 +1,45 @@
+package search
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkQueryCacheHit measures a repeated query served from the LRU: the
+// steady state of pilot traffic, where the same questions recur within one
+// ingestion epoch.
+func BenchmarkQueryCacheHit(b *testing.B) {
+	s := buildLargeSearcher(b)
+	s.Cache = NewQueryCache(0)
+	ctx := context.Background()
+	query := "bloccare la carta di credito"
+	if _, err := s.Search(ctx, query, Options{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Search(ctx, query, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryCacheMiss measures the full uncached pipeline through the
+// cache wrapper (lookup miss + singleflight join + store), isolating the
+// cache's overhead on cold queries. The entry is purged every iteration so
+// each Search recomputes.
+func BenchmarkQueryCacheMiss(b *testing.B) {
+	s := buildLargeSearcher(b)
+	s.Cache = NewQueryCache(0)
+	ctx := context.Background()
+	query := "bloccare la carta di credito"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Cache.Purge()
+		if _, err := s.Search(ctx, query, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package search
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"uniask/internal/embedding"
+	"uniask/internal/index"
+	"uniask/internal/vector"
+)
+
+// embedCounter counts Embed calls: the embed stage runs exactly once per
+// uncached search, so the counter measures how many searches actually
+// executed versus were served from cache.
+type embedCounter struct {
+	inner *embedding.Synth
+	n     atomic.Int64
+}
+
+func (c *embedCounter) Embed(text string) vector.Vector {
+	c.n.Add(1)
+	return c.inner.Embed(text)
+}
+
+func (c *embedCounter) Dim() int { return c.inner.Dim() }
+
+// cachedSearcher wraps buildSearcher's corpus with a counting embedder and a
+// query cache.
+func cachedSearcher(t *testing.T, capacity int) (*Searcher, *embedCounter) {
+	t.Helper()
+	s, emb := buildSearcher(t)
+	ce := &embedCounter{inner: emb}
+	s.Embedder = ce
+	s.Cache = NewQueryCache(capacity)
+	return s, ce
+}
+
+func TestCacheServesRepeatedQuery(t *testing.T) {
+	s, ce := cachedSearcher(t, 0)
+	ctx := context.Background()
+	first, err := s.Search(ctx, "bloccare la carta di credito", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Search(ctx, "bloccare la carta di credito", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ce.n.Load(); got != 1 {
+		t.Fatalf("embed ran %d times, want 1 (second search must hit the cache)", got)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("cached result length %d != fresh %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("cached result[%d] = %+v, fresh %+v", i, second[i], first[i])
+		}
+	}
+	st := s.Cache.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+// TestCacheEpochInvalidation verifies a mutation between two identical
+// queries forces a recompute that sees the new document.
+func TestCacheEpochInvalidation(t *testing.T) {
+	s, ce := cachedSearcher(t, 0)
+	ctx := context.Background()
+	query := "procedura di apertura del conto corrente"
+	if _, err := s.Search(ctx, query, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Index a new chunk that is a near-verbatim match for the query.
+	title := "Apertura conto corrente online"
+	content := "La nuova procedura di apertura del conto corrente online è immediata."
+	err := s.Index.Add(index.Document{
+		ID:       "d9#0",
+		ParentID: "d9",
+		Fields:   map[string]string{"title": title, "content": content},
+		Vectors: map[string]vector.Vector{
+			"titleVector":   ce.inner.Embed(title),
+			"contentVector": ce.inner.Embed(content),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Search(ctx, query, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ce.n.Load(); got != 2 {
+		t.Fatalf("embed ran %d times, want 2 (the add must invalidate the entry)", got)
+	}
+	found := false
+	for _, r := range res {
+		if r.ChunkID == "d9#0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("recomputed results %+v miss the newly added chunk", res)
+	}
+
+	// Deleting also bumps the epoch: the same query recomputes again.
+	if !s.Index.Delete("d9#0") {
+		t.Fatal("delete failed")
+	}
+	if _, err := s.Search(ctx, query, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ce.n.Load(); got != 3 {
+		t.Fatalf("embed ran %d times after delete, want 3", got)
+	}
+}
+
+// TestCacheKeySensitivity verifies distinct options are distinct cache
+// entries while a repeat of either is a hit.
+func TestCacheKeySensitivity(t *testing.T) {
+	s, ce := cachedSearcher(t, 0)
+	ctx := context.Background()
+	query := "bonifico estero"
+	variants := []Options{
+		{},
+		{FinalN: 3},
+		{TitleBoost: 50},
+		{Mode: TextOnly},
+		{DisableSemanticRerank: true},
+		{Filters: []index.Filter{{Field: "domain", Value: "prodotti"}}},
+	}
+	for i, opts := range variants {
+		if _, err := s.Search(ctx, query, opts); err != nil {
+			t.Fatal(err)
+		}
+		if got := ce.n.Load(); int(got) != i+1 {
+			t.Fatalf("variant %d: embed ran %d times, want %d (options must key separately)", i, got, i+1)
+		}
+	}
+	for _, opts := range variants {
+		if _, err := s.Search(ctx, query, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ce.n.Load(); int(got) != len(variants) {
+		t.Fatalf("embed ran %d times after repeats, want %d (each repeat must hit)", got, len(variants))
+	}
+}
+
+// TestCacheSingleflight verifies concurrent identical queries collapse into
+// one execution.
+func TestCacheSingleflight(t *testing.T) {
+	s, ce := cachedSearcher(t, 0)
+	ctx := context.Background()
+	const goroutines = 16
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make(chan error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			res, err := s.Search(ctx, "errore ERR-4032 durante il bonifico", Options{})
+			if err == nil && len(res) == 0 {
+				errs <- context.Canceled // sentinel: empty result
+			}
+			if err != nil {
+				errs <- err
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := ce.n.Load(); got != 1 {
+		t.Fatalf("embed ran %d times for %d concurrent identical queries, want 1", got, goroutines)
+	}
+}
+
+// TestCacheLRUEviction verifies the capacity bound evicts the least recently
+// used entry.
+func TestCacheLRUEviction(t *testing.T) {
+	s, ce := cachedSearcher(t, 2)
+	ctx := context.Background()
+	queries := []string{"bloccare la carta", "bonifico estero", "apertura conto"}
+	for _, q := range queries {
+		if _, err := s.Search(ctx, q, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Cache.Stats(); st.Entries != 2 {
+		t.Fatalf("cache holds %d entries, want 2", st.Entries)
+	}
+	// The first query was evicted (capacity 2, LRU) and must recompute.
+	if _, err := s.Search(ctx, queries[0], Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ce.n.Load(); got != 4 {
+		t.Fatalf("embed ran %d times, want 4 (first query must have been evicted)", got)
+	}
+	// The third query is still cached.
+	if _, err := s.Search(ctx, queries[2], Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ce.n.Load(); got != 4 {
+		t.Fatalf("embed ran %d times, want 4 (third query must still be cached)", got)
+	}
+}
+
+// TestCacheReturnsCopies verifies callers can mutate returned slices without
+// corrupting the cached entry.
+func TestCacheReturnsCopies(t *testing.T) {
+	s, _ := cachedSearcher(t, 0)
+	ctx := context.Background()
+	first, err := s.Search(ctx, "bloccare la carta di credito", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("no results")
+	}
+	first[0].ChunkID = "corrupted"
+	second, err := s.Search(ctx, "bloccare la carta di credito", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second[0].ChunkID == "corrupted" {
+		t.Fatal("mutating a returned slice corrupted the cache")
+	}
+}
+
+// TestCachePurge verifies Purge drops all entries (the LoadIndex path).
+func TestCachePurge(t *testing.T) {
+	s, ce := cachedSearcher(t, 0)
+	ctx := context.Background()
+	if _, err := s.Search(ctx, "bonifico estero", Options{}); err != nil {
+		t.Fatal(err)
+	}
+	s.Cache.Purge()
+	if st := s.Cache.Stats(); st.Entries != 0 {
+		t.Fatalf("cache holds %d entries after purge", st.Entries)
+	}
+	if _, err := s.Search(ctx, "bonifico estero", Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ce.n.Load(); got != 2 {
+		t.Fatalf("embed ran %d times, want 2 (purge must force recompute)", got)
+	}
+}

@@ -26,7 +26,7 @@ import (
 // buildLargeSearcher indexes a corpus big enough that rankings from the
 // different components genuinely interleave, so any fan-out ordering bug
 // would change the fused ranking.
-func buildLargeSearcher(t *testing.T) *Searcher {
+func buildLargeSearcher(t testing.TB) *Searcher {
 	t.Helper()
 	lex := embedding.MapLexicon{
 		"blocca": "act:block", "sospende": "act:block", "disattiva": "act:block",

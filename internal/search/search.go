@@ -143,6 +143,10 @@ type Searcher struct {
 	Observer pipeline.Observer
 	// Workers bounds the retrieval fan-out (0 = pipeline.DefaultWorkers).
 	Workers int
+	// Cache memoizes results per (query, options) at a given index epoch,
+	// with singleflight dedup of concurrent identical queries (nil = no
+	// caching).
+	Cache *QueryCache
 }
 
 func (s *Searcher) obs() pipeline.Observer { return pipeline.OrNop(s.Observer) }
@@ -154,10 +158,43 @@ func (s *Searcher) workers() int {
 	return pipeline.DefaultWorkers()
 }
 
-// Search retrieves the chunks most relevant to query.
+// Search retrieves the chunks most relevant to query. With a Cache set,
+// repeated queries at an unchanged index epoch are served from memory, and
+// concurrent identical queries collapse into one execution.
 func (s *Searcher) Search(ctx context.Context, query string, opts Options) ([]Result, error) {
 	opts = opts.withDefaults()
+	if s.Cache == nil {
+		return s.run(ctx, query, opts)
+	}
+	epoch := s.Index.Epoch()
+	key := cacheKey(query, opts)
+	if res, ok := s.Cache.lookup(key, epoch); ok {
+		return res, nil
+	}
+	f, leader := s.Cache.join(key, epoch)
+	if leader {
+		res, err := s.run(ctx, query, opts)
+		// Re-check the epoch at store time: a write racing with this query
+		// must not leave a stale entry behind.
+		s.Cache.complete(key, epoch, f, res, err, s.Index.Epoch() == epoch)
+		return res, err
+	}
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if f.err != nil {
+		// The leader failed (possibly on its own canceled context); run
+		// independently rather than propagating a foreign error.
+		return s.run(ctx, query, opts)
+	}
+	return copyResults(f.results), nil
+}
 
+// run executes one search with already-defaulted options, bypassing the
+// cache.
+func (s *Searcher) run(ctx context.Context, query string, opts Options) ([]Result, error) {
 	switch opts.Expansion {
 	case QGA:
 		return s.searchQGA(ctx, query, opts)

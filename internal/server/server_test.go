@@ -354,3 +354,19 @@ func TestFrontendPage(t *testing.T) {
 		t.Fatalf("unknown path status = %d", resp2.StatusCode)
 	}
 }
+
+// TestPprofEndpoints verifies the profiling routes are wired into the mux
+// (the server does not use http.DefaultServeMux, so they must be explicit).
+func TestPprofEndpoints(t *testing.T) {
+	srv, _ := setup(t)
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s status = %d", path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}

@@ -47,30 +47,39 @@ func (a *Analyzer) Analyze(text string) []AnalyzedToken {
 	out := make([]AnalyzedToken, 0, len(raw))
 	pos := 0
 	for _, tok := range raw {
-		term := tok.Text
-		if !a.NoElision {
-			term = StripElision(term)
-		}
-		term = Lowercase(term)
-		if !a.NoFold {
-			term = FoldDiacritics(term)
-		}
-		if term == "" {
-			continue
-		}
-		if !a.KeepStopwords && a.isStopword(term) {
-			continue
-		}
-		if !a.NoStem {
-			term = a.stem(term)
-		}
-		if term == "" {
+		term, ok := a.normalizeTerm(tok.Text)
+		if !ok {
 			continue
 		}
 		out = append(out, AnalyzedToken{Term: term, Source: tok, Position: pos})
 		pos++
 	}
 	return out
+}
+
+// normalizeTerm runs one token through strip-elision -> lowercase -> fold ->
+// stop-word check -> stem; ok is false when the token is dropped.
+func (a *Analyzer) normalizeTerm(term string) (_ string, ok bool) {
+	if !a.NoElision {
+		term = StripElision(term)
+	}
+	term = Lowercase(term)
+	if !a.NoFold {
+		term = FoldDiacritics(term)
+	}
+	if term == "" {
+		return "", false
+	}
+	if !a.KeepStopwords && a.isStopword(term) {
+		return "", false
+	}
+	if !a.NoStem {
+		term = a.stem(term)
+	}
+	if term == "" {
+		return "", false
+	}
+	return term, true
 }
 
 // isStopword dispatches on the analyzer language.
@@ -92,12 +101,16 @@ func (a *Analyzer) stem(term string) string {
 	return StemItalian(term)
 }
 
-// AnalyzeTerms returns only the normalized term strings.
+// AnalyzeTerms returns only the normalized term strings. It is the query
+// hot path's entry point, so it skips the AnalyzedToken materialization
+// Analyze performs.
 func (a *Analyzer) AnalyzeTerms(text string) []string {
-	toks := a.Analyze(text)
-	terms := make([]string, len(toks))
-	for i, t := range toks {
-		terms[i] = t.Term
+	raw := Tokenize(text)
+	terms := make([]string, 0, len(raw))
+	for _, tok := range raw {
+		if term, ok := a.normalizeTerm(tok.Text); ok {
+			terms = append(terms, term)
+		}
 	}
 	return terms
 }

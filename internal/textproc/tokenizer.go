@@ -8,6 +8,7 @@ package textproc
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Token is a single lexical unit produced by the tokenizer, annotated with
@@ -42,9 +43,10 @@ func isConnector(r rune) bool {
 
 // Tokenize splits text into tokens. It is Unicode-aware and keeps
 // identifier-style tokens (error codes, procedure codes, versions) intact
-// when letters/digits are joined by -, _, . or /.
+// when letters/digits are joined by -, _, . or /. Token texts are
+// substrings of the input (no per-token copy), so they share its memory.
 func Tokenize(text string) []Token {
-	var tokens []Token
+	tokens := make([]Token, 0, len(text)/8+1)
 	runes := []rune(text)
 	// byteOff tracks the byte offset of runes[i].
 	byteOff := make([]int, len(runes)+1)
@@ -76,7 +78,7 @@ func Tokenize(text string) []Token {
 			break
 		}
 		tokens = append(tokens, Token{
-			Text:     string(runes[start:i]),
+			Text:     text[byteOff[start]:byteOff[i]],
 			Start:    byteOff[start],
 			End:      byteOff[i],
 			Position: pos,
@@ -124,8 +126,19 @@ func Lowercase(term string) string { return strings.ToLower(term) }
 
 // FoldDiacritics maps common Italian accented vowels onto their base form,
 // so "perché" and "perche" match. Enterprise queries are typed quickly and
-// frequently omit accents.
+// frequently omit accents. Pure-ASCII terms (the vast majority) are
+// returned unchanged without allocating.
 func FoldDiacritics(term string) string {
+	ascii := true
+	for i := 0; i < len(term); i++ {
+		if term[i] >= utf8.RuneSelf {
+			ascii = false
+			break
+		}
+	}
+	if ascii {
+		return term
+	}
 	var b strings.Builder
 	b.Grow(len(term))
 	for _, r := range term {

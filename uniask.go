@@ -193,5 +193,10 @@ func (s *System) LoadIndex(r io.Reader) error {
 	}
 	s.engine.Index = ix
 	s.engine.Searcher.Index = ix
+	// The fresh index restarts its mutation epoch at zero, so cached
+	// results keyed to the old index could look current — drop them all.
+	if s.engine.Searcher.Cache != nil {
+		s.engine.Searcher.Cache.Purge()
+	}
 	return nil
 }
