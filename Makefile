@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-paper
+.PHONY: all build test race vet check bench bench-paper chaos fuzz-short
 
 all: check
 
@@ -24,7 +24,27 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: vet build race
+check: vet build race fuzz-short
+
+# Run the chaos suite 20 times with rotating seeds; each seed draws a
+# different fault schedule and query sample, so a pass means the resilience
+# guarantees hold across fault orderings, not just the default seed.
+CHAOS_RUNS ?= 20
+chaos:
+	@set -e; for i in $$(seq 1 $(CHAOS_RUNS)); do \
+		seed=$$((20250805 + i)); \
+		echo "chaos run $$i/$(CHAOS_RUNS) (CHAOS_SEED=$$seed)"; \
+		CHAOS_SEED=$$seed $(GO) test -count=1 ./internal/chaos/; \
+	done
+
+# Short fuzzing pass over the parsers that consume untrusted / fault-injected
+# bytes: the tokenizer+analyzer (arbitrary document text) and the citation
+# parser (raw LLM output). Seeds include the checked-in crasher corpora.
+FUZZTIME ?= 5s
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz FuzzTokenize -fuzztime $(FUZZTIME) ./internal/textproc/
+	$(GO) test -run '^$$' -fuzz FuzzAnalyze -fuzztime $(FUZZTIME) ./internal/textproc/
+	$(GO) test -run '^$$' -fuzz FuzzExtractCitationKeys -fuzztime $(FUZZTIME) ./internal/generation/
 
 # Query hot-path micro-benchmarks (BM25, ANN, filter bitsets, query cache)
 # with allocation stats, recorded as BENCH_query.json via cmd/benchjson.

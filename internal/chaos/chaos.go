@@ -1,0 +1,220 @@
+// Package chaos is the fault-injection proving ground for the resilience
+// layer: it assembles a full UniAsk engine whose LLM and embedding
+// dependencies are wrapped in seeded fault injectors (internal/faulty),
+// drives realistic query workloads through the engine and the HTTP server,
+// and reports availability, degradation and circuit-breaker behavior.
+//
+// The package is a library so `make chaos` and external experiments can
+// reuse the harness; the accompanying test suite encodes the resilience
+// acceptance bar — 30% LLM errors plus 10% hangs must not cost a single
+// failed query (degraded answers are allowed, deliberate breaker-open 503s
+// are allowed, unexplained 5xx are not).
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"uniask/internal/core"
+	"uniask/internal/embedding"
+	"uniask/internal/faulty"
+	"uniask/internal/kb"
+	"uniask/internal/llm"
+	"uniask/internal/resilience"
+)
+
+// Config parameterizes one chaos run.
+type Config struct {
+	// Seed drives corpus generation, query sampling and fault schedules.
+	Seed int64
+	// Docs sizes the generated knowledge base (default 40).
+	Docs int
+	// Queries is how many questions to drive (default 50).
+	Queries int
+
+	// LLMErrorRate, LLMHangRate, LLMSlowRate, LLMMalformedRate configure
+	// the LLM fault schedule.
+	LLMErrorRate     float64
+	LLMHangRate      float64
+	LLMSlowRate      float64
+	LLMMalformedRate float64
+	// EmbedErrorRate etc. configure the embedding fault schedule.
+	EmbedErrorRate     float64
+	EmbedHangRate      float64
+	EmbedMalformedRate float64
+
+	// Resilience overrides the engine's resilience configuration. Zero
+	// value gets DefaultResilience(): tight budgets suited to tests.
+	Resilience *core.ResilienceConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.Docs <= 0 {
+		c.Docs = 40
+	}
+	if c.Queries <= 0 {
+		c.Queries = 50
+	}
+	return c
+}
+
+// DefaultResilience is the chaos-suite resilience configuration: fast
+// retries, attempt timeouts that bound hangs, and tight breakers so circuit
+// transitions happen within a short test run.
+func DefaultResilience() core.ResilienceConfig {
+	return core.ResilienceConfig{
+		LLMPolicy: resilience.Policy{
+			MaxAttempts:    3,
+			BaseDelay:      50 * time.Microsecond,
+			MaxDelay:       time.Millisecond,
+			AttemptTimeout: 30 * time.Millisecond,
+		},
+		LLMBreaker: resilience.BreakerConfig{
+			FailureThreshold: 5,
+			Cooldown:         20 * time.Millisecond,
+		},
+		EmbedPolicy: resilience.Policy{
+			MaxAttempts:    3,
+			BaseDelay:      50 * time.Microsecond,
+			MaxDelay:       time.Millisecond,
+			AttemptTimeout: 30 * time.Millisecond,
+		},
+		EmbedBreaker: resilience.BreakerConfig{
+			FailureThreshold: 5,
+			Cooldown:         20 * time.Millisecond,
+		},
+	}
+}
+
+// Harness is one assembled chaos environment.
+type Harness struct {
+	Engine    *core.Engine
+	Questions []string
+	// LLMFaults and EmbedFaults are the injected schedules (inspect Counts
+	// after a run).
+	LLMFaults   *faulty.Schedule
+	EmbedFaults *faulty.Schedule
+	// Transitions records breaker transitions as "name:from->to" strings.
+	Transitions *TransitionLog
+}
+
+// Report aggregates one workload run.
+type Report struct {
+	// Queries is how many questions were asked.
+	Queries int
+	// Answered counts queries that returned a response (degraded or not).
+	Answered int
+	// Degraded counts answered queries flagged degraded.
+	Degraded int
+	// Failed counts queries that returned an error.
+	Failed int
+	// ByPart breaks degradations down by shed part.
+	ByPart map[string]int
+	// FailureSamples holds up to 5 of the failure messages for diagnosis.
+	FailureSamples []string
+}
+
+// Availability is the fraction of queries answered, degraded or not.
+func (r Report) Availability() float64 {
+	if r.Queries == 0 {
+		return 1
+	}
+	return float64(r.Answered) / float64(r.Queries)
+}
+
+// NewHarness builds the chaos environment: generated corpus, engine with
+// fault-injected LLM and embedder, deterministic question sample.
+func NewHarness(ctx context.Context, cfg Config) (*Harness, error) {
+	cfg = cfg.withDefaults()
+	h := &Harness{
+		LLMFaults:   faulty.NewSchedule(cfg.Seed, cfg.LLMErrorRate, cfg.LLMSlowRate, cfg.LLMHangRate, cfg.LLMMalformedRate),
+		EmbedFaults: faulty.NewSchedule(cfg.Seed+1, cfg.EmbedErrorRate, 0, cfg.EmbedHangRate, cfg.EmbedMalformedRate),
+		Transitions: &TransitionLog{},
+	}
+	corpus := kb.Generate(kb.GenConfig{Docs: cfg.Docs, Seed: cfg.Seed})
+	res := DefaultResilience()
+	if cfg.Resilience != nil {
+		res = *cfg.Resilience
+	}
+	engine, err := core.BuildFromCorpus(ctx, corpus, core.Config{
+		Resilience: res,
+		LLMMiddleware: func(inner llm.Client) llm.Client {
+			return &faulty.Client{Inner: inner, Sched: h.LLMFaults}
+		},
+		EmbedderMiddleware: func(inner embedding.CtxEmbedder) embedding.CtxEmbedder {
+			return &faulty.Embedder{Inner: inner, Sched: h.EmbedFaults}
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: build engine: %w", err)
+	}
+	engine.SetBreakerNotify(h.Transitions.Record)
+	h.Engine = engine
+
+	ds := corpus.HumanDataset(cfg.Queries, cfg.Seed+2)
+	for _, q := range ds.Queries {
+		h.Questions = append(h.Questions, q.Text)
+	}
+	// HumanDataset may return fewer questions than asked on tiny corpora;
+	// cycle to fill the workload.
+	if n := len(h.Questions); n > 0 {
+		for i := 0; len(h.Questions) < cfg.Queries; i++ {
+			h.Questions = append(h.Questions, h.Questions[i%n])
+		}
+	}
+	if len(h.Questions) > cfg.Queries {
+		h.Questions = h.Questions[:cfg.Queries]
+	}
+	return h, nil
+}
+
+// TransitionLog is a concurrency-safe record of breaker state changes.
+type TransitionLog struct {
+	mu      sync.Mutex
+	entries []string
+}
+
+// Record appends one transition (wired to core.Engine.SetBreakerNotify).
+func (l *TransitionLog) Record(name, from, to string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, fmt.Sprintf("%s:%s->%s", name, from, to))
+}
+
+// All returns a copy of the recorded transitions in order.
+func (l *TransitionLog) All() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// RunWorkload asks every harness question through Engine.Ask, each under
+// its own deadline, and aggregates the outcomes.
+func (h *Harness) RunWorkload(ctx context.Context, perQueryTimeout time.Duration) Report {
+	rep := Report{ByPart: map[string]int{}}
+	for _, q := range h.Questions {
+		rep.Queries++
+		qctx, cancel := context.WithTimeout(ctx, perQueryTimeout)
+		resp, err := h.Engine.Ask(qctx, q)
+		cancel()
+		if err != nil {
+			rep.Failed++
+			if len(rep.FailureSamples) < 5 {
+				rep.FailureSamples = append(rep.FailureSamples, fmt.Sprintf("%q: %v", q, err))
+			}
+			continue
+		}
+		rep.Answered++
+		if resp.Degraded {
+			rep.Degraded++
+			for _, p := range resp.DegradedParts {
+				rep.ByPart[p]++
+			}
+		}
+	}
+	return rep
+}

@@ -1,0 +1,279 @@
+package chaos
+
+// The resilience acceptance suite. The headline bar: with 30% of LLM calls
+// erroring and 10% hanging, every query must still be answered (degraded
+// answers allowed), the circuit breaker must provably cycle
+// closed→open→half-open→closed, and the HTTP surface must emit no 5xx
+// besides deliberate breaker-open/deadline 503s. Seeds rotate via the
+// CHAOS_SEED environment variable (see `make chaos`).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"uniask/internal/core"
+	"uniask/internal/faulty"
+	"uniask/internal/llm"
+	"uniask/internal/resilience"
+	"uniask/internal/server"
+	"uniask/internal/vclock"
+)
+
+// chaosSeed returns the suite seed: CHAOS_SEED when set (make chaos rotates
+// it), else a fixed default so plain `go test` is deterministic.
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	if v := os.Getenv("CHAOS_SEED"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED=%q is not an integer: %v", v, err)
+		}
+		return n
+	}
+	return 20250805
+}
+
+func TestChaosAvailabilityUnderLLMFaults(t *testing.T) {
+	// The acceptance scenario: 30% LLM errors + 10% hangs.
+	h, err := NewHarness(context.Background(), Config{
+		Seed:         chaosSeed(t),
+		Queries:      60,
+		LLMErrorRate: 0.30,
+		LLMHangRate:  0.10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := h.RunWorkload(context.Background(), 5*time.Second)
+	if rep.Availability() != 1.0 {
+		t.Fatalf("availability = %.3f (%d/%d answered), failures: %v",
+			rep.Availability(), rep.Answered, rep.Queries, rep.FailureSamples)
+	}
+	if counts := h.LLMFaults.Counts(); counts[faulty.Error] == 0 {
+		t.Fatal("fault schedule injected no errors — the test proved nothing")
+	}
+	t.Logf("chaos(llm 30%%err/10%%hang): %d queries, %d degraded, parts=%v, faults=%v, transitions=%v",
+		rep.Queries, rep.Degraded, rep.ByPart, h.LLMFaults.Counts(), h.Transitions.All())
+}
+
+func TestChaosAvailabilityUnderEmbeddingFaults(t *testing.T) {
+	h, err := NewHarness(context.Background(), Config{
+		Seed:               chaosSeed(t) + 100,
+		Queries:            40,
+		EmbedErrorRate:     0.35,
+		EmbedMalformedRate: 0.15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := h.RunWorkload(context.Background(), 5*time.Second)
+	if rep.Availability() != 1.0 {
+		t.Fatalf("availability = %.3f, failures: %v", rep.Availability(), rep.FailureSamples)
+	}
+	t.Logf("chaos(embed 35%%err/15%%malformed): %d degraded, parts=%v", rep.Degraded, rep.ByPart)
+}
+
+func TestChaosEverythingBroken(t *testing.T) {
+	// Both dependencies fully down: every answer must still arrive,
+	// degraded to BM25-only retrieval plus the extractive fallback.
+	h, err := NewHarness(context.Background(), Config{
+		Seed:           chaosSeed(t) + 200,
+		Queries:        20,
+		LLMErrorRate:   1.0,
+		EmbedErrorRate: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := h.RunWorkload(context.Background(), 5*time.Second)
+	if rep.Availability() != 1.0 {
+		t.Fatalf("availability = %.3f, failures: %v", rep.Availability(), rep.FailureSamples)
+	}
+	if rep.Degraded != rep.Queries {
+		t.Fatalf("with both dependencies down every answer must be degraded: %d/%d", rep.Degraded, rep.Queries)
+	}
+	if rep.ByPart["generation"] == 0 || rep.ByPart["vector"] == 0 {
+		t.Fatalf("expected generation and vector degradation, got %v", rep.ByPart)
+	}
+}
+
+func TestChaosBreakerCycles(t *testing.T) {
+	// Scripted faults + virtual clock: enough consecutive failures to open
+	// the LLM breaker, then recovery; the breaker must walk
+	// closed→open→half-open→closed, observed via the transition log.
+	clk := vclock.NewVirtual(time.Unix(1700000000, 0))
+	res := DefaultResilience()
+	res.LLMPolicy = resilience.Policy{MaxAttempts: -1} // no retries: one fault = one failure
+	res.LLMBreaker = resilience.BreakerConfig{FailureThreshold: 3, Cooldown: time.Minute, Clock: clk}
+	h, err := NewHarness(context.Background(), Config{
+		Seed:       chaosSeed(t) + 300,
+		Queries:    8,
+		Resilience: &res,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generation is the only LLM consumer in the default pipeline; script
+	// three failures to open the breaker, everything after succeeds.
+	*h.LLMFaults = *faulty.Script(faulty.Error, faulty.Error, faulty.Error)
+
+	ask := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if _, err := h.Engine.Ask(ctx, h.Questions[0]); err != nil {
+			t.Fatalf("Ask failed during breaker cycle: %v", err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		ask()
+	}
+	if st := h.Engine.LLMBreaker.State(); st != resilience.Open {
+		t.Fatalf("after 3 failures: breaker = %v, want Open", st)
+	}
+	// While open, asks are shed fast and answered degraded.
+	ask()
+	// Cooldown elapses on the virtual clock; the next LLM call is the
+	// half-open probe, which succeeds and closes the circuit.
+	clk.Advance(2 * time.Minute)
+	ask()
+	if st := h.Engine.LLMBreaker.State(); st != resilience.Closed {
+		t.Fatalf("after successful probe: breaker = %v, want Closed", st)
+	}
+	got := h.Transitions.All()
+	want := []string{"llm:closed->open", "llm:open->half-open", "llm:half-open->closed"}
+	if len(got) != len(want) {
+		t.Fatalf("transitions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("transition %d = %q, want %q (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestChaosServerNoUnexplained5xx(t *testing.T) {
+	// Drive the acceptance workload through the real HTTP surface with
+	// concurrent clients: every response must be 200, or a deliberate 503
+	// (breaker open / deadline). 500s are a resilience bug.
+	h, err := NewHarness(context.Background(), Config{
+		Seed:         chaosSeed(t) + 400,
+		Queries:      40,
+		LLMErrorRate: 0.30,
+		LLMHangRate:  0.10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := server.New(h.Engine)
+	api.RequestTimeout = 5 * time.Second
+	srv := httptest.NewServer(api.Handler())
+	defer srv.Close()
+
+	token := loginChaos(t, srv.URL)
+	type outcome struct {
+		status   int
+		degraded bool
+	}
+	outcomes := make([]outcome, len(h.Questions))
+	var wg sync.WaitGroup
+	workers := 4
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(h.Questions); i += workers {
+				body, _ := json.Marshal(map[string]string{"question": h.Questions[i]})
+				req, _ := http.NewRequest(http.MethodPost, srv.URL+"/api/ask", bytes.NewReader(body))
+				req.Header.Set("Authorization", "Bearer "+token)
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Errorf("request %d: %v", i, err)
+					return
+				}
+				var out struct {
+					Degraded bool `json:"degraded"`
+				}
+				json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				outcomes[i] = outcome{status: resp.StatusCode, degraded: out.Degraded}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	ok, deliberate503, degraded := 0, 0, 0
+	for i, o := range outcomes {
+		switch o.status {
+		case http.StatusOK:
+			ok++
+			if o.degraded {
+				degraded++
+			}
+		case http.StatusServiceUnavailable:
+			deliberate503++
+		default:
+			t.Errorf("question %d: unexplained status %d", i, o.status)
+		}
+	}
+	if ok == 0 {
+		t.Fatal("no successful answers at all")
+	}
+	t.Logf("server chaos: %d ok (%d degraded), %d deliberate 503", ok, degraded, deliberate503)
+}
+
+func loginChaos(t *testing.T, base string) string {
+	t.Helper()
+	body, _ := json.Marshal(map[string]string{"user": "chaos"})
+	resp, err := http.Post(base+"/api/login", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Token string `json:"token"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || out.Token == "" {
+		t.Fatalf("login failed: %v %q", err, out.Token)
+	}
+	return out.Token
+}
+
+// TestChaosMalformedLLMOutput: corrupted completions must not crash parsing
+// — the citation parser and guardrails handle garbage; the worst case is an
+// apology answer, never an error.
+func TestChaosMalformedLLMOutput(t *testing.T) {
+	h, err := NewHarness(context.Background(), Config{
+		Seed:             chaosSeed(t) + 500,
+		Queries:          20,
+		LLMMalformedRate: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := h.RunWorkload(context.Background(), 5*time.Second)
+	if rep.Availability() != 1.0 {
+		t.Fatalf("availability = %.3f, failures: %v", rep.Availability(), rep.FailureSamples)
+	}
+}
+
+// Guard against schedule aliasing: the harness must give LLM and embedder
+// distinct schedules so their fault streams are independent.
+func TestHarnessSchedulesIndependent(t *testing.T) {
+	h, err := NewHarness(context.Background(), Config{Seed: 1, Queries: 1, LLMErrorRate: 0.5, EmbedErrorRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.LLMFaults == h.EmbedFaults {
+		t.Fatal("LLM and embedder share one schedule")
+	}
+	var _ llm.Client = (*faulty.Client)(nil) // the injector must stay a drop-in Client
+	var _ core.ResilienceConfig = DefaultResilience()
+}

@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
 
 	"uniask/internal/embedding"
 	"uniask/internal/generation"
@@ -27,8 +28,30 @@ import (
 	"uniask/internal/pipeline"
 	"uniask/internal/queue"
 	"uniask/internal/rerank"
+	"uniask/internal/resilience"
 	"uniask/internal/search"
+	"uniask/internal/vector"
 )
+
+// ResilienceConfig parameterizes the fault-tolerance layer wrapped around
+// the engine's remote-shaped dependencies (the chat-completion LLM and the
+// embedding service). The zero value enables the layer with library
+// defaults: 3 attempts with jittered capped-exponential backoff, and a
+// per-dependency circuit breaker (5 consecutive failures open it for 5s).
+type ResilienceConfig struct {
+	// Disable turns the layer off: raw clients, no retries, no breakers
+	// (the pre-resilience behavior, used by determinism-sensitive tests).
+	Disable bool
+	// LLMPolicy is the retry policy for chat completions.
+	LLMPolicy resilience.Policy
+	// LLMBreaker configures the LLM circuit breaker (Name forced to "llm").
+	LLMBreaker resilience.BreakerConfig
+	// EmbedPolicy is the retry policy for query embeddings.
+	EmbedPolicy resilience.Policy
+	// EmbedBreaker configures the embedding breaker (Name forced to
+	// "embedding").
+	EmbedBreaker resilience.BreakerConfig
+}
 
 // Config assembles an engine.
 type Config struct {
@@ -56,6 +79,16 @@ type Config struct {
 	// QueryCacheCapacity sizes the epoch-invalidated query-result cache
 	// (0 = search.DefaultQueryCacheCapacity; negative disables caching).
 	QueryCacheCapacity int
+	// Resilience configures retries and circuit breakers around the LLM and
+	// embedding dependencies (zero value = enabled with defaults).
+	Resilience ResilienceConfig
+	// LLMMiddleware, when set, wraps the LLM client before the resilience
+	// decorator — the seam the chaos harness uses to inject faults between
+	// the retry layer and the backend.
+	LLMMiddleware func(llm.Client) llm.Client
+	// EmbedderMiddleware likewise wraps the query embedder before its
+	// resilience decorator.
+	EmbedderMiddleware func(embedding.CtxEmbedder) embedding.CtxEmbedder
 }
 
 // Engine is a fully assembled UniAsk instance.
@@ -68,6 +101,14 @@ type Engine struct {
 	Guards    *guardrails.Pipeline
 	Embedder  *embedding.Synth
 	Client    llm.Client
+
+	// LLMBreaker and EmbedBreaker guard the two remote-shaped dependencies
+	// (nil when Resilience.Disable is set).
+	LLMBreaker   *resilience.Breaker
+	EmbedBreaker *resilience.Breaker
+
+	notifyMu      sync.Mutex
+	breakerNotify func(name, from, to string)
 }
 
 // New creates an engine with an empty index; feed it through IndexCorpus or
@@ -90,22 +131,95 @@ func New(cfg Config) *Engine {
 		obs:      pipeline.OrNop(cfg.Observer),
 		Index:    ix,
 		Embedder: emb,
-		Client:   cfg.LLM,
 	}
+
+	// Assemble the LLM and query-embedder stacks: optional fault-injection
+	// middleware innermost, then the resilience decorator (retry + breaker)
+	// the query path talks to.
+	client := cfg.LLM
+	if cfg.LLMMiddleware != nil {
+		client = cfg.LLMMiddleware(client)
+	}
+	var queryEmbedder embedding.Embedder = emb
+	ce := embedding.AsCtx(emb)
+	if cfg.EmbedderMiddleware != nil {
+		ce = cfg.EmbedderMiddleware(ce)
+	}
+	if !cfg.Resilience.Disable {
+		lbc := cfg.Resilience.LLMBreaker
+		lbc.Name = "llm"
+		lbc.OnStateChange = eng.fireBreakerNotify
+		eng.LLMBreaker = resilience.NewBreaker(lbc)
+		client = &llm.ResilientClient{Inner: client, Policy: cfg.Resilience.LLMPolicy, Breaker: eng.LLMBreaker}
+
+		ebc := cfg.Resilience.EmbedBreaker
+		ebc.Name = "embedding"
+		ebc.OnStateChange = eng.fireBreakerNotify
+		eng.EmbedBreaker = resilience.NewBreaker(ebc)
+		queryEmbedder = &embedding.Resilient{Inner: ce, Policy: cfg.Resilience.EmbedPolicy, Breaker: eng.EmbedBreaker}
+	} else if cfg.EmbedderMiddleware != nil {
+		queryEmbedder = ctxOnly{ce}
+	}
+	eng.Client = client
+
 	eng.Searcher = &search.Searcher{
 		Index:    ix,
-		Embedder: emb,
+		Embedder: queryEmbedder,
 		Reranker: rerank.New(),
-		LLM:      cfg.LLM,
+		LLM:      client,
 		Observer: eng.obs,
 		Workers:  cfg.SearchWorkers,
 	}
 	if cfg.QueryCacheCapacity >= 0 {
 		eng.Searcher.Cache = search.NewQueryCache(cfg.QueryCacheCapacity)
 	}
-	eng.Generator = &generation.Generator{Client: cfg.LLM, M: cfg.M}
+	eng.Generator = &generation.Generator{Client: client, M: cfg.M}
 	eng.Guards = guardrails.New(cfg.Guardrails)
 	return eng
+}
+
+// ctxOnly lifts a CtxEmbedder back to the plain Embedder interface for the
+// middleware-without-resilience configuration; errors degrade to the zero
+// vector on the legacy path (the searcher uses EmbedCtx and sees them).
+type ctxOnly struct{ embedding.CtxEmbedder }
+
+func (c ctxOnly) Embed(text string) vector.Vector {
+	v, err := c.EmbedCtx(context.Background(), text)
+	if err != nil {
+		return make(vector.Vector, c.Dim())
+	}
+	return v
+}
+
+// fireBreakerNotify forwards breaker transitions to the installed notify
+// hook (see SetBreakerNotify).
+func (e *Engine) fireBreakerNotify(name string, from, to resilience.State) {
+	e.notifyMu.Lock()
+	fn := e.breakerNotify
+	e.notifyMu.Unlock()
+	if fn != nil {
+		fn(name, from.String(), to.String())
+	}
+}
+
+// SetBreakerNotify installs a hook called after every circuit-breaker state
+// change — the server wires the monitor's breaker gauge here.
+func (e *Engine) SetBreakerNotify(fn func(name, from, to string)) {
+	e.notifyMu.Lock()
+	e.breakerNotify = fn
+	e.notifyMu.Unlock()
+}
+
+// Breakers snapshots the engine's circuit breakers for health reporting
+// (empty when resilience is disabled).
+func (e *Engine) Breakers() []resilience.BreakerStatus {
+	var out []resilience.BreakerStatus
+	for _, b := range []*resilience.Breaker{e.LLMBreaker, e.EmbedBreaker} {
+		if b != nil {
+			out = append(out, b.Status())
+		}
+	}
+	return out
 }
 
 // SetObserver replaces the engine's stage observer (nil = discard) for the
@@ -181,6 +295,11 @@ type Response struct {
 	// Documents is the retrieved document list, always populated: when a
 	// guardrail fires, UniAsk still shows the list for the user to check.
 	Documents []search.Result
+	// Degraded reports that parts of the query were shed to keep it
+	// available; DegradedParts names them ("vector", "expansion",
+	// "retrieval-components", "generation").
+	Degraded      bool
+	DegradedParts []string
 }
 
 // Search runs retrieval only, with the engine's default options.
@@ -212,12 +331,14 @@ func (e *Engine) Ask(ctx context.Context, question string) (Response, error) {
 	}
 
 	// 2. Retrieval (the searcher reports its own retrieval/fusion/rerank
-	// stages).
-	results, err := e.Searcher.Search(ctx, question, e.cfg.SearchOptions)
+	// stages). Degradation — shed vector legs, skipped expansion — is a
+	// normal outcome carried on the response, not an error.
+	results, deg, err := e.Searcher.SearchDegraded(ctx, question, e.cfg.SearchOptions)
 	if err != nil {
 		return resp, fmt.Errorf("core: search: %w", err)
 	}
 	resp.Documents = results
+	resp.DegradedParts = deg.Parts()
 
 	// 3. Generation over the top-m chunks.
 	m := e.cfg.M
@@ -240,6 +361,16 @@ func (e *Engine) Ask(ctx context.Context, question string) (Response, error) {
 	if err != nil {
 		return resp, fmt.Errorf("core: generate: %w", err)
 	}
+	if ans.Degraded {
+		// The LLM was unavailable: the extractive fallback answered. Report
+		// the shed generation like the searcher reports shed legs.
+		e.obs.ObserveStage(pipeline.StageInfo{
+			Stage: pipeline.StageDegraded, In: 1,
+			Err: fmt.Errorf("core: shed generation: llm unavailable"),
+		})
+		resp.DegradedParts = append(resp.DegradedParts, "generation")
+	}
+	resp.Degraded = len(resp.DegradedParts) > 0
 	resp.GeneratedAnswer = ans.Text
 	resp.Citations = ans.Citations
 

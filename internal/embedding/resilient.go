@@ -1,0 +1,112 @@
+package embedding
+
+// Context-aware, fallible embedding: the production embedder is a remote
+// API (text-embedding-ada-002 behind Azure OpenAI), so its calls can fail,
+// stall, or return garbage. CtxEmbedder is the remote-shaped interface the
+// query path consumes; Resilient decorates any CtxEmbedder with retries, a
+// circuit breaker, optional tail-latency hedging, and response validation
+// (a vector of the wrong dimensionality is an error, not a result — the
+// retry-with-verification stance of eSapiens' DEREK module).
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"uniask/internal/resilience"
+	"uniask/internal/vector"
+)
+
+// CtxEmbedder is a fallible, cancellable embedder — the shape of a remote
+// embedding API.
+type CtxEmbedder interface {
+	// EmbedCtx returns the embedding of text, honoring ctx.
+	EmbedCtx(ctx context.Context, text string) (vector.Vector, error)
+	// Dim reports the embedding dimensionality.
+	Dim() int
+}
+
+// ctxAdapter lifts an infallible in-process Embedder to CtxEmbedder.
+type ctxAdapter struct{ e Embedder }
+
+func (a ctxAdapter) EmbedCtx(ctx context.Context, text string) (vector.Vector, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return a.e.Embed(text), nil
+}
+
+func (a ctxAdapter) Dim() int { return a.e.Dim() }
+
+// AsCtx adapts a plain Embedder to CtxEmbedder. If e already implements
+// CtxEmbedder it is returned as-is.
+func AsCtx(e Embedder) CtxEmbedder {
+	if ce, ok := e.(CtxEmbedder); ok {
+		return ce
+	}
+	return ctxAdapter{e: e}
+}
+
+// Resilient decorates a CtxEmbedder with the resilience layer. It also
+// implements the plain Embedder interface so it can slot into existing
+// call sites; the no-context Embed degrades errors to the zero vector.
+type Resilient struct {
+	// Inner is the wrapped embedder.
+	Inner CtxEmbedder
+	// Policy is the retry policy (zero value = resilience defaults).
+	Policy resilience.Policy
+	// Breaker, when set, sheds calls while the embedding dependency is
+	// down.
+	Breaker *resilience.Breaker
+	// HedgeDelay, when positive, races a second attempt against a primary
+	// that has not answered within the delay (embeddings are idempotent,
+	// so hedging is safe).
+	HedgeDelay time.Duration
+}
+
+// EmbedCtx implements CtxEmbedder: retries transient failures, validates
+// the dimensionality of every response, and trips/obeys the breaker.
+func (r *Resilient) EmbedCtx(ctx context.Context, text string) (vector.Vector, error) {
+	attempt := func(ctx context.Context) (vector.Vector, error) {
+		op := func(ctx context.Context) (vector.Vector, error) {
+			if r.HedgeDelay > 0 {
+				return resilience.Hedge(ctx, r.Policy.Clock, r.HedgeDelay, func(ctx context.Context, _ int) (vector.Vector, error) {
+					return r.Inner.EmbedCtx(ctx, text)
+				})
+			}
+			return r.Inner.EmbedCtx(ctx, text)
+		}
+		v, err := op(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if len(v) != r.Inner.Dim() {
+			return nil, fmt.Errorf("embedding: malformed response: got %d dimensions, want %d", len(v), r.Inner.Dim())
+		}
+		return v, nil
+	}
+	if r.Breaker == nil {
+		return resilience.DoValue(ctx, r.Policy, attempt)
+	}
+	return resilience.DoValue(ctx, r.Policy, func(ctx context.Context) (vector.Vector, error) {
+		if err := r.Breaker.Allow(); err != nil {
+			return nil, err
+		}
+		v, err := attempt(ctx)
+		r.Breaker.Record(err)
+		return v, err
+	})
+}
+
+// Embed implements Embedder for legacy call sites that cannot fail; errors
+// degrade to the zero vector (callers on the resilient path use EmbedCtx).
+func (r *Resilient) Embed(text string) vector.Vector {
+	v, err := r.EmbedCtx(context.Background(), text)
+	if err != nil {
+		return make(vector.Vector, r.Inner.Dim())
+	}
+	return v
+}
+
+// Dim implements Embedder and CtxEmbedder.
+func (r *Resilient) Dim() int { return r.Inner.Dim() }

@@ -1,0 +1,68 @@
+package generation
+
+// Fuzz target for the citation parser (run via `make fuzz-short`) plus its
+// checked-in crasher corpus. ExtractCitationKeys consumes raw LLM output —
+// under fault injection that can be truncated, byte-corrupted or adversarial
+// text, so the invariants here are: never panic, keys are deduplicated and
+// each actually appears bracketed in the input.
+
+import (
+	"strings"
+	"testing"
+)
+
+// citationCrashers holds LLM outputs that stressed earlier parser drafts:
+// unterminated brackets, nested/empty brackets, invalid UTF-8 and pathological
+// repetition. Replayed by the fuzz seed corpus and the plain test below.
+var citationCrashers = []string{
+	"",
+	"[",
+	"]",
+	"[]",
+	"[[doc1]]",
+	"[doc1",
+	"doc1]",
+	"[doc1] [doc2] [doc1]",
+	"[doc1][doc1][doc1]",
+	"[doc 1]",
+	"[doc1\xff]",
+	"\xff[doc1]",
+	"[" + strings.Repeat("a", 100) + "1]",
+	strings.Repeat("[doc1]", 200),
+	strings.Repeat("[", 500),
+	"testo [doc1] con [x9] e [DOC2] finale [",
+}
+
+func checkCitationKeys(t *testing.T, text string, keys []string) {
+	t.Helper()
+	seen := map[string]bool{}
+	for _, k := range keys {
+		if k == "" {
+			t.Fatalf("empty key extracted from %q", text)
+		}
+		if seen[k] {
+			t.Fatalf("duplicate key %q extracted from %q", k, text)
+		}
+		seen[k] = true
+		if !strings.Contains(text, "["+k+"]") {
+			t.Fatalf("key %q not present bracketed in %q", k, text)
+		}
+	}
+}
+
+func FuzzExtractCitationKeys(f *testing.F) {
+	for _, c := range citationCrashers {
+		f.Add(c)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		checkCitationKeys(t, text, ExtractCitationKeys(text))
+	})
+}
+
+// TestCitationCrasherCorpus replays the corpus on every plain `go test`, so
+// the regression protection does not depend on -fuzz runs.
+func TestCitationCrasherCorpus(t *testing.T) {
+	for _, c := range citationCrashers {
+		checkCitationKeys(t, c, ExtractCitationKeys(c))
+	}
+}

@@ -7,10 +7,12 @@ package generation
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 
 	"uniask/internal/llm"
+	"uniask/internal/resilience"
 )
 
 // RetrievedChunk is one context chunk handed over by the search module.
@@ -33,6 +35,9 @@ type Answer struct {
 	CitedKeys []string
 	// Usage is the underlying LLM usage.
 	Usage llm.Response
+	// Degraded reports that the LLM was unavailable and this answer is the
+	// extractive fallback built from the top retrieved chunk.
+	Degraded bool
 }
 
 // DefaultM is the number of context chunks in the current deployment.
@@ -46,6 +51,9 @@ type Generator struct {
 	M int
 	// MaxTokens caps the completion (0 = client default).
 	MaxTokens int
+	// DisableFallback turns the extractive fallback off: LLM-unavailability
+	// errors then propagate instead of degrading.
+	DisableFallback bool
 }
 
 // Generate builds the prompt for question over chunks and returns the
@@ -69,6 +77,9 @@ func (g *Generator) Generate(ctx context.Context, question string, chunks []Retr
 	req.MaxTokens = g.MaxTokens
 	resp, err := g.Client.Complete(ctx, req)
 	if err != nil {
+		if g.fallbackEligible(ctx, err) {
+			return Extractive(question, chunks), nil
+		}
 		return Answer{}, fmt.Errorf("generation: %w", err)
 	}
 	keys := ExtractCitationKeys(resp.Content)
@@ -79,6 +90,68 @@ func (g *Generator) Generate(ctx context.Context, question string, chunks []Retr
 		}
 	}
 	return ans, nil
+}
+
+// fallbackEligible decides whether a generation error degrades to the
+// extractive answer: the LLM must be unavailable (open breaker or exhausted
+// retry budget) while the caller is still waiting — a cancelled caller gets
+// its cancellation back.
+func (g *Generator) fallbackEligible(ctx context.Context, err error) bool {
+	if g.DisableFallback || ctx.Err() != nil {
+		return false
+	}
+	return errors.Is(err, resilience.ErrBreakerOpen) || errors.Is(err, resilience.ErrBudgetExhausted)
+}
+
+// FallbackPreamble opens every extractive fallback answer (Italian, like
+// the deployment): it tells the user the assistant is unavailable and the
+// text below is quoted from the most relevant document.
+const FallbackPreamble = "L'assistente non è al momento disponibile. Riportiamo il passaggio più pertinente dalla documentazione:"
+
+// Extractive builds the graceful-degradation answer used when the LLM is
+// unavailable: a verbatim snippet of the top retrieved chunk, cited as
+// [doc1]. Quoting the context verbatim keeps the answer grounded — it
+// passes the citation and ROUGE guardrails by construction. With no chunks
+// at all there is nothing to quote; the uncited preamble alone is returned
+// and the citation guardrail downstream turns it into the apology message.
+func Extractive(question string, chunks []RetrievedChunk) Answer {
+	if len(chunks) == 0 {
+		return Answer{Text: FallbackPreamble, Degraded: true}
+	}
+	top := chunks[0]
+	snippet := extractSnippet(top.Content, 400)
+	var b strings.Builder
+	b.WriteString(FallbackPreamble)
+	b.WriteString("\n\n")
+	if top.Title != "" {
+		b.WriteString(top.Title)
+		b.WriteString(": ")
+	}
+	b.WriteString(snippet)
+	b.WriteString(" [doc1]")
+	return Answer{
+		Text:      b.String(),
+		Citations: []string{top.ID},
+		CitedKeys: []string{"doc1"},
+		Degraded:  true,
+	}
+}
+
+// extractSnippet truncates text to at most max bytes on a sentence boundary
+// when one exists, else on a word boundary.
+func extractSnippet(text string, max int) string {
+	text = strings.TrimSpace(text)
+	if len(text) <= max {
+		return text
+	}
+	cut := text[:max]
+	if i := strings.LastIndexByte(cut, '.'); i > max/2 {
+		return cut[:i+1]
+	}
+	if i := strings.LastIndexByte(cut, ' '); i > 0 {
+		cut = cut[:i]
+	}
+	return cut + "…"
 }
 
 // ExtractCitationKeys scans text for [key] citations and returns the keys

@@ -1,0 +1,63 @@
+package llm
+
+// ResilientClient decorates any Client with the resilience layer: retries
+// with capped-exponential backoff and deterministic jitter, per-attempt
+// timeouts, and a per-dependency circuit breaker. This is the wrapper the
+// engine installs between the pipeline and the hosted chat-completion
+// service, so a flaky or briefly-down LLM costs retries and eventually a
+// fast-failing open circuit — never a wedged query.
+
+import (
+	"context"
+	"errors"
+
+	"uniask/internal/resilience"
+)
+
+// ClassifyLLMError is the retry classification for chat-completion errors:
+// rate limits and unknown upstream failures are transient; a structurally
+// bad request, a cancelled caller, or an open breaker is terminal.
+func ClassifyLLMError(err error) resilience.Class {
+	switch {
+	case errors.Is(err, ErrEmptyPrompt):
+		return resilience.Terminal
+	case errors.Is(err, ErrRateLimited):
+		return resilience.Retryable
+	}
+	return resilience.DefaultClassify(err)
+}
+
+// ResilientClient wraps a Client with retry + circuit-breaker behavior. On
+// the happy path it adds one function call and no allocation.
+type ResilientClient struct {
+	// Inner is the wrapped chat-completion client.
+	Inner Client
+	// Policy is the retry policy; its Classify defaults to
+	// ClassifyLLMError when nil.
+	Policy resilience.Policy
+	// Breaker, when set, guards the dependency: calls are shed with
+	// resilience.ErrBreakerOpen while it is open, and every attempt's
+	// outcome feeds its failure counter.
+	Breaker *resilience.Breaker
+}
+
+// Complete implements Client.
+func (c *ResilientClient) Complete(ctx context.Context, req Request) (Response, error) {
+	p := c.Policy
+	if p.Classify == nil {
+		p.Classify = ClassifyLLMError
+	}
+	if c.Breaker == nil {
+		return resilience.DoValue(ctx, p, func(ctx context.Context) (Response, error) {
+			return c.Inner.Complete(ctx, req)
+		})
+	}
+	return resilience.DoValue(ctx, p, func(ctx context.Context) (Response, error) {
+		if err := c.Breaker.Allow(); err != nil {
+			return Response{}, err
+		}
+		resp, err := c.Inner.Complete(ctx, req)
+		c.Breaker.Record(err)
+		return resp, err
+	})
+}

@@ -1,0 +1,107 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"uniask/internal/resilience"
+)
+
+// flakyClient fails its first n calls with err, then delegates to SimLLM.
+type flakyClient struct {
+	failuresLeft int
+	err          error
+	inner        Client
+	calls        int
+}
+
+func (f *flakyClient) Complete(ctx context.Context, req Request) (Response, error) {
+	f.calls++
+	if f.failuresLeft > 0 {
+		f.failuresLeft--
+		return Response{}, f.err
+	}
+	return f.inner.Complete(ctx, req)
+}
+
+func testReq() Request {
+	return Request{Messages: []Message{{Role: User, Content: "Riassumi: il bonifico estero richiede l'IBAN."}}}
+}
+
+func fastPolicy() resilience.Policy {
+	return resilience.Policy{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond}
+}
+
+func TestResilientClientRetriesTransient(t *testing.T) {
+	f := &flakyClient{failuresLeft: 2, err: errors.New("upstream 503"), inner: NewSim(DefaultBehavior())}
+	c := &ResilientClient{Inner: f, Policy: fastPolicy()}
+	resp, err := c.Complete(context.Background(), testReq())
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	if f.calls != 3 {
+		t.Fatalf("calls = %d, want 3", f.calls)
+	}
+	if resp.Content == "" {
+		t.Fatal("empty content after successful retry")
+	}
+}
+
+func TestResilientClientRateLimitedIsRetryable(t *testing.T) {
+	f := &flakyClient{failuresLeft: 1, err: ErrRateLimited, inner: NewSim(DefaultBehavior())}
+	c := &ResilientClient{Inner: f, Policy: fastPolicy()}
+	if _, err := c.Complete(context.Background(), testReq()); err != nil {
+		t.Fatalf("Complete after 429: %v", err)
+	}
+	if f.calls != 2 {
+		t.Fatalf("calls = %d, want 2", f.calls)
+	}
+}
+
+func TestResilientClientEmptyPromptTerminal(t *testing.T) {
+	f := &flakyClient{inner: NewSim(DefaultBehavior())}
+	c := &ResilientClient{Inner: f, Policy: fastPolicy()}
+	if _, err := c.Complete(context.Background(), Request{}); !errors.Is(err, ErrEmptyPrompt) {
+		t.Fatalf("err = %v, want ErrEmptyPrompt", err)
+	}
+	if f.calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no retry on a structurally bad request)", f.calls)
+	}
+}
+
+func TestResilientClientBudgetExhausted(t *testing.T) {
+	f := &flakyClient{failuresLeft: 99, err: errors.New("upstream down"), inner: NewSim(DefaultBehavior())}
+	c := &ResilientClient{Inner: f, Policy: fastPolicy()}
+	_, err := c.Complete(context.Background(), testReq())
+	if !errors.Is(err, resilience.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if f.calls != 3 {
+		t.Fatalf("calls = %d, want 3", f.calls)
+	}
+}
+
+func TestResilientClientBreakerShedsFast(t *testing.T) {
+	f := &flakyClient{failuresLeft: 99, err: errors.New("upstream down"), inner: NewSim(DefaultBehavior())}
+	br := resilience.NewBreaker(resilience.BreakerConfig{Name: "llm", FailureThreshold: 3, Cooldown: time.Hour})
+	c := &ResilientClient{Inner: f, Policy: fastPolicy(), Breaker: br}
+
+	// First call burns the failure threshold across its attempts.
+	if _, err := c.Complete(context.Background(), testReq()); err == nil {
+		t.Fatal("expected failure")
+	}
+	if br.State() != resilience.Open {
+		t.Fatalf("breaker state = %v, want Open", br.State())
+	}
+	callsBefore := f.calls
+	// Subsequent calls are shed without touching the dependency.
+	_, err := c.Complete(context.Background(), testReq())
+	if !errors.Is(err, resilience.ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	if f.calls != callsBefore {
+		t.Fatalf("open breaker still reached the dependency (%d -> %d calls)", callsBefore, f.calls)
+	}
+}

@@ -22,15 +22,19 @@ import (
 
 // Metrics is the registry the microservices record events into.
 type Metrics struct {
-	mu                sync.Mutex
-	users             map[string]bool
-	queries           int
-	failures          int
-	guardrails        map[string]int
-	feedbacks         int
-	positiveFeedbacks int
-	totalLatency      time.Duration
-	stages            map[string]*stageAgg
+	mu                 sync.Mutex
+	users              map[string]bool
+	queries            int
+	failures           int
+	guardrails         map[string]int
+	feedbacks          int
+	positiveFeedbacks  int
+	totalLatency       time.Duration
+	stages             map[string]*stageAgg
+	breakerStates      map[string]string
+	breakerTransitions map[string]int
+	degradedQueries    int
+	degradedParts      map[string]int
 }
 
 // stageAgg accumulates one pipeline stage's reports.
@@ -45,9 +49,37 @@ type stageAgg struct {
 // New returns an empty registry.
 func New() *Metrics {
 	return &Metrics{
-		users:      make(map[string]bool),
-		guardrails: make(map[string]int),
-		stages:     make(map[string]*stageAgg),
+		users:              make(map[string]bool),
+		guardrails:         make(map[string]int),
+		stages:             make(map[string]*stageAgg),
+		breakerStates:      make(map[string]string),
+		breakerTransitions: make(map[string]int),
+		degradedParts:      make(map[string]int),
+	}
+}
+
+// RecordBreakerTransition logs one circuit-breaker state change; the gauge
+// keeps the latest state per dependency plus a transition counter. Wire it
+// to core.Engine.SetBreakerNotify.
+func (m *Metrics) RecordBreakerTransition(name, from, to string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.breakerStates[name] = to
+	m.breakerTransitions[name]++
+}
+
+// RecordDegraded logs one query answered in degraded mode, with the parts
+// that were shed ("vector", "expansion", "retrieval-components",
+// "generation").
+func (m *Metrics) RecordDegraded(parts []string) {
+	if len(parts) == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.degradedQueries++
+	for _, p := range parts {
+		m.degradedParts[p]++
 	}
 }
 
@@ -123,6 +155,14 @@ type Dashboard struct {
 	// Stages holds per-pipeline-stage latency and size aggregates, in
 	// query-flow order (filter … guardrails, then custom stages).
 	Stages []StageStats
+	// DegradedQueries counts queries answered at reduced fidelity, and
+	// DegradedParts breaks them down by what was shed.
+	DegradedQueries int
+	DegradedParts   map[string]int
+	// Breakers maps each circuit breaker to its latest observed state, and
+	// BreakerTransitions counts its state changes.
+	Breakers           map[string]string
+	BreakerTransitions map[string]int
 }
 
 // Snapshot reads the current dashboard.
@@ -130,16 +170,29 @@ func (m *Metrics) Snapshot() Dashboard {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	d := Dashboard{
-		Users:             len(m.users),
-		Queries:           m.queries,
-		Feedbacks:         m.feedbacks,
-		PositiveFeedbacks: m.positiveFeedbacks,
-		FailedRequests:    m.failures,
-		PerGuardrail:      make(map[string]int, len(m.guardrails)),
+		Users:              len(m.users),
+		Queries:            m.queries,
+		Feedbacks:          m.feedbacks,
+		PositiveFeedbacks:  m.positiveFeedbacks,
+		FailedRequests:     m.failures,
+		PerGuardrail:       make(map[string]int, len(m.guardrails)),
+		DegradedQueries:    m.degradedQueries,
+		DegradedParts:      make(map[string]int, len(m.degradedParts)),
+		Breakers:           make(map[string]string, len(m.breakerStates)),
+		BreakerTransitions: make(map[string]int, len(m.breakerTransitions)),
 	}
 	for k, v := range m.guardrails {
 		d.PerGuardrail[k] = v
 		d.GuardrailsTriggered += v
+	}
+	for k, v := range m.degradedParts {
+		d.DegradedParts[k] = v
+	}
+	for k, v := range m.breakerStates {
+		d.Breakers[k] = v
+	}
+	for k, v := range m.breakerTransitions {
+		d.BreakerTransitions[k] = v
 	}
 	if m.queries > 0 {
 		d.AvgResponse = m.totalLatency / time.Duration(m.queries)
@@ -190,6 +243,28 @@ func (d Dashboard) String() string {
 	sort.Strings(keys)
 	for _, k := range keys {
 		fmt.Fprintf(&b, "    %-20s %d\n", k+":", d.PerGuardrail[k])
+	}
+	if d.DegradedQueries > 0 {
+		fmt.Fprintf(&b, "  degraded queries:      %d\n", d.DegradedQueries)
+		parts := make([]string, 0, len(d.DegradedParts))
+		for k := range d.DegradedParts {
+			parts = append(parts, k)
+		}
+		sort.Strings(parts)
+		for _, k := range parts {
+			fmt.Fprintf(&b, "    %-20s %d\n", k+":", d.DegradedParts[k])
+		}
+	}
+	if len(d.Breakers) > 0 {
+		fmt.Fprintf(&b, "  circuit breakers:      (state / transitions)\n")
+		names := make([]string, 0, len(d.Breakers))
+		for k := range d.Breakers {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			fmt.Fprintf(&b, "    %-12s %-10s %d\n", k+":", d.Breakers[k], d.BreakerTransitions[k])
+		}
 	}
 	b.WriteString(d.StagesString())
 	return b.String()

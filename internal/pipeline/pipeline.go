@@ -34,6 +34,11 @@ const (
 	StageRerank     = "rerank"
 	StageGeneration = "generation"
 	StageGuardrails = "guardrails"
+	// StageDegraded is the synthetic stage reporting every shed unit of
+	// work: a failed retrieval leg, a skipped expansion, an extractive
+	// generation fallback. Its Err carries the cause; its In counts the
+	// shed items. The monitor surfaces it as the degradation gauge.
+	StageDegraded = "degraded"
 )
 
 // StageOrder returns the display rank of a stage: canonical Figure-1
@@ -42,6 +47,7 @@ func StageOrder(stage string) int {
 	for i, s := range []string{
 		StageFilter, StageExpand, StageEmbed, StageRetrieval,
 		StageFusion, StageRerank, StageGeneration, StageGuardrails,
+		StageDegraded,
 	} {
 		if s == stage {
 			return i

@@ -1,0 +1,243 @@
+package resilience
+
+// Per-dependency circuit breaker. A dependency that fails repeatedly is
+// almost certainly still failing one retry later: the breaker opens after a
+// run of consecutive failures, sheds every call for a cooldown (callers get
+// ErrBreakerOpen immediately and can degrade gracefully instead of waiting
+// out retries), then admits a single half-open probe. A successful probe
+// closes the circuit; a failed one reopens it for another cooldown.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"uniask/internal/vclock"
+)
+
+// State is a breaker state.
+type State int
+
+// Breaker states.
+const (
+	// Closed admits every call (normal operation).
+	Closed State = iota
+	// Open sheds every call until the cooldown elapses.
+	Open
+	// HalfOpen admits exactly one probe call at a time.
+	HalfOpen
+)
+
+// String renders the state for dashboards and health endpoints.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig configures a Breaker. The zero value gives the defaults.
+type BreakerConfig struct {
+	// Name identifies the guarded dependency ("llm", "embedding", ...) in
+	// health output and state-change notifications.
+	Name string
+	// FailureThreshold is the consecutive-failure count that opens the
+	// circuit (default 5).
+	FailureThreshold int
+	// Cooldown is how long the circuit stays open before admitting a
+	// half-open probe (default 5s).
+	Cooldown time.Duration
+	// SuccessesToClose is how many consecutive probe successes close a
+	// half-open circuit (default 1).
+	SuccessesToClose int
+	// IsFailure decides which errors count against the threshold (nil:
+	// every non-nil error except context cancellation; a cancelled caller
+	// says nothing about the dependency's health).
+	IsFailure func(error) bool
+	// Clock drives the cooldown (nil = wall clock).
+	Clock vclock.Clock
+	// OnStateChange, when set, is called (outside the breaker lock) after
+	// every transition — the monitor wires its breaker gauges here.
+	OnStateChange func(name string, from, to State)
+}
+
+// Breaker is a circuit breaker. The zero value is not usable; construct
+// with NewBreaker. Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     State
+	failures  int // consecutive failures while closed / probe failures observed
+	successes int // consecutive probe successes while half-open
+	openedAt  time.Time
+	probing   bool // a half-open probe is in flight
+}
+
+// NewBreaker creates a breaker with the given configuration.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 5
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 5 * time.Second
+	}
+	if cfg.SuccessesToClose <= 0 {
+		cfg.SuccessesToClose = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real{}
+	}
+	if cfg.IsFailure == nil {
+		cfg.IsFailure = func(err error) bool {
+			return err != nil && !errors.Is(err, context.Canceled)
+		}
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// Name reports the configured dependency name.
+func (b *Breaker) Name() string { return b.cfg.Name }
+
+// State reports the current state, applying the open→half-open timeout.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	notify := b.maybeHalfOpenLocked()
+	s := b.state
+	b.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+	return s
+}
+
+// maybeHalfOpenLocked moves an open breaker whose cooldown has elapsed into
+// half-open. Caller holds b.mu. Returns the notification to fire, if any.
+func (b *Breaker) maybeHalfOpenLocked() (notify func()) {
+	if b.state == Open && b.cfg.Clock.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		return b.transitionLocked(HalfOpen)
+	}
+	return nil
+}
+
+// transitionLocked switches state and returns the deferred OnStateChange
+// call (to run outside the lock). Caller holds b.mu.
+func (b *Breaker) transitionLocked(to State) func() {
+	from := b.state
+	if from == to {
+		return nil
+	}
+	b.state = to
+	switch to {
+	case Open:
+		b.openedAt = b.cfg.Clock.Now()
+		b.probing = false
+		b.successes = 0
+	case HalfOpen:
+		b.probing = false
+		b.successes = 0
+	case Closed:
+		b.failures = 0
+		b.successes = 0
+		b.probing = false
+	}
+	if cb := b.cfg.OnStateChange; cb != nil {
+		name := b.cfg.Name
+		return func() { cb(name, from, to) }
+	}
+	return nil
+}
+
+// Allow reports whether a call may proceed: nil in closed state, nil for
+// exactly one in-flight probe in half-open state, ErrBreakerOpen otherwise.
+// Every admitted call MUST be followed by exactly one Record.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	notify := b.maybeHalfOpenLocked()
+	var err error
+	switch b.state {
+	case Open:
+		err = ErrBreakerOpen
+	case HalfOpen:
+		if b.probing {
+			err = ErrBreakerOpen
+		} else {
+			b.probing = true
+		}
+	}
+	b.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+	return err
+}
+
+// Record reports the outcome of an admitted call.
+func (b *Breaker) Record(err error) {
+	failed := b.cfg.IsFailure(err)
+	b.mu.Lock()
+	var notify func()
+	switch b.state {
+	case Closed:
+		if failed {
+			b.failures++
+			if b.failures >= b.cfg.FailureThreshold {
+				notify = b.transitionLocked(Open)
+			}
+		} else {
+			b.failures = 0
+		}
+	case HalfOpen:
+		b.probing = false
+		if failed {
+			notify = b.transitionLocked(Open)
+		} else {
+			b.successes++
+			if b.successes >= b.cfg.SuccessesToClose {
+				notify = b.transitionLocked(Closed)
+			}
+		}
+	case Open:
+		// A straggler from before the circuit opened; its outcome is stale.
+	}
+	b.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+}
+
+// Do runs op through the breaker: shed with ErrBreakerOpen when the circuit
+// is open, otherwise executed and its outcome recorded.
+func (b *Breaker) Do(op func() error) error {
+	if err := b.Allow(); err != nil {
+		return err
+	}
+	err := op()
+	b.Record(err)
+	return err
+}
+
+// BreakerStatus is a point-in-time view of one breaker, surfaced by the
+// engine's health report and the /api/health endpoint.
+type BreakerStatus struct {
+	// Name is the guarded dependency.
+	Name string `json:"name"`
+	// State is the current state string ("closed", "open", "half-open").
+	State string `json:"state"`
+	// ConsecutiveFailures is the current failure run length (closed state).
+	ConsecutiveFailures int `json:"consecutiveFailures"`
+}
+
+// Status snapshots the breaker.
+func (b *Breaker) Status() BreakerStatus {
+	state := b.State() // applies the cooldown transition first
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStatus{Name: b.cfg.Name, State: state.String(), ConsecutiveFailures: b.failures}
+}

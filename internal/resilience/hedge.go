@@ -1,0 +1,65 @@
+package resilience
+
+// Tail-latency hedging: for cheap idempotent calls (embeddings, reranker
+// lookups) the p99 is dominated by an occasional straggler. Hedge launches
+// the primary attempt, waits a small delay, and — if the primary has not
+// answered — races a second attempt against it, returning whichever
+// finishes first. The loser is cancelled. This trades a bounded amount of
+// duplicate work (only on the slow tail) for a much tighter tail latency,
+// the classic "tied requests" technique.
+
+import (
+	"context"
+	"time"
+
+	"uniask/internal/vclock"
+)
+
+// Hedge runs op(ctx, 0); if it has not returned after delay, op(ctx, 1) is
+// launched concurrently and the first result (success or failure) wins.
+// The attempt index lets op vary telemetry or routing between the primary
+// and the hedge. A nil clock uses the wall clock. delay <= 0 degrades to a
+// plain call.
+func Hedge[T any](ctx context.Context, clock vclock.Clock, delay time.Duration, op func(ctx context.Context, attempt int) (T, error)) (T, error) {
+	var zero T
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
+	if delay <= 0 {
+		return op(ctx, 0)
+	}
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		v   T
+		err error
+	}
+	results := make(chan outcome, 2)
+	launch := func(attempt int) {
+		go func() {
+			v, err := op(hctx, attempt)
+			results <- outcome{v: v, err: err}
+		}()
+	}
+
+	launch(0)
+	timer := clock.After(delay)
+	for {
+		select {
+		case r := <-results:
+			// First finisher wins outright; the deferred cancel reaps the
+			// other attempt (its buffered send never blocks).
+			return r.v, r.err
+		case <-timer:
+			timer = nil // a nil channel never fires again
+			launch(1)
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+}

@@ -36,6 +36,7 @@ type cacheEntry struct {
 	key     string
 	epoch   uint64
 	results []Result
+	deg     Degradation
 }
 
 // flightKey includes the epoch so a flight started against a stale index
@@ -45,11 +46,12 @@ type flightKey struct {
 	epoch uint64
 }
 
-// flight is one in-progress computation; results/err are published before
-// done is closed.
+// flight is one in-progress computation; results/deg/err are published
+// before done is closed.
 type flight struct {
 	done    chan struct{}
 	results []Result
+	deg     Degradation
 	err     error
 }
 
@@ -67,26 +69,27 @@ func NewQueryCache(capacity int) *QueryCache {
 	}
 }
 
-// lookup returns a copy of the results cached under key at the given epoch.
-// A key cached at any other epoch counts as a miss and is evicted.
-func (c *QueryCache) lookup(key string, epoch uint64) ([]Result, bool) {
+// lookup returns a copy of the results cached under key at the given epoch,
+// with the degradation they were computed under. A key cached at any other
+// epoch counts as a miss and is evicted.
+func (c *QueryCache) lookup(key string, epoch uint64) ([]Result, Degradation, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
 	if !ok {
 		c.misses++
-		return nil, false
+		return nil, Degradation{}, false
 	}
 	e := el.Value.(*cacheEntry)
 	if e.epoch != epoch {
 		c.lru.Remove(el)
 		delete(c.entries, key)
 		c.misses++
-		return nil, false
+		return nil, Degradation{}, false
 	}
 	c.lru.MoveToFront(el)
 	c.hits++
-	return copyResults(e.results), true
+	return copyResults(e.results), e.deg, true
 }
 
 // join registers interest in (key, epoch): the first caller becomes the
@@ -104,28 +107,29 @@ func (c *QueryCache) join(key string, epoch uint64) (f *flight, leader bool) {
 	return f, true
 }
 
-// complete publishes the leader's outcome to waiters and, when the search
-// succeeded and the index epoch is still current, stores it in the LRU.
-func (c *QueryCache) complete(key string, epoch uint64, f *flight, results []Result, err error, stillCurrent bool) {
+// complete publishes the leader's outcome to waiters and, when store is
+// true (the caller decided the result is cacheable: success, still-current
+// epoch, not degraded), stores it in the LRU.
+func (c *QueryCache) complete(key string, epoch uint64, f *flight, results []Result, deg Degradation, err error, store bool) {
 	c.mu.Lock()
 	delete(c.flights, flightKey{key: key, epoch: epoch})
-	if err == nil && stillCurrent {
-		c.storeLocked(key, epoch, copyResults(results))
+	if err == nil && store {
+		c.storeLocked(key, epoch, copyResults(results), deg)
 	}
 	c.mu.Unlock()
-	f.results, f.err = results, err
+	f.results, f.deg, f.err = results, deg, err
 	close(f.done)
 }
 
 // storeLocked inserts or refreshes an entry; the caller holds c.mu.
-func (c *QueryCache) storeLocked(key string, epoch uint64, results []Result) {
+func (c *QueryCache) storeLocked(key string, epoch uint64, results []Result, deg Degradation) {
 	if el, ok := c.entries[key]; ok {
 		e := el.Value.(*cacheEntry)
-		e.epoch, e.results = epoch, results
+		e.epoch, e.results, e.deg = epoch, results, deg
 		c.lru.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, epoch: epoch, results: results})
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, epoch: epoch, results: results, deg: deg})
 	for c.lru.Len() > c.cap {
 		back := c.lru.Back()
 		c.lru.Remove(back)

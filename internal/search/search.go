@@ -22,6 +22,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"uniask/internal/embedding"
@@ -30,8 +31,51 @@ import (
 	"uniask/internal/llm"
 	"uniask/internal/pipeline"
 	"uniask/internal/rerank"
+	"uniask/internal/resilience"
 	"uniask/internal/vector"
 )
+
+// Degradation reports which parts of a query were shed to keep it
+// available. A degraded search still returns a ranking — computed from the
+// components that survived — and the caller (the engine, the server, the
+// dashboard) surfaces the reduced fidelity instead of an error.
+type Degradation struct {
+	// VectorSkipped means query embedding failed, so the vector legs (and
+	// the semantic component of reranking) were shed: BM25-only retrieval.
+	VectorSkipped bool
+	// ExpansionSkipped means the LLM query-expansion call failed, so the
+	// search ran without expansion.
+	ExpansionSkipped bool
+	// ComponentsShed counts retrieval legs that failed and were dropped
+	// from fusion.
+	ComponentsShed int
+}
+
+// Degraded reports whether anything was shed.
+func (d Degradation) Degraded() bool {
+	return d.VectorSkipped || d.ExpansionSkipped || d.ComponentsShed > 0
+}
+
+// Parts names the shed parts for logs, metrics and API responses.
+func (d Degradation) Parts() []string {
+	var out []string
+	if d.VectorSkipped {
+		out = append(out, "vector")
+	}
+	if d.ExpansionSkipped {
+		out = append(out, "expansion")
+	}
+	if d.ComponentsShed > 0 {
+		out = append(out, "retrieval-components")
+	}
+	return out
+}
+
+func (d *Degradation) merge(o Degradation) {
+	d.VectorSkipped = d.VectorSkipped || o.VectorSkipped
+	d.ExpansionSkipped = d.ExpansionSkipped || o.ExpansionSkipped
+	d.ComponentsShed += o.ComponentsShed
+}
 
 // Mode selects which retrieval components run.
 type Mode int
@@ -162,39 +206,50 @@ func (s *Searcher) workers() int {
 // repeated queries at an unchanged index epoch are served from memory, and
 // concurrent identical queries collapse into one execution.
 func (s *Searcher) Search(ctx context.Context, query string, opts Options) ([]Result, error) {
+	res, _, err := s.SearchDegraded(ctx, query, opts)
+	return res, err
+}
+
+// SearchDegraded is Search plus the degradation report: which parts of the
+// query (vector legs, expansion, individual retrieval components) were shed
+// to keep it available. Cached entries replay the degradation they were
+// computed under.
+func (s *Searcher) SearchDegraded(ctx context.Context, query string, opts Options) ([]Result, Degradation, error) {
 	opts = opts.withDefaults()
 	if s.Cache == nil {
 		return s.run(ctx, query, opts)
 	}
 	epoch := s.Index.Epoch()
 	key := cacheKey(query, opts)
-	if res, ok := s.Cache.lookup(key, epoch); ok {
-		return res, nil
+	if res, deg, ok := s.Cache.lookup(key, epoch); ok {
+		return res, deg, nil
 	}
 	f, leader := s.Cache.join(key, epoch)
 	if leader {
-		res, err := s.run(ctx, query, opts)
+		res, deg, err := s.run(ctx, query, opts)
 		// Re-check the epoch at store time: a write racing with this query
-		// must not leave a stale entry behind.
-		s.Cache.complete(key, epoch, f, res, err, s.Index.Epoch() == epoch)
-		return res, err
+		// must not leave a stale entry behind. Degraded results are not
+		// cached either: the dependency may already be healthy again, and a
+		// cache must not pin reduced fidelity for a whole epoch.
+		s.Cache.complete(key, epoch, f, res, deg, err, err == nil && !deg.Degraded() && s.Index.Epoch() == epoch)
+		return res, deg, err
 	}
 	select {
 	case <-f.done:
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, Degradation{}, ctx.Err()
 	}
 	if f.err != nil {
 		// The leader failed (possibly on its own canceled context); run
 		// independently rather than propagating a foreign error.
 		return s.run(ctx, query, opts)
 	}
-	return copyResults(f.results), nil
+	return copyResults(f.results), f.deg, nil
 }
 
 // run executes one search with already-defaulted options, bypassing the
 // cache.
-func (s *Searcher) run(ctx context.Context, query string, opts Options) ([]Result, error) {
+func (s *Searcher) run(ctx context.Context, query string, opts Options) ([]Result, Degradation, error) {
 	switch opts.Expansion {
 	case QGA:
 		return s.searchQGA(ctx, query, opts)
@@ -203,19 +258,46 @@ func (s *Searcher) run(ctx context.Context, query string, opts Options) ([]Resul
 	case MQ2:
 		return s.searchMQ2(ctx, query, opts)
 	}
-	qvec, err := s.embed(ctx, query)
-	if err != nil {
-		return nil, err
-	}
-	return s.searchOnce(ctx, query, qvec, opts)
+	return s.searchPlain(ctx, query, opts)
 }
 
-// embed runs one query embedding as an observed stage.
+// searchPlain is the no-expansion path: embed (degrading to BM25-only when
+// embedding fails) and run one hybrid pass.
+func (s *Searcher) searchPlain(ctx context.Context, query string, opts Options) ([]Result, Degradation, error) {
+	var deg Degradation
+	qvec, err := s.embed(ctx, query)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, deg, ctxErr
+		}
+		if opts.Mode == VectorOnly {
+			// Nothing to degrade to: vector-only retrieval needs the vector.
+			return nil, deg, fmt.Errorf("search: embed: %w", err)
+		}
+		s.shed(pipeline.StageEmbed, 1, err)
+		deg.VectorSkipped = true
+		qvec = nil
+	}
+	res, d, err := s.searchOnce(ctx, query, qvec, opts)
+	deg.merge(d)
+	return res, deg, err
+}
+
+// ctxEmbedder returns the searcher's embedder as a fallible, cancellable
+// CtxEmbedder (in-process embedders are adapted and never fail).
+func (s *Searcher) ctxEmbedder() embedding.CtxEmbedder {
+	return embedding.AsCtx(s.Embedder)
+}
+
+// embed runs one query embedding as an observed stage. Failures are
+// returned for the caller to classify (degrade or abort).
 func (s *Searcher) embed(ctx context.Context, query string) (vector.Vector, error) {
 	var qvec vector.Vector
-	err := pipeline.Run(ctx, s.obs(), pipeline.StageEmbed, 1, func(context.Context) (int, error) {
-		qvec = s.Embedder.Embed(query)
-		return 1, nil
+	ce := s.ctxEmbedder()
+	err := pipeline.Run(ctx, s.obs(), pipeline.StageEmbed, 1, func(ctx context.Context) (int, error) {
+		var err error
+		qvec, err = ce.EmbedCtx(ctx, query)
+		return 1, err
 	})
 	if err != nil {
 		return nil, err
@@ -223,28 +305,50 @@ func (s *Searcher) embed(ctx context.Context, query string) (vector.Vector, erro
 	return qvec, nil
 }
 
+// shed reports n dropped units of work to the observer under the synthetic
+// "degraded" stage, with the cause.
+func (s *Searcher) shed(what string, n int, cause error) {
+	s.obs().ObserveStage(pipeline.StageInfo{
+		Stage: pipeline.StageDegraded, In: n,
+		Err: fmt.Errorf("search: shed %s: %w", what, cause),
+	})
+}
+
 // searchOnce runs one text+vector+RRF+rerank pass with the given query text
-// and query vector.
-func (s *Searcher) searchOnce(ctx context.Context, query string, qvec vector.Vector, opts Options) ([]Result, error) {
-	rankings, err := s.runComponents(ctx, s.components(query, qvec, opts))
+// and query vector. A nil qvec sheds the vector legs (BM25-only).
+func (s *Searcher) searchOnce(ctx context.Context, query string, qvec vector.Vector, opts Options) ([]Result, Degradation, error) {
+	rankings, deg, err := s.runComponents(ctx, s.components(query, qvec, opts))
 	if err != nil {
-		return nil, err
+		return nil, deg, err
 	}
 	fused, err := s.fuse(ctx, rankings, opts)
 	if err != nil {
-		return nil, err
+		return nil, deg, err
 	}
-	return s.finalize(ctx, query, qvec, fused, opts)
+	res, err := s.finalize(ctx, query, qvec, fused, opts)
+	return res, deg, err
 }
 
 // component is one independent retrieval leg: BM25 full-text search or one
-// ANN search over a vector field. Components are pure reads over the index
-// and safe to run concurrently.
-type component func() fusion.Ranking
+// ANN search over a vector field. Components are safe to run concurrently;
+// a component that fails (a remote shard, a poisoned read) is retried once
+// and then shed from fusion rather than failing the query.
+type component struct {
+	// kind names the leg for degradation reports ("text", "vector:field").
+	kind string
+	// run executes the leg.
+	run func(ctx context.Context) (fusion.Ranking, error)
+}
+
+// componentPolicy is the per-leg retry budget: one immediate retry, no
+// backoff worth speaking of — a leg that fails twice is shed, the query
+// moves on.
+var componentPolicy = resilience.Policy{MaxAttempts: 2, BaseDelay: 1, MaxDelay: 1, Jitter: 0.01}
 
 // components lists the retrieval legs for one (query, vector) pair, in the
 // deterministic order RRF fuses them: text first, then vector fields in
-// the index's sorted field order.
+// the index's sorted field order. A nil qvec (degraded embedding) yields no
+// vector legs.
 func (s *Searcher) components(query string, qvec vector.Vector, opts Options) []component {
 	var comps []component
 	if opts.Mode != VectorOnly {
@@ -256,37 +360,84 @@ func (s *Searcher) components(query string, qvec vector.Vector, opts Options) []
 		if opts.TitleBoost > 1 {
 			textOpts.FieldWeights = map[string]float64{"title": opts.TitleBoost}
 		}
-		comps = append(comps, func() fusion.Ranking {
-			return hitsToRanking(s.Index.SearchText(query, opts.TextN, textOpts))
-		})
+		comps = append(comps, component{kind: "text", run: func(ctx context.Context) (fusion.Ranking, error) {
+			return hitsToRanking(s.Index.SearchText(query, opts.TextN, textOpts)), nil
+		}})
 	}
-	if opts.Mode != TextOnly {
+	if opts.Mode != TextOnly && qvec != nil {
 		for _, field := range s.Index.VectorFields() {
 			field := field
-			comps = append(comps, func() fusion.Ranking {
-				return hitsToRanking(s.Index.SearchVector(field, qvec, opts.VectorK, opts.Filters))
-			})
+			comps = append(comps, component{kind: "vector:" + field, run: func(ctx context.Context) (fusion.Ranking, error) {
+				return hitsToRanking(s.Index.SearchVector(field, qvec, opts.VectorK, opts.Filters)), nil
+			}})
 		}
 	}
 	return comps
 }
 
+// runComponent executes one leg under the per-component retry policy, with
+// panics converted to errors so a poisoned leg sheds instead of crashing
+// the process.
+func runComponent(ctx context.Context, c component) (r fusion.Ranking, err error) {
+	return resilience.DoValue(ctx, componentPolicy, func(ctx context.Context) (_ fusion.Ranking, opErr error) {
+		defer func() {
+			if p := recover(); p != nil {
+				opErr = fmt.Errorf("search: component %s panicked: %v", c.kind, p)
+			}
+		}()
+		return c.run(ctx)
+	})
+}
+
+// compOutcome carries a leg's ranking or its failure through the fan-out
+// without aborting sibling legs.
+type compOutcome struct {
+	ranking fusion.Ranking
+	err     error
+}
+
 // runComponents executes the retrieval legs over the bounded worker pool
 // as one observed "retrieval" stage. Results keep component order, so the
-// rankings slice is identical to a sequential loop's.
-func (s *Searcher) runComponents(ctx context.Context, comps []component) ([]fusion.Ranking, error) {
-	var rankings []fusion.Ranking
+// rankings slice is identical to a sequential loop's. Legs that fail after
+// their retry are shed: fusion proceeds over the survivors (an empty
+// ranking keeps positional order stable) and the shed legs are reported as
+// degradation. Only when every leg fails — or the caller is cancelled —
+// does the stage error.
+func (s *Searcher) runComponents(ctx context.Context, comps []component) ([]fusion.Ranking, Degradation, error) {
+	var (
+		rankings []fusion.Ranking
+		deg      Degradation
+	)
 	err := pipeline.Run(ctx, s.obs(), pipeline.StageRetrieval, len(comps), func(ctx context.Context) (int, error) {
-		var err error
-		rankings, err = pipeline.Map(ctx, s.workers(), len(comps), func(ctx context.Context, i int) (fusion.Ranking, error) {
+		outcomes, err := pipeline.Map(ctx, s.workers(), len(comps), func(ctx context.Context, i int) (compOutcome, error) {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return compOutcome{}, err
 			}
-			return comps[i](), nil
+			r, err := runComponent(ctx, comps[i])
+			return compOutcome{ranking: r, err: err}, nil
 		})
 		if err != nil {
 			return 0, err
 		}
+		rankings = make([]fusion.Ranking, len(outcomes))
+		var firstErr error
+		failed := 0
+		for i, o := range outcomes {
+			if o.err != nil {
+				failed++
+				if firstErr == nil {
+					firstErr = o.err
+				}
+				s.shed("component "+comps[i].kind, 1, o.err)
+				rankings[i] = fusion.Ranking{}
+				continue
+			}
+			rankings[i] = o.ranking
+		}
+		if failed > 0 && failed == len(outcomes) {
+			return 0, fmt.Errorf("search: all %d retrieval components failed: %w", failed, firstErr)
+		}
+		deg.ComponentsShed = failed
 		total := 0
 		for _, r := range rankings {
 			total += len(r)
@@ -294,9 +445,9 @@ func (s *Searcher) runComponents(ctx context.Context, comps []component) ([]fusi
 		return total, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, deg, err
 	}
-	return rankings, nil
+	return rankings, deg, nil
 }
 
 // fuse merges the component rankings with RRF and truncates to FinalN, as
@@ -367,77 +518,151 @@ func (s *Searcher) finalize(ctx context.Context, query string, qvec vector.Vecto
 	return results, nil
 }
 
-// searchQGA expands the query with a context-free LLM answer.
-func (s *Searcher) searchQGA(ctx context.Context, query string, opts Options) ([]Result, error) {
+// searchQGA expands the query with a context-free LLM answer. When the
+// expansion call fails (and the caller is still alive) the search degrades
+// to the unexpanded query instead of aborting.
+func (s *Searcher) searchQGA(ctx context.Context, query string, opts Options) ([]Result, Degradation, error) {
+	var deg Degradation
 	var resp llm.Response
 	err := pipeline.Run(ctx, s.obs(), pipeline.StageExpand, 1, func(ctx context.Context) (int, error) {
 		var err error
 		resp, err = s.LLM.Complete(ctx, llm.BuildDirectAnswerPrompt(query))
 		return 1, err
 	})
+	expanded := query
 	if err != nil {
-		return nil, fmt.Errorf("search: QGA expansion: %w", err)
-	}
-	expanded := query + " " + resp.Content
-	qvec, err := s.embed(ctx, expanded)
-	if err != nil {
-		return nil, err
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, deg, ctxErr
+		}
+		s.shed("QGA expansion", 1, err)
+		deg.ExpansionSkipped = true
+	} else {
+		expanded = query + " " + resp.Content
 	}
 	opts.Expansion = NoExpansion
-	return s.searchOnce(ctx, expanded, qvec, opts)
+	res, d, err := s.searchPlain(ctx, expanded, opts)
+	deg.merge(d)
+	return res, deg, err
 }
 
 // searchMQ1 fuses one hybrid search per generated related query (plus the
 // original). The per-query component searches form one flat fan-out over
 // the shared worker pool; the original query's embedding is computed once
-// and reused for its component searches and for reranking.
-func (s *Searcher) searchMQ1(ctx context.Context, query string, opts Options) ([]Result, error) {
+// and reused for its component searches and for reranking. A failed
+// expansion degrades to the plain search; a failed per-query embedding
+// sheds that query's vector legs only.
+func (s *Searcher) searchMQ1(ctx context.Context, query string, opts Options) ([]Result, Degradation, error) {
+	var deg Degradation
 	queries, err := s.relatedQueries(ctx, query, opts.RelatedQueries)
 	if err != nil {
-		return nil, err
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, deg, ctxErr
+		}
+		s.shed("MQ1 expansion", 1, err)
+		deg.ExpansionSkipped = true
+		opts.Expansion = NoExpansion
+		res, d, err := s.searchPlain(ctx, query, opts)
+		deg.merge(d)
+		return res, deg, err
 	}
 	queries = append([]string{query}, queries...)
 
-	var vecs []vector.Vector
-	err = pipeline.Run(ctx, s.obs(), pipeline.StageEmbed, len(queries), func(ctx context.Context) (int, error) {
-		var err error
-		vecs, err = pipeline.Map(ctx, s.workers(), len(queries), func(ctx context.Context, i int) (vector.Vector, error) {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			return s.Embedder.Embed(queries[i]), nil
-		})
-		return len(vecs), err
-	})
+	vecs, d, err := s.embedMany(ctx, queries)
 	if err != nil {
-		return nil, err
+		return nil, deg, err
 	}
+	deg.merge(d)
 
 	var comps []component
 	for qi := range queries {
 		comps = append(comps, s.components(queries[qi], vecs[qi], opts)...)
 	}
-	rankings, err := s.runComponents(ctx, comps)
+	rankings, d, err := s.runComponents(ctx, comps)
+	deg.merge(d)
 	if err != nil {
-		return nil, err
+		return nil, deg, err
 	}
 	fused, err := s.fuse(ctx, rankings, opts)
 	if err != nil {
-		return nil, err
+		return nil, deg, err
 	}
 	// vecs[0] is the original query's embedding — reused, not re-embedded.
-	return s.finalize(ctx, query, vecs[0], fused, opts)
+	res, err := s.finalize(ctx, query, vecs[0], fused, opts)
+	return res, deg, err
+}
+
+// embedOutcome carries one query's embedding result through the tolerant
+// fan-out: the error rides in the value so a failed embedding does not
+// abort its siblings.
+type embedOutcome struct {
+	vec vector.Vector
+	err error
+}
+
+// embedMany embeds the given queries as one observed stage, tolerating
+// per-query failures: a failed embedding yields a nil vector (that query
+// then contributes text legs only) and is shed. Only caller cancellation
+// errors the stage; if every embedding fails the whole vector side is
+// marked skipped.
+func (s *Searcher) embedMany(ctx context.Context, queries []string) ([]vector.Vector, Degradation, error) {
+	var deg Degradation
+	ce := s.ctxEmbedder()
+	vecs := make([]vector.Vector, len(queries))
+	err := pipeline.Run(ctx, s.obs(), pipeline.StageEmbed, len(queries), func(ctx context.Context) (int, error) {
+		outcomes, err := pipeline.Map(ctx, s.workers(), len(queries), func(ctx context.Context, i int) (embedOutcome, error) {
+			if err := ctx.Err(); err != nil {
+				return embedOutcome{}, err
+			}
+			v, err := ce.EmbedCtx(ctx, queries[i])
+			if err != nil && ctx.Err() != nil {
+				return embedOutcome{}, ctx.Err()
+			}
+			return embedOutcome{vec: v, err: err}, nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		ok := 0
+		for i, o := range outcomes {
+			if o.err != nil {
+				s.shed("embedding "+strconv.Itoa(i), 1, o.err)
+				continue
+			}
+			vecs[i] = o.vec
+			ok++
+		}
+		if ok == 0 {
+			deg.VectorSkipped = true
+		}
+		return ok, nil
+	})
+	if err != nil {
+		return nil, deg, err
+	}
+	return vecs, deg, err
 }
 
 // searchMQ2 runs a single hybrid search over the concatenated text and the
-// averaged embedding of all queries.
-func (s *Searcher) searchMQ2(ctx context.Context, query string, opts Options) ([]Result, error) {
+// averaged embedding of all queries. A failed expansion degrades to the
+// plain search; failed per-query embeddings are skipped from the mean (all
+// failing sheds the vector legs entirely).
+func (s *Searcher) searchMQ2(ctx context.Context, query string, opts Options) ([]Result, Degradation, error) {
+	var deg Degradation
 	queries, err := s.relatedQueries(ctx, query, opts.RelatedQueries)
 	if err != nil {
-		return nil, err
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, deg, ctxErr
+		}
+		s.shed("MQ2 expansion", 1, err)
+		deg.ExpansionSkipped = true
+		opts.Expansion = NoExpansion
+		res, d, err := s.searchPlain(ctx, query, opts)
+		deg.merge(d)
+		return res, deg, err
 	}
 	queries = append([]string{query}, queries...)
 	concat := strings.Join(queries, " ")
+	ce := s.ctxEmbedder()
 	var qvec vector.Vector
 	err = pipeline.Run(ctx, s.obs(), pipeline.StageEmbed, len(queries), func(ctx context.Context) (int, error) {
 		vecs := make([]vector.Vector, 0, len(queries))
@@ -445,16 +670,34 @@ func (s *Searcher) searchMQ2(ctx context.Context, query string, opts Options) ([
 			if err := ctx.Err(); err != nil {
 				return 0, err
 			}
-			vecs = append(vecs, s.Embedder.Embed(q))
+			v, err := ce.EmbedCtx(ctx, q)
+			if err != nil {
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					return 0, ctxErr
+				}
+				s.shed("MQ2 embedding", 1, err)
+				deg.VectorSkipped = true
+				continue
+			}
+			vecs = append(vecs, v)
 		}
-		qvec = embedding.Mean(vecs, s.Embedder.Dim())
+		if len(vecs) == 0 {
+			qvec = nil
+			return 0, nil
+		}
+		qvec = embedding.Mean(vecs, ce.Dim())
 		return 1, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, deg, err
+	}
+	if qvec != nil {
+		deg.VectorSkipped = false
 	}
 	opts.Expansion = NoExpansion
-	return s.searchOnce(ctx, concat, qvec, opts)
+	res, d, err := s.searchOnce(ctx, concat, qvec, opts)
+	deg.merge(d)
+	return res, deg, err
 }
 
 func (s *Searcher) relatedQueries(ctx context.Context, query string, n int) ([]string, error) {

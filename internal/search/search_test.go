@@ -170,14 +170,20 @@ func TestMQ2ExpansionRuns(t *testing.T) {
 	}
 }
 
-func TestExpansionErrorPropagates(t *testing.T) {
+func TestExpansionErrorDegrades(t *testing.T) {
 	s, _ := buildSearcher(t)
 	s.LLM = failingClient{}
-	if _, err := s.Search(context.Background(), "q", Options{Expansion: QGA}); err == nil {
-		t.Fatal("QGA with failing LLM did not error")
-	}
-	if _, err := s.Search(context.Background(), "q", Options{Expansion: MQ1}); err == nil {
-		t.Fatal("MQ1 with failing LLM did not error")
+	for _, exp := range []Expansion{QGA, MQ1, MQ2} {
+		res, deg, err := s.SearchDegraded(context.Background(), "bloccare la carta", Options{Expansion: exp})
+		if err != nil {
+			t.Fatalf("expansion %d with failing LLM errored: %v", exp, err)
+		}
+		if !deg.ExpansionSkipped {
+			t.Fatalf("expansion %d: degradation not reported: %+v", exp, deg)
+		}
+		if len(res) == 0 || res[0].ParentID != "d1" {
+			t.Fatalf("expansion %d degraded results = %+v", exp, res)
+		}
 	}
 }
 

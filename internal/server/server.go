@@ -22,6 +22,7 @@ import (
 	"uniask/internal/core"
 	"uniask/internal/eventlog"
 	"uniask/internal/monitor"
+	"uniask/internal/resilience"
 )
 
 // Feedback is one granular feedback submission, mirroring the §8 pop-up
@@ -77,6 +78,11 @@ func (s *FeedbackStore) All() []Feedback {
 	return out
 }
 
+// DefaultRequestTimeout caps how long one /api/ask or /api/search request
+// may run before the server gives up with 503 (a hung dependency must not
+// wedge handler goroutines indefinitely).
+const DefaultRequestTimeout = 10 * time.Second
+
 // Server is the REST backend.
 type Server struct {
 	Engine   *core.Engine
@@ -84,6 +90,9 @@ type Server struct {
 	Feedback *FeedbackStore
 	// Log is the structured service log the §9 dashboard queries.
 	Log *eventlog.Log
+	// RequestTimeout is the per-request deadline for the query endpoints
+	// (0 = DefaultRequestTimeout; negative disables the deadline).
+	RequestTimeout time.Duration
 
 	mu       sync.Mutex
 	sessions map[string]string // token -> user
@@ -93,7 +102,8 @@ type Server struct {
 // New creates a server over an engine. The server's metrics registry is
 // installed as the engine's pipeline observer, so every Ask/Search that
 // flows through the engine feeds the per-stage section of the Figure-3
-// dashboard (GET /api/dashboard).
+// dashboard (GET /api/dashboard), and as the engine's breaker-transition
+// hook, so the dashboard's breaker gauge tracks circuit state.
 func New(engine *core.Engine) *Server {
 	s := &Server{
 		Engine:   engine,
@@ -103,17 +113,53 @@ func New(engine *core.Engine) *Server {
 		sessions: make(map[string]string),
 	}
 	engine.SetObserver(s.Metrics)
+	engine.SetBreakerNotify(s.Metrics.RecordBreakerTransition)
 	return s
+}
+
+// withDeadline bounds a query handler: the request context gets the
+// configured deadline, so a hung dependency surfaces as a deadline error
+// the handler maps to 503 instead of a goroutine stuck forever.
+func (s *Server) withDeadline(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		timeout := s.RequestTimeout
+		if timeout == 0 {
+			timeout = DefaultRequestTimeout
+		}
+		if timeout < 0 {
+			h(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// unavailable reports whether err means the backend could not serve the
+// request right now — a deadline that fired or an open circuit — which maps
+// to 503 rather than 500.
+func unavailable(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, resilience.ErrBreakerOpen)
+}
+
+// queryErrorStatus maps an Ask/Search error to its HTTP status.
+func queryErrorStatus(err error) int {
+	if unavailable(err) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
 }
 
 // Handler returns the HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/login", s.handleLogin)
-	mux.HandleFunc("POST /api/ask", s.handleAsk)
-	mux.HandleFunc("GET /api/search", s.handleSearch)
+	mux.HandleFunc("POST /api/ask", s.withDeadline(s.handleAsk))
+	mux.HandleFunc("GET /api/search", s.withDeadline(s.handleSearch))
 	mux.HandleFunc("POST /api/feedback", s.handleFeedback)
 	mux.HandleFunc("GET /api/dashboard", s.handleDashboard)
+	mux.HandleFunc("GET /api/health", s.handleHealth)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -180,6 +226,11 @@ type askResponse struct {
 	Guardrail   string        `json:"guardrail"`
 	Citations   []string      `json:"citations,omitempty"`
 	Documents   []docResponse `json:"documents"`
+	// Degraded marks answers computed at reduced fidelity (shed vector
+	// legs, skipped expansion, extractive fallback); DegradedParts names
+	// what was shed.
+	Degraded      bool     `json:"degraded,omitempty"`
+	DegradedParts []string `json:"degradedParts,omitempty"`
 }
 
 type docResponse struct {
@@ -207,10 +258,11 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.Metrics.RecordQuery(user, latency, "", true)
 		s.Log.Append(eventlog.Event{At: time.Now(), Service: "backend", Type: "error", User: user})
-		httpError(w, http.StatusInternalServerError, "ask failed")
+		httpError(w, queryErrorStatus(err), "ask failed")
 		return
 	}
 	s.Metrics.RecordQuery(user, latency, resp.Guardrail.String(), false)
+	s.Metrics.RecordDegraded(resp.DegradedParts)
 	s.Log.Append(eventlog.Event{
 		At: time.Now(), Service: "backend", Type: "query", User: user,
 		DurationMS: latency.Milliseconds(),
@@ -220,10 +272,12 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		},
 	})
 	out := askResponse{
-		Answer:      resp.Answer,
-		AnswerValid: resp.AnswerValid,
-		Guardrail:   resp.Guardrail.String(),
-		Citations:   resp.Citations,
+		Answer:        resp.Answer,
+		AnswerValid:   resp.AnswerValid,
+		Guardrail:     resp.Guardrail.String(),
+		Citations:     resp.Citations,
+		Degraded:      resp.Degraded,
+		DegradedParts: resp.DegradedParts,
 	}
 	for i, d := range resp.Documents {
 		if i >= 10 {
@@ -253,7 +307,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	latency := time.Since(start)
 	if err != nil {
 		s.Metrics.RecordQuery(user, latency, "", true)
-		httpError(w, http.StatusInternalServerError, "search failed")
+		httpError(w, queryErrorStatus(err), "search failed")
 		return
 	}
 	s.Metrics.RecordQuery(user, latency, "", false)
@@ -297,6 +351,31 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.Metrics.Snapshot())
+}
+
+// healthResponse is the /api/health readiness payload.
+type healthResponse struct {
+	Status   string                     `json:"status"`
+	Breakers []resilience.BreakerStatus `json:"breakers,omitempty"`
+}
+
+// handleHealth is the readiness probe: 200 while every circuit breaker is
+// closed (or half-open — the system is probing its way back), 503 while any
+// dependency's breaker is open and queries would be served degraded.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	breakers := s.Engine.Breakers()
+	status := "ok"
+	code := http.StatusOK
+	for _, b := range breakers {
+		if b.State == "open" {
+			status = "degraded"
+			code = http.StatusServiceUnavailable
+			break
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(healthResponse{Status: status, Breakers: breakers})
 }
 
 // Serve runs the server until ctx is cancelled.

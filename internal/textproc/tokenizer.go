@@ -47,15 +47,17 @@ func isConnector(r rune) bool {
 // substrings of the input (no per-token copy), so they share its memory.
 func Tokenize(text string) []Token {
 	tokens := make([]Token, 0, len(text)/8+1)
-	runes := []rune(text)
-	// byteOff tracks the byte offset of runes[i].
-	byteOff := make([]int, len(runes)+1)
-	off := 0
-	for i, r := range runes {
-		byteOff[i] = off
-		off += len(string(r))
+	// Decode runes and their byte offsets by ranging over the string
+	// itself: offsets stay anchored to the input even for invalid UTF-8,
+	// where a bad byte decodes to the 3-byte replacement rune but occupies
+	// a single byte in the source (re-encoding would overrun the text).
+	runes := make([]rune, 0, len(text))
+	byteOff := make([]int, 0, len(text)+1)
+	for i, r := range text {
+		byteOff = append(byteOff, i)
+		runes = append(runes, r)
 	}
-	byteOff[len(runes)] = off
+	byteOff = append(byteOff, len(text))
 
 	pos := 0
 	i := 0
