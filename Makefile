@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-paper chaos fuzz-short
+.PHONY: all build test race vet check bench bench-paper chaos fuzz-short shardparity doccheck
 
 all: check
 
@@ -24,7 +24,21 @@ race:
 vet:
 	$(GO) vet ./...
 
-check: vet build race fuzz-short
+check: vet build race shardparity doccheck fuzz-short
+
+# Cross-check the sharded facade against the monolithic index: byte-identical
+# rankings for the Tables 1-3 query sets at every shard count, raced because
+# the fan-out is concurrent.
+shardparity:
+	$(GO) test -race -count=1 -run TestShardParity ./internal/shard/
+
+# Every internal package must carry a package doc comment ("// Package <name>
+# ..."), so godoc renders an operator-readable overview of each subsystem.
+doccheck:
+	@set -e; for d in internal/*/; do \
+		pkg=$$(basename $$d); \
+		grep -l "^// Package $$pkg " $$d*.go >/dev/null || { echo "doccheck: package $$pkg lacks a '// Package $$pkg' doc comment"; exit 1; }; \
+	done; echo "doccheck: every internal package is documented"
 
 # Run the chaos suite 20 times with rotating seeds; each seed draws a
 # different fault schedule and query sample, so a pass means the resilience
@@ -46,11 +60,12 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzAnalyze -fuzztime $(FUZZTIME) ./internal/textproc/
 	$(GO) test -run '^$$' -fuzz FuzzExtractCitationKeys -fuzztime $(FUZZTIME) ./internal/generation/
 
-# Query hot-path micro-benchmarks (BM25, ANN, filter bitsets, query cache)
-# with allocation stats, recorded as BENCH_query.json via cmd/benchjson.
+# Query hot-path micro-benchmarks (BM25, ANN, filter bitsets, query cache,
+# shard-count scaling) with allocation stats, recorded as BENCH_query.json
+# via cmd/benchjson.
 bench:
 	$(GO) test -bench 'BenchmarkSearchText|BenchmarkSearchVector|BenchmarkFilterSet|BenchmarkQueryCache' \
-		-benchmem -run '^$$' ./internal/index/ ./internal/search/ \
+		-benchmem -run '^$$' ./internal/index/ ./internal/search/ ./internal/shard/ \
 		| $(GO) run ./cmd/benchjson -baseline BENCH_query_baseline.json > BENCH_query.json
 	@echo "wrote BENCH_query.json"
 

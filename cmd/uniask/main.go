@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	uniask [-addr :8080] [-docs 6000] [-seed 1]
+//	uniask [-addr :8080] [-docs 6000] [-seed 1] [-shards 4]
 //
 // Example session:
 //
@@ -29,6 +29,7 @@ func main() {
 		docs    = flag.Int("docs", 6000, "synthetic corpus size (paper: 59308)")
 		seed    = flag.Int64("seed", 1, "corpus generation seed")
 		workers = flag.Int("workers", 0, "retrieval fan-out width (0 = one per CPU, 1 = sequential)")
+		shards  = flag.Int("shards", 1, "index shard count (1 = monolithic index)")
 	)
 	flag.Parse()
 
@@ -38,6 +39,7 @@ func main() {
 	sys, err := uniask.NewFromCorpus(context.Background(), corpus, uniask.Config{
 		EnrichSummary: true,
 		SearchWorkers: *workers,
+		ShardCount:    *shards,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "setup failed:", err)

@@ -14,6 +14,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 
@@ -30,6 +31,7 @@ import (
 	"uniask/internal/rerank"
 	"uniask/internal/resilience"
 	"uniask/internal/search"
+	"uniask/internal/shard"
 	"uniask/internal/vector"
 )
 
@@ -76,6 +78,11 @@ type Config struct {
 	Observer pipeline.Observer
 	// SearchWorkers bounds the retrieval fan-out (0 = one per CPU).
 	SearchWorkers int
+	// ShardCount splits the index into N hash-routed shards searched in
+	// parallel and merged deterministically (see internal/shard). 0 or 1
+	// keeps the monolithic index — exactly today's behavior, no facade in
+	// the path.
+	ShardCount int
 	// QueryCacheCapacity sizes the epoch-invalidated query-result cache
 	// (0 = search.DefaultQueryCacheCapacity; negative disables caching).
 	QueryCacheCapacity int
@@ -93,9 +100,12 @@ type Config struct {
 
 // Engine is a fully assembled UniAsk instance.
 type Engine struct {
-	cfg       Config
-	obs       pipeline.Observer
-	Index     *index.Index
+	cfg Config
+	obs pipeline.Observer
+	// Index is the chunk store: a monolithic *index.Index when
+	// Config.ShardCount <= 1, otherwise the *shard.Sharded facade (see
+	// Sharded()). All layers program against the Repository surface.
+	Index     index.Repository
 	Searcher  *search.Searcher
 	Generator *generation.Generator
 	Guards    *guardrails.Pipeline
@@ -125,7 +135,16 @@ func New(cfg Config) *Engine {
 		cfg.M = generation.DefaultM
 	}
 	emb := embedding.NewSynth(cfg.EmbeddingDim, cfg.Lexicon)
-	ix := index.New(index.Config{Schema: indexer.Schema()})
+	var ix index.Repository
+	if cfg.ShardCount > 1 {
+		ix = shard.New(shard.Config{
+			Shards:  cfg.ShardCount,
+			Index:   index.Config{Schema: indexer.Schema()},
+			Workers: cfg.SearchWorkers,
+		})
+	} else {
+		ix = index.New(index.Config{Schema: indexer.Schema()})
+	}
 	eng := &Engine{
 		cfg:      cfg,
 		obs:      pipeline.OrNop(cfg.Observer),
@@ -220,6 +239,47 @@ func (e *Engine) Breakers() []resilience.BreakerStatus {
 		}
 	}
 	return out
+}
+
+// Sharded returns the sharded index facade, or nil when the engine runs a
+// monolithic index (ShardCount <= 1). The server uses it to wire per-shard
+// gauges into the dashboard.
+func (e *Engine) Sharded() *shard.Sharded {
+	s, _ := e.Index.(*shard.Sharded)
+	return s
+}
+
+// LoadIndex replaces the engine's index with one restored from a snapshot,
+// honoring the engine's shard configuration: a sharded engine accepts both
+// the sharded container and legacy single-file snapshots (migrating the
+// latter by re-routing every live document), while a monolithic engine
+// accepts only single-file snapshots and rejects sharded containers with
+// index.ErrShardedSnapshot. The searcher is repointed and the query cache
+// purged — the fresh index restarts its epoch at zero, so stale entries
+// could otherwise look current.
+func (e *Engine) LoadIndex(r io.Reader) error {
+	var (
+		ix  index.Repository
+		err error
+	)
+	if e.cfg.ShardCount > 1 {
+		ix, err = shard.Load(r, shard.Config{
+			Shards:  e.cfg.ShardCount,
+			Index:   index.Config{Schema: indexer.Schema()},
+			Workers: e.cfg.SearchWorkers,
+		})
+	} else {
+		ix, err = index.Read(r, index.Config{})
+	}
+	if err != nil {
+		return err
+	}
+	e.Index = ix
+	e.Searcher.Index = ix
+	if e.Searcher.Cache != nil {
+		e.Searcher.Cache.Purge()
+	}
+	return nil
 }
 
 // SetObserver replaces the engine's stage observer (nil = discard) for the

@@ -1,0 +1,83 @@
+package index
+
+import (
+	"io"
+
+	"uniask/internal/textproc"
+	"uniask/internal/vector"
+)
+
+// The interfaces below decouple the layers above the index from its
+// concrete shape, so a monolithic *Index and the N-way sharded facade
+// (internal/shard) are interchangeable: the search layer programs against
+// Queryable, the ingestion layer against Writer, and the engine holds the
+// union, Repository. *Index satisfies all of them; the compile-time
+// assertions at the bottom keep that true.
+
+// Searcher is the per-shard query surface the sharded facade drives: plain
+// local search plus the two hooks that make cross-shard BM25 exact —
+// CollectStats exports a shard's corpus statistics and SearchTextGlobal
+// scores with the merged aggregate instead of local stats.
+type Searcher interface {
+	Epoch() uint64
+	SearchText(query string, n int, opts TextOptions) []Hit
+	SearchTextGlobal(query string, n int, opts TextOptions, stats *CorpusStats) []Hit
+	CollectStats(fields, terms []string) CorpusStats
+	SearchVector(field string, q vector.Vector, k int, filters []Filter) []Hit
+	VectorFields() []string
+	SearchableFields() []string
+	DocByID(id string) (Document, bool)
+}
+
+// Queryable is the read surface the search layer needs: ranked retrieval,
+// result materialization, and the mutation epoch its query cache keys
+// staleness on.
+type Queryable interface {
+	Epoch() uint64
+	SearchText(query string, n int, opts TextOptions) []Hit
+	SearchVector(field string, q vector.Vector, k int, filters []Filter) []Hit
+	VectorFields() []string
+	DocByID(id string) (Document, bool)
+}
+
+// Writer is the mutation surface the ingestion layer needs.
+type Writer interface {
+	Add(Document) error
+	AddBulk(docs []Document) error
+	Delete(chunkID string) bool
+	DeleteParent(parentID string) int
+	HasParent(parentID string) bool
+}
+
+// Repository is the full index surface the engine holds: queries, writes,
+// persistence and the introspection the dashboard and tests rely on.
+type Repository interface {
+	Queryable
+	Writer
+	Doc(ord int) Document
+	Len() int
+	LiveLen() int
+	Tombstones() int
+	Schema() Schema
+	Analyzer() *textproc.Analyzer
+	SearchableFields() []string
+	LiveDocs() []Document
+	Save(w io.Writer) error
+}
+
+var (
+	_ Searcher   = (*Index)(nil)
+	_ Repository = (*Index)(nil)
+)
+
+// AddBulk indexes docs in order, stopping at the first error. On a
+// monolithic index it is a plain sequential loop; the sharded facade
+// overrides it with a parallel per-shard build.
+func (ix *Index) AddBulk(docs []Document) error {
+	for _, d := range docs {
+		if err := ix.Add(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,8 +1,10 @@
 package index
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 
@@ -89,12 +91,29 @@ func (ix *Index) Save(w io.Writer) error {
 	return nil
 }
 
+// ShardedSnapshotMagic is the byte prefix of the multi-shard snapshot
+// container written by the shard facade's Save. It lives here (not in the
+// shard package) so Read can recognize a sharded stream and refuse it with
+// a pointed error instead of a cryptic gob decode failure.
+const ShardedSnapshotMagic = "uniask-sharded-snapshot/"
+
+// ErrShardedSnapshot is returned by Read when given a sharded snapshot
+// container, which only shard.Load (or an engine configured with
+// ShardCount > 1) can restore.
+var ErrShardedSnapshot = errors.New(
+	"index: stream is a sharded snapshot container, not a single-index snapshot; " +
+		"load it with shard.Load or an engine configured with ShardCount > 1")
+
 // Read restores an index written by Save. The provided Config supplies
 // the non-serializable parts (analyzer, vector-index constructor); its
 // Schema and BM25 params are overridden by the snapshot's.
 func Read(r io.Reader, cfg Config) (*Index, error) {
+	br := bufio.NewReader(r)
+	if peek, err := br.Peek(len(ShardedSnapshotMagic)); err == nil && string(peek) == ShardedSnapshotMagic {
+		return nil, ErrShardedSnapshot
+	}
 	var snap indexSnapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+	if err := gob.NewDecoder(br).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("index: decode: %w", err)
 	}
 	cfg.Schema = snap.Schema

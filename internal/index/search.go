@@ -80,6 +80,24 @@ func (ix *Index) putAcc(a *scoreAcc) {
 // branches are skipped entirely when no deletes/filters exist. The ranking
 // (score desc, id asc) is identical to a full sort.
 func (ix *Index) SearchText(query string, n int, opts TextOptions) []Hit {
+	return ix.searchText(query, n, opts, nil)
+}
+
+// SearchTextGlobal is SearchText with the BM25 corpus statistics — document
+// count, per-field total token length, per-term document frequency —
+// injected by the caller instead of derived from this index alone. The
+// sharded facade collects stats across all shards (CollectStats + Merge) and
+// passes the aggregate here, so each shard scores with global idf and
+// average length and the merged ranking is identical to a monolithic index.
+//
+// The stats must cover every queried field and term present in this shard
+// (a term's global DF is never below its local DF). nil stats falls back to
+// local statistics, i.e. plain SearchText.
+func (ix *Index) SearchTextGlobal(query string, n int, opts TextOptions, stats *CorpusStats) []Hit {
+	return ix.searchText(query, n, opts, stats)
+}
+
+func (ix *Index) searchText(query string, n int, opts TextOptions, gs *CorpusStats) []Hit {
 	if n <= 0 {
 		return nil
 	}
@@ -123,6 +141,9 @@ dedup:
 	scores, seen, touched := acc.scores, acc.seen, acc.touched
 
 	N := float64(len(ix.docs))
+	if gs != nil {
+		N = float64(gs.Docs)
+	}
 	k1, b := ix.cfg.BM25.K1, ix.cfg.BM25.B
 	for _, fname := range fieldNames {
 		fi, ok := ix.fields[fname]
@@ -136,7 +157,18 @@ dedup:
 		if len(fi.docLens) == 0 {
 			continue
 		}
-		avgLen := float64(fi.totalLen) / float64(len(fi.docLens))
+		var avgLen float64
+		var globalDF map[string]int
+		if gs != nil {
+			if gs.Docs == 0 {
+				continue
+			}
+			fstats := gs.Fields[fname]
+			avgLen = float64(fstats.TotalLen) / float64(gs.Docs)
+			globalDF = fstats.DF
+		} else {
+			avgLen = float64(fi.totalLen) / float64(len(fi.docLens))
+		}
 		if avgLen == 0 {
 			continue
 		}
@@ -148,6 +180,11 @@ dedup:
 			}
 			// Okapi BM25 idf with the standard +1 smoothing (Lucene).
 			df := float64(len(pl))
+			if globalDF != nil {
+				if gdf := globalDF[term]; gdf > len(pl) {
+					df = float64(gdf)
+				}
+			}
 			idf := math.Log(1 + (N-df+0.5)/(df+0.5))
 			wm := weight * float64(counts[ti])
 			if noDeletes && !filtered {
@@ -200,7 +237,7 @@ func (ix *Index) selectTopN(scores []float64, touched []int32, n int) []Hit {
 		for _, ord := range touched {
 			hits = append(hits, Hit{Ord: int(ord), ID: ix.docs[ord].ID, Score: scores[ord]})
 		}
-		sortHits(hits)
+		SortHits(hits)
 		return hits
 	}
 	hits := make([]Hit, 0, n)
@@ -216,7 +253,7 @@ func (ix *Index) selectTopN(scores []float64, touched []int32, n int) []Hit {
 			siftDown(hits, 0)
 		}
 	}
-	sortHits(hits)
+	SortHits(hits)
 	return hits
 }
 
@@ -259,8 +296,12 @@ func siftDown(h []Hit, i int) {
 	}
 }
 
-// sortHits orders by score descending, ties broken by id ascending.
-func sortHits(hits []Hit) {
+// SortHits orders hits by score descending, ties broken by id ascending —
+// the canonical total order of every text search result in the system. The
+// sharded facade re-sorts the union of per-shard hits with it, which is why
+// it is exported: a single total order shared by shard merge and local
+// top-n selection is what makes sharded and monolithic rankings identical.
+func SortHits(hits []Hit) {
 	sort.Slice(hits, func(i, j int) bool {
 		if hits[i].Score != hits[j].Score {
 			return hits[i].Score > hits[j].Score

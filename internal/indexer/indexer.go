@@ -38,7 +38,7 @@ type Config struct {
 // Indexer turns extracted documents into index chunks.
 type Indexer struct {
 	cfg      Config
-	index    *index.Index
+	index    index.Writer
 	embedder embedding.Embedder
 	client   llm.Client
 	splitter *chunker.HTMLSplitter
@@ -53,8 +53,9 @@ func Schema() index.Schema {
 	return s
 }
 
-// New creates an indexer feeding ix.
-func New(ix *index.Index, emb embedding.Embedder, client llm.Client, cfg Config) *Indexer {
+// New creates an indexer feeding ix — a monolithic *index.Index or the
+// sharded facade; the indexer only needs the write surface.
+func New(ix index.Writer, emb embedding.Embedder, client llm.Client, cfg Config) *Indexer {
 	if cfg.ChunkTokens <= 0 {
 		cfg.ChunkTokens = chunker.DefaultChunkTokens
 	}
@@ -194,9 +195,16 @@ type batchItem struct {
 
 // IndexBatch indexes many documents, running the CPU-heavy per-document
 // work — chunking, LLM enrichment, embedding — on parallel workers while
-// feeding the (single-writer) index sequentially. It returns the total
-// number of chunks added. Bulk loads of the 59k-document corpus are
-// several times faster than the one-at-a-time path.
+// feeding the index in document order. It returns the total number of
+// chunks added. Bulk loads of the 59k-document corpus are several times
+// faster than the one-at-a-time path.
+//
+// Runs of pure additions (no deletions, no replacements of already-indexed
+// parents) feed the index through AddBulk, which a sharded index turns into
+// a parallel per-shard build; items that delete or replace fall back to the
+// sequential path so replacement semantics stay exact. Either way the
+// per-index insertion order is identical to a one-at-a-time loop, so
+// insertion-order-sensitive structures (the HNSW graphs) are deterministic.
 func (in *Indexer) IndexBatch(ctx context.Context, docs []ingest.Extracted, workers int) (int, error) {
 	if workers <= 0 {
 		workers = 4
@@ -220,18 +228,46 @@ func (in *Indexer) IndexBatch(ctx context.Context, docs []ingest.Extracted, work
 	wg.Wait()
 
 	total := 0
+	var pending []index.Document
+	pendingParents := make(map[string]bool)
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		if err := in.index.AddBulk(pending); err != nil {
+			return err
+		}
+		total += len(pending)
+		pending = nil
+		pendingParents = make(map[string]bool)
+		return nil
+	}
 	for i := range items {
 		it := &items[i]
 		if it.err != nil {
+			if err := flush(); err != nil {
+				return total, err
+			}
 			return total, it.err
 		}
-		n, err := in.feed(it)
-		if err != nil {
-			return total, err
+		// Deletions, replacements of indexed parents, and replacements of
+		// parents still sitting in the pending bulk all need the sequential
+		// delete-then-add path.
+		if it.doc.Deleted || pendingParents[it.doc.ID] || in.index.HasParent(it.doc.ID) {
+			if err := flush(); err != nil {
+				return total, err
+			}
+			n, err := in.feed(it)
+			if err != nil {
+				return total, err
+			}
+			total += n
+			continue
 		}
-		total += n
+		pending = append(pending, in.chunkDocs(it)...)
+		pendingParents[it.doc.ID] = true
 	}
-	return total, nil
+	return total, flush()
 }
 
 // prepare runs the parallelizable stage for one document.
@@ -287,6 +323,18 @@ func (in *Indexer) feed(it *batchItem) (int, error) {
 		in.index.DeleteParent(it.doc.ID)
 	}
 	added := 0
+	for _, d := range in.chunkDocs(it) {
+		if err := in.index.Add(d); err != nil {
+			return added, fmt.Errorf("indexer: add %s: %w", it.doc.ID, err)
+		}
+		added++
+	}
+	return added, nil
+}
+
+// chunkDocs builds the index documents of one prepared item.
+func (in *Indexer) chunkDocs(it *batchItem) []index.Document {
+	out := make([]index.Document, 0, len(it.chunks))
 	for i, ch := range it.chunks {
 		fields := map[string]string{
 			"title":   it.doc.Title,
@@ -304,7 +352,7 @@ func (in *Indexer) feed(it *batchItem) (int, error) {
 		if it.kwTC[i] != "" {
 			fields["kwTitleContent"] = it.kwTC[i]
 		}
-		err := in.index.Add(index.Document{
+		out = append(out, index.Document{
 			ID:       chunkID(it.doc.ID, ch.Ordinal),
 			ParentID: it.doc.ID,
 			Fields:   fields,
@@ -313,10 +361,6 @@ func (in *Indexer) feed(it *batchItem) (int, error) {
 				"contentVector": it.chunkV[i],
 			},
 		})
-		if err != nil {
-			return added, fmt.Errorf("indexer: add %s: %w", it.doc.ID, err)
-		}
-		added++
 	}
-	return added, nil
+	return out
 }

@@ -35,6 +35,7 @@ type Metrics struct {
 	breakerTransitions map[string]int
 	degradedQueries    int
 	degradedParts      map[string]int
+	shardSource        func() []ShardGauge
 }
 
 // stageAgg accumulates one pipeline stage's reports.
@@ -81,6 +82,33 @@ func (m *Metrics) RecordDegraded(parts []string) {
 	for _, p := range parts {
 		m.degradedParts[p]++
 	}
+}
+
+// ShardGauge is one index shard's dashboard row: size gauges plus the
+// shard-local query latency the facade records on every fan-out.
+type ShardGauge struct {
+	// Shard is the shard number.
+	Shard int
+	// Docs counts chunks ever inserted (including tombstones), Live the
+	// searchable ones, Tombstones the deleted-but-unreclaimed ones.
+	Docs       int
+	Live       int
+	Tombstones int
+	// Postings counts inverted-index posting entries — the shard's dominant
+	// memory term.
+	Postings int
+	// Queries and AvgQueryLatency aggregate the shard-local search calls.
+	Queries         uint64
+	AvgQueryLatency time.Duration
+}
+
+// SetShardSource installs a provider polled at Snapshot time for per-shard
+// gauges (nil when the engine runs a monolithic index). The server wires
+// the sharded facade's ShardStats here.
+func (m *Metrics) SetShardSource(fn func() []ShardGauge) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shardSource = fn
 }
 
 // RecordQuery logs one user query: who asked, how long the request took,
@@ -163,10 +191,21 @@ type Dashboard struct {
 	// BreakerTransitions counts its state changes.
 	Breakers           map[string]string
 	BreakerTransitions map[string]int
+	// Shards holds per-shard index gauges (nil on a monolithic index).
+	Shards []ShardGauge
 }
 
 // Snapshot reads the current dashboard.
 func (m *Metrics) Snapshot() Dashboard {
+	m.mu.Lock()
+	src := m.shardSource
+	m.mu.Unlock()
+	var shards []ShardGauge
+	if src != nil {
+		// Poll outside the registry lock: the source reads the shards' own
+		// locks and must not nest under m.mu.
+		shards = src()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	d := Dashboard{
@@ -213,6 +252,7 @@ func (m *Metrics) Snapshot() Dashboard {
 		}
 		return d.Stages[i].Stage < d.Stages[j].Stage
 	})
+	d.Shards = shards
 	return d
 }
 
@@ -264,6 +304,13 @@ func (d Dashboard) String() string {
 		sort.Strings(names)
 		for _, k := range names {
 			fmt.Fprintf(&b, "    %-12s %-10s %d\n", k+":", d.Breakers[k], d.BreakerTransitions[k])
+		}
+	}
+	if len(d.Shards) > 0 {
+		fmt.Fprintf(&b, "  index shards:          (docs / live / postings / queries / avg latency)\n")
+		for _, s := range d.Shards {
+			fmt.Fprintf(&b, "    shard %-6d %8d  %8d  %10d  %8d  %10v\n",
+				s.Shard, s.Docs, s.Live, s.Postings, s.Queries, s.AvgQueryLatency.Round(time.Microsecond))
 		}
 	}
 	b.WriteString(d.StagesString())

@@ -8,6 +8,18 @@ package search
 // the stale answers, with no TTL guesswork. Concurrent identical queries
 // collapse into one execution (singleflight): the first caller computes,
 // the rest wait and share the result.
+//
+// Sharded indexes invalidate conservatively, on purpose. The facade's epoch
+// is the sum of its shard epochs, so a write to ANY shard invalidates EVERY
+// cached entry, including queries whose result documents all live on other
+// shards. A per-shard scheme — remember which shards contributed to a cached
+// ranking, keep the entry while those shards are unchanged — would be
+// unsound: BM25 idf is computed from global corpus statistics, so adding a
+// document to one shard shifts the scores (and potentially the order) of
+// matches living entirely on other shards, and a newly added document can
+// enter any query's top-k regardless of which shard it landed on.
+// TestCacheShardedEpochConservatism demonstrates the ranking flip that the
+// conservative purge protects against.
 
 import (
 	"container/list"

@@ -2,12 +2,14 @@ package search
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
 
 	"uniask/internal/embedding"
 	"uniask/internal/index"
+	"uniask/internal/shard"
 	"uniask/internal/vector"
 )
 
@@ -77,7 +79,7 @@ func TestCacheEpochInvalidation(t *testing.T) {
 	// Index a new chunk that is a near-verbatim match for the query.
 	title := "Apertura conto corrente online"
 	content := "La nuova procedura di apertura del conto corrente online è immediata."
-	err := s.Index.Add(index.Document{
+	err := s.Index.(index.Writer).Add(index.Document{
 		ID:       "d9#0",
 		ParentID: "d9",
 		Fields:   map[string]string{"title": title, "content": content},
@@ -107,7 +109,7 @@ func TestCacheEpochInvalidation(t *testing.T) {
 	}
 
 	// Deleting also bumps the epoch: the same query recomputes again.
-	if !s.Index.Delete("d9#0") {
+	if !s.Index.(index.Writer).Delete("d9#0") {
 		t.Fatal("delete failed")
 	}
 	if _, err := s.Search(ctx, query, Options{}); err != nil {
@@ -252,5 +254,77 @@ func TestCachePurge(t *testing.T) {
 	}
 	if got := ce.n.Load(); got != 2 {
 		t.Fatalf("embed ran %d times, want 2 (purge must force recompute)", got)
+	}
+}
+
+// TestCacheShardedEpochConservatism documents why the cache invalidates
+// every entry when ANY shard of a sharded index changes: BM25 idf is global,
+// so a write to one shard can flip the relative ranking of documents that
+// live entirely on other shards. The test caches a query whose two matches
+// sit away from the mutated shard, floods a different shard with documents
+// carrying one of the query terms, and asserts (a) the facade's summed epoch
+// forced a recompute and (b) the recomputed ranking genuinely changed — a
+// per-shard "skip unchanged shards" scheme would have served the stale
+// order.
+func TestCacheShardedEpochConservatism(t *testing.T) {
+	facade := shard.New(shard.Config{Shards: 4})
+	s := &Searcher{
+		Index:    facade,
+		Embedder: embedding.NewSynth(16, nil),
+		Cache:    NewQueryCache(0),
+	}
+	opts := Options{Mode: TextOnly, DisableSemanticRerank: true}
+
+	// A matches both query terms; B matches "carta" with higher tf. While
+	// "rossa" is rare its idf dominates and A outranks B; once another shard
+	// fills with "rossa" documents the term is devalued and B wins.
+	add := func(id, content string) {
+		t.Helper()
+		err := facade.Add(index.Document{
+			ID: id, ParentID: id,
+			Fields: map[string]string{"title": "pagina", "content": content},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("docA#0", "carta rossa")
+	add("docB#0", "carta carta carta carta")
+	homeA, homeB := facade.ShardFor("docA#0"), facade.ShardFor("docB#0")
+
+	ctx := context.Background()
+	first, err := s.Search(ctx, "carta rossa", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) < 2 || first[0].ChunkID != "docA#0" {
+		t.Fatalf("initial ranking = %+v, want docA#0 first", first)
+	}
+
+	// Flood shards other than A's and B's with "rossa" documents.
+	fillers := 0
+	for i := 0; fillers < 8 && i < 1000; i++ {
+		id := fmt.Sprintf("fill%03d#0", i)
+		if sh := facade.ShardFor(id); sh == homeA || sh == homeB {
+			continue
+		}
+		add(id, "rossa")
+		fillers++
+	}
+	if fillers != 8 {
+		t.Fatalf("placed %d fillers off-shard, want 8", fillers)
+	}
+
+	before := s.Cache.Stats()
+	second, err := s.Search(ctx, "carta rossa", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := s.Cache.Stats()
+	if after.Misses != before.Misses+1 || after.Hits != before.Hits {
+		t.Fatalf("epoch change did not force a recompute: before=%+v after=%+v", before, after)
+	}
+	if len(second) < 2 || second[0].ChunkID != "docB#0" {
+		t.Fatalf("post-mutation ranking = %+v, want docB#0 first (global idf shifted)", second)
 	}
 }

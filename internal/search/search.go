@@ -174,8 +174,12 @@ type Result struct {
 
 // Searcher executes queries against an index.
 type Searcher struct {
-	// Index is the chunk index to search.
-	Index *index.Index
+	// Index is the chunk index to search: a monolithic *index.Index or the
+	// sharded facade (internal/shard) — the Searcher is agnostic, it only
+	// needs the Queryable surface. Epoch() keys the query cache either way:
+	// the facade's epoch is the sum of its shard epochs, which changes
+	// whenever any shard changes.
+	Index index.Queryable
 	// Embedder produces query embeddings for vector search.
 	Embedder embedding.Embedder
 	// Reranker is the semantic reranking model (nil disables reranking).

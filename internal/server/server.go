@@ -103,7 +103,8 @@ type Server struct {
 // installed as the engine's pipeline observer, so every Ask/Search that
 // flows through the engine feeds the per-stage section of the Figure-3
 // dashboard (GET /api/dashboard), and as the engine's breaker-transition
-// hook, so the dashboard's breaker gauge tracks circuit state.
+// hook, so the dashboard's breaker gauge tracks circuit state. On a sharded
+// engine the dashboard additionally carries per-shard index gauges.
 func New(engine *core.Engine) *Server {
 	s := &Server{
 		Engine:   engine,
@@ -114,6 +115,20 @@ func New(engine *core.Engine) *Server {
 	}
 	engine.SetObserver(s.Metrics)
 	engine.SetBreakerNotify(s.Metrics.RecordBreakerTransition)
+	if sh := engine.Sharded(); sh != nil {
+		s.Metrics.SetShardSource(func() []monitor.ShardGauge {
+			stats := sh.ShardStats()
+			out := make([]monitor.ShardGauge, len(stats))
+			for i, st := range stats {
+				out[i] = monitor.ShardGauge{
+					Shard: st.Shard, Docs: st.Docs, Live: st.Live,
+					Tombstones: st.Tombstones, Postings: st.Postings,
+					Queries: st.Queries, AvgQueryLatency: st.AvgQueryLatency,
+				}
+			}
+			return out
+		})
+	}
 	return s
 }
 

@@ -1,0 +1,107 @@
+package shard_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"uniask/internal/index"
+	"uniask/internal/shard"
+	"uniask/internal/vector"
+)
+
+// benchFacade builds a warm sharded facade over the same 2000-doc corpus
+// shape as the index package's micro-benchmarks, so per-shard-count numbers
+// are comparable with the monolithic BenchmarkSearchText baseline.
+func benchFacade(tb testing.TB, shards int) (*shard.Sharded, vector.Vector) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(42))
+	s := shard.New(shard.Config{Shards: shards})
+	subjects := []string{
+		"carta di credito", "bonifico estero", "conto corrente",
+		"mutuo prima casa", "prestito personale", "deposito titoli",
+	}
+	actions := []string{"bloccare", "aprire", "chiudere", "modificare", "verificare", "autorizzare"}
+	domains := []string{"prodotti", "pagamenti", "errori", "normativa"}
+	dim := 64
+	docs := make([]index.Document, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		subj := subjects[i%len(subjects)]
+		act := actions[(i/len(subjects))%len(actions)]
+		title := fmt.Sprintf("Procedura %d: %s %s", i, act, subj)
+		content := fmt.Sprintf(
+			"La procedura operativa %d per %s il servizio %s prevede passaggi autorizzativi, "+
+				"controlli di conformità interni e la verifica del codice cliente PRC-%04d.",
+			i, act, subj, i%97)
+		tv := make(vector.Vector, dim)
+		cv := make(vector.Vector, dim)
+		for j := 0; j < dim; j++ {
+			tv[j] = float32(rng.NormFloat64())
+			cv[j] = float32(rng.NormFloat64())
+		}
+		docs = append(docs, index.Document{
+			ID:       fmt.Sprintf("d%04d#0", i),
+			ParentID: fmt.Sprintf("d%04d", i),
+			Fields: map[string]string{
+				"title":   title,
+				"content": content,
+				"domain":  domains[i%len(domains)],
+				"topic":   subj,
+			},
+			Vectors: map[string]vector.Vector{
+				"titleVector":   tv,
+				"contentVector": cv,
+			},
+		})
+	}
+	if err := s.AddBulk(docs); err != nil {
+		tb.Fatal(err)
+	}
+	q := make(vector.Vector, dim)
+	for j := 0; j < dim; j++ {
+		q[j] = float32(rng.NormFloat64())
+	}
+	return s, q
+}
+
+// BenchmarkSearchTextSharded measures the BM25 fan-out (stats wave + scoring
+// wave + merge) as the shard count grows on a fixed corpus. shards=1 is the
+// facade's fast path and should track the monolithic BenchmarkSearchText.
+func BenchmarkSearchTextSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s, _ := benchFacade(b, shards)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.SearchText("procedura autorizzativa per verificare il conto corrente", 50, index.TextOptions{})
+			}
+		})
+	}
+}
+
+// BenchmarkSearchVectorSharded measures the ANN fan-out and the
+// sequence-tiebreak merge as the shard count grows.
+func BenchmarkSearchVectorSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s, q := benchFacade(b, shards)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.SearchVector("contentVector", q, 15, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkShardedBuild measures the parallel per-shard bulk build.
+func BenchmarkShardedBuild(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchFacade(b, shards)
+			}
+		})
+	}
+}

@@ -1,0 +1,173 @@
+package shard_test
+
+// The acceptance criterion for the sharded facade: searching N shards
+// returns byte-identical ranked results to the monolithic index — same ids,
+// same scores, same order — for every retrieval variant the paper ablates
+// (Tables 1-3), because BM25 scores with global corpus statistics and
+// vector ties break on global arrival order.
+//
+// Both sides run the exhaustive exact k-NN backend: per-shard HNSW graphs
+// are legitimately different graphs than one monolithic HNSW (approximate
+// recall differs by construction), so graph-based parity would compare two
+// approximations. Exhaustive search makes both sides exact and the
+// comparison meaningful.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"uniask/internal/embedding"
+	"uniask/internal/index"
+	"uniask/internal/indexer"
+	"uniask/internal/ingest"
+	"uniask/internal/kb"
+	"uniask/internal/llm"
+	"uniask/internal/queue"
+	"uniask/internal/rerank"
+	"uniask/internal/search"
+	"uniask/internal/shard"
+	"uniask/internal/vector"
+)
+
+// parityCorpusDocs keeps the fixture big enough that per-shard rankings
+// genuinely interleave at every shard count, small enough for -race runs.
+const parityCorpusDocs = 120
+
+// exhaustiveConfig is the shared per-index configuration of the parity
+// fixtures: indexer schema, exact vector backend.
+func exhaustiveConfig() index.Config {
+	return index.Config{
+		Schema:      indexer.Schema(),
+		VectorIndex: func(string) vector.Index { return vector.NewExhaustive() },
+	}
+}
+
+// extractCorpus runs the real ingestion pipeline over a generated corpus so
+// the fixtures index exactly what production would.
+func extractCorpus(t testing.TB, corpus *kb.Corpus) []ingest.Extracted {
+	t.Helper()
+	pages := make(ingest.StaticSource, len(corpus.Docs))
+	for i, d := range corpus.Docs {
+		pages[i] = ingest.Page{ID: d.ID, HTML: d.HTML}
+	}
+	q := queue.New[ingest.Extracted]()
+	ing := &ingest.Ingester{Source: pages, Out: q}
+	if _, err := ing.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	var docs []ingest.Extracted
+	for {
+		doc, ok := q.TryDequeue()
+		if !ok {
+			break
+		}
+		docs = append(docs, doc)
+	}
+	return docs
+}
+
+// buildSearcher indexes the extracted docs into repo and wraps it in the
+// full retrieval stack.
+func buildSearcher(t testing.TB, repo index.Repository, docs []ingest.Extracted, emb embedding.Embedder, client llm.Client) *search.Searcher {
+	t.Helper()
+	in := indexer.New(repo, emb, client, indexer.Config{})
+	if _, err := in.IndexBatch(context.Background(), docs, 4); err != nil {
+		t.Fatal(err)
+	}
+	return &search.Searcher{
+		Index:    repo,
+		Embedder: emb,
+		Reranker: rerank.New(),
+		LLM:      client,
+		Workers:  4,
+	}
+}
+
+// parityQueries samples the Tables 1-3 evaluation query sets: expert
+// natural-language questions and keyword-log queries.
+func parityQueries(corpus *kb.Corpus, seed int64) []string {
+	var out []string
+	for _, q := range corpus.HumanDataset(12, seed+100).Queries {
+		out = append(out, q.Text)
+	}
+	for _, q := range corpus.KeywordDataset(12, seed+200).Queries {
+		out = append(out, q.Text)
+	}
+	out = append(out, "") // degenerate query
+	return out
+}
+
+// parityVariants is every retrieval configuration the paper ablates:
+// HSS (Table 1), the mode ablation (Table 2), the expansion and
+// title-boost variants (Table 3).
+func parityVariants() []struct {
+	name string
+	opts search.Options
+} {
+	return []struct {
+		name string
+		opts search.Options
+	}{
+		{"HSS", search.Options{}},
+		{"TextOnly", search.Options{Mode: search.TextOnly, DisableSemanticRerank: true}},
+		{"VectorOnly", search.Options{Mode: search.VectorOnly, DisableSemanticRerank: true}},
+		{"QGA", search.Options{Expansion: search.QGA}},
+		{"MQ1", search.Options{Expansion: search.MQ1}},
+		{"MQ2", search.Options{Expansion: search.MQ2}},
+		{"T5", search.Options{TitleBoost: 5}},
+		{"T50", search.Options{TitleBoost: 50}},
+		{"T500", search.Options{TitleBoost: 500}},
+	}
+}
+
+// TestShardParityMatchesMonolithic is the cross-check: one monolithic index
+// and one facade per shard count, fed identically, must return identical
+// []search.Result for every query of every variant.
+func TestShardParityMatchesMonolithic(t *testing.T) {
+	const seed = 7
+	corpus := kb.Generate(kb.GenConfig{Docs: parityCorpusDocs, Seed: seed})
+	docs := extractCorpus(t, corpus)
+	emb := embedding.NewSynth(64, corpus.Lexicon())
+	client := llm.NewSim(llm.DefaultBehavior())
+
+	mono := buildSearcher(t, index.New(exhaustiveConfig()), docs, emb, client)
+	queries := parityQueries(corpus, seed)
+	variants := parityVariants()
+
+	// Baselines once per (variant, query) on the monolithic index.
+	type key struct{ variant, query int }
+	want := make(map[key]string)
+	for vi, v := range variants {
+		for qi, q := range queries {
+			res, err := mono.Search(context.Background(), q, v.opts)
+			if err != nil {
+				t.Fatalf("monolithic %s %q: %v", v.name, q, err)
+			}
+			want[key{vi, qi}] = fmt.Sprintf("%#v", res)
+		}
+	}
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			facade := shard.New(shard.Config{Shards: shards, Index: exhaustiveConfig()})
+			s := buildSearcher(t, facade, docs, emb, client)
+			if got := facade.LiveLen(); got != mono.Index.(*index.Index).LiveLen() {
+				t.Fatalf("facade holds %d live chunks, monolithic %d", got, mono.Index.(*index.Index).LiveLen())
+			}
+			for vi, v := range variants {
+				for qi, q := range queries {
+					res, err := s.Search(context.Background(), q, v.opts)
+					if err != nil {
+						t.Fatalf("%s %q: %v", v.name, q, err)
+					}
+					if got := fmt.Sprintf("%#v", res); got != want[key{vi, qi}] {
+						t.Errorf("%s %q: sharded ranking diverged from monolithic\nmono:  %s\nshard: %s",
+							v.name, q, want[key{vi, qi}], got)
+					}
+				}
+			}
+		})
+	}
+}

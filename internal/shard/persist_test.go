@@ -1,0 +1,185 @@
+package shard_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"uniask/internal/embedding"
+	"uniask/internal/index"
+	"uniask/internal/shard"
+	"uniask/internal/vector"
+)
+
+// vecConfig gives every fixture the exhaustive vector backend so search
+// parity across save/load is exact, and a titleVector/contentVector schema.
+func vecConfig() index.Config {
+	return index.Config{
+		VectorIndex: func(string) vector.Index { return vector.NewExhaustive() },
+	}
+}
+
+// fillVec populates a repository with chunks carrying text and vectors.
+func fillVec(t *testing.T, w index.Writer, emb *embedding.Synth, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		title := fmt.Sprintf("titolo procedura %d", i)
+		content := fmt.Sprintf("contenuto della carta numero %d con istruzioni", i)
+		err := w.Add(index.Document{
+			ID:       fmt.Sprintf("p%03d#%d", i/2, i%2),
+			ParentID: fmt.Sprintf("p%03d", i/2),
+			Fields:   map[string]string{"title": title, "content": content},
+			Vectors: map[string]vector.Vector{
+				"titleVector":   emb.Embed(title),
+				"contentVector": emb.Embed(content),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// searchFingerprint captures a text and a vector ranking for parity checks.
+// It compares ids, scores and order; Hit.Ord is excluded because it is a
+// shard-local ordinal that legitimately differs across layouts (and is never
+// consumed by the search layer, which keys everything on the id).
+func searchFingerprint(q index.Queryable, emb *embedding.Synth) string {
+	var b strings.Builder
+	for _, h := range q.SearchText("contenuto carta istruzioni", 10, index.TextOptions{}) {
+		fmt.Fprintf(&b, "%s=%v;", h.ID, h.Score)
+	}
+	b.WriteString("|")
+	for _, h := range q.SearchVector("contentVector", emb.Embed("carta istruzioni"), 10, nil) {
+		fmt.Fprintf(&b, "%s=%v;", h.ID, h.Score)
+	}
+	return b.String()
+}
+
+func TestShardedSnapshotRoundTripSameCount(t *testing.T) {
+	emb := embedding.NewSynth(32, nil)
+	cfg := shard.Config{Shards: 4, Index: vecConfig()}
+	s := shard.New(cfg)
+	fillVec(t, s, emb, 30)
+	s.Delete("p002#0")
+	want := searchFingerprint(s, emb)
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := shard.Load(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumShards() != 4 {
+		t.Fatalf("loaded %d shards, want 4", loaded.NumShards())
+	}
+	if loaded.LiveLen() != s.LiveLen() || loaded.Tombstones() != s.Tombstones() {
+		t.Fatalf("loaded live=%d tombstones=%d, want live=%d tombstones=%d",
+			loaded.LiveLen(), loaded.Tombstones(), s.LiveLen(), s.Tombstones())
+	}
+	if got := searchFingerprint(loaded, emb); got != want {
+		t.Fatalf("round-tripped facade ranks differently\nwant: %s\ngot:  %s", want, got)
+	}
+}
+
+// TestLegacySnapshotMigratesIntoFacade is the backward-compat satellite: a
+// single-file snapshot written before sharding existed must load into a
+// ShardCount > 1 facade by re-routing every live document.
+func TestLegacySnapshotMigratesIntoFacade(t *testing.T) {
+	emb := embedding.NewSynth(32, nil)
+	mono := index.New(vecConfig())
+	fillVec(t, mono, emb, 30)
+	mono.Delete("p004#1")
+
+	var buf bytes.Buffer
+	if err := mono.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := shard.Load(&buf, shard.Config{Shards: 4, Index: vecConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tombstones are not migrated — only live documents travel.
+	if loaded.LiveLen() != mono.LiveLen() || loaded.Tombstones() != 0 {
+		t.Fatalf("migrated live=%d tombstones=%d, want live=%d tombstones=0",
+			loaded.LiveLen(), loaded.Tombstones(), mono.LiveLen())
+	}
+	// The parity baseline is a monolithic index rebuilt from the live docs:
+	// migration drops tombstones, which legitimately shifts BM25 corpus
+	// statistics relative to the tombstone-carrying source.
+	ref := index.New(vecConfig())
+	if err := ref.AddBulk(mono.LiveDocs()); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := searchFingerprint(loaded, emb), searchFingerprint(ref, emb); got != want {
+		t.Fatalf("migrated facade ranks differently from the compacted monolithic source\nwant: %s\ngot:  %s", want, got)
+	}
+}
+
+// TestMonolithicLoadRejectsShardedSnapshot is the other direction: a
+// monolithic index.Read must refuse a sharded container with a descriptive
+// error, not decode garbage.
+func TestMonolithicLoadRejectsShardedSnapshot(t *testing.T) {
+	s := shard.New(shard.Config{Shards: 2, Index: vecConfig()})
+	emb := embedding.NewSynth(32, nil)
+	fillVec(t, s, emb, 10)
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err := index.Read(&buf, vecConfig())
+	if !errors.Is(err, index.ErrShardedSnapshot) {
+		t.Fatalf("index.Read(sharded container) err = %v, want ErrShardedSnapshot", err)
+	}
+	if !strings.Contains(err.Error(), "sharded snapshot") {
+		t.Fatalf("error %q does not describe the problem", err)
+	}
+}
+
+// TestShardCountChangeMigrates loads a 2-shard container at 4 shards: every
+// document is re-routed, counts are preserved, rankings stay identical.
+func TestShardCountChangeMigrates(t *testing.T) {
+	emb := embedding.NewSynth(32, nil)
+	s := shard.New(shard.Config{Shards: 2, Index: vecConfig()})
+	fillVec(t, s, emb, 30)
+	want := searchFingerprint(s, emb)
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := shard.Load(&buf, shard.Config{Shards: 4, Index: vecConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumShards() != 4 {
+		t.Fatalf("loaded %d shards, want 4", loaded.NumShards())
+	}
+	if loaded.LiveLen() != s.LiveLen() {
+		t.Fatalf("migrated live=%d, want %d", loaded.LiveLen(), s.LiveLen())
+	}
+	if got := searchFingerprint(loaded, emb); got != want {
+		t.Fatalf("re-sharded facade ranks differently\nwant: %s\ngot:  %s", want, got)
+	}
+}
+
+// TestTruncatedContainerErrors guards the framing: a container cut mid-way
+// must surface an error, not a silently smaller index.
+func TestTruncatedContainerErrors(t *testing.T) {
+	s := shard.New(shard.Config{Shards: 2, Index: vecConfig()})
+	emb := embedding.NewSynth(32, nil)
+	fillVec(t, s, emb, 10)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-buf.Len()/3]
+	if _, err := shard.Load(bytes.NewReader(cut), shard.Config{Shards: 2, Index: vecConfig()}); err == nil {
+		t.Fatal("truncated container loaded without error")
+	}
+}

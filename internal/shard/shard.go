@@ -1,0 +1,435 @@
+// Package shard implements the N-way sharded index facade: documents are
+// routed to shards by a stable hash of their chunk id, queries fan out to
+// every shard in parallel over the pipeline.Map bounded worker pool, and
+// the per-shard top-n results merge into a globally correct top-k whose
+// ordering is byte-identical to a single monolithic index.
+//
+// Two subtleties make the parity exact rather than approximate:
+//
+//   - BM25 corpus statistics are global. Each text query first collects
+//     every shard's document count, field lengths and term document
+//     frequencies (index.CollectStats), merges them, and scores each shard
+//     with the aggregate (index.SearchTextGlobal) — per-shard idf would
+//     rank documents on different curves and diverge from the monolithic
+//     ordering.
+//   - Vector ties break on global insertion order. The exhaustive k-NN
+//     backend breaks distance ties by insertion ordinal; shard-local
+//     ordinals differ from monolithic ones, so the facade stamps every
+//     added chunk with a global arrival sequence number and merges vector
+//     candidates by (score desc, sequence asc).
+//
+// A facade with Shards == 1 delegates straight to its single shard and is
+// observationally identical to using *index.Index directly.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"uniask/internal/index"
+	"uniask/internal/pipeline"
+	"uniask/internal/textproc"
+	"uniask/internal/vector"
+)
+
+// Config controls facade construction.
+type Config struct {
+	// Shards is the number of index shards; values < 1 mean 1.
+	Shards int
+	// Index configures each shard identically (schema, analyzer, BM25
+	// params, vector-index constructor).
+	Index index.Config
+	// Workers bounds the query fan-out concurrency; 0 means one worker per
+	// CPU (pipeline.DefaultWorkers).
+	Workers int
+}
+
+// queryStat accumulates one shard's query-side gauge counters.
+type queryStat struct {
+	queries atomic.Uint64
+	nanos   atomic.Uint64
+}
+
+// Sharded is the N-way sharded index facade. It satisfies the same
+// index.Repository surface as *index.Index, so the search, ingestion and
+// persistence layers run unchanged on top of it.
+//
+// Concurrency matches the monolithic index: any number of concurrent
+// readers racing a single live writer. Each shard has its own RWMutex, so
+// readers of different shards never contend; the facade itself only guards
+// the global sequence map.
+type Sharded struct {
+	cfg    Config
+	shards []*index.Index
+
+	// seqMu guards seq/nextSeq. seq maps a chunk id to its global arrival
+	// sequence — the cross-shard equivalent of the monolithic insertion
+	// ordinal, used to break vector-distance ties exactly like a single
+	// index would.
+	seqMu   sync.RWMutex
+	seq     map[string]uint64
+	nextSeq uint64
+
+	stats []queryStat
+}
+
+// New creates an empty sharded facade.
+func New(cfg Config) *Sharded {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	s := &Sharded{
+		cfg:    cfg,
+		shards: make([]*index.Index, cfg.Shards),
+		seq:    make(map[string]uint64),
+		stats:  make([]queryStat, cfg.Shards),
+	}
+	for i := range s.shards {
+		s.shards[i] = index.New(cfg.Index)
+	}
+	return s
+}
+
+// Compile-time check: the facade is a drop-in index.Repository.
+var _ index.Repository = (*Sharded)(nil)
+
+// NumShards reports the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Shard exposes one shard (diagnostics and tests).
+func (s *Sharded) Shard(i int) *index.Index { return s.shards[i] }
+
+// ShardFor returns the shard index owning a chunk id: FNV-1a 64 of the id
+// modulo the shard count. The hash is stable across processes and
+// releases, so a snapshot reloaded at the same shard count needs no
+// re-routing.
+func (s *Sharded) ShardFor(id string) int {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return int(h.Sum64() % uint64(len(s.shards)))
+}
+
+// assignSeq stamps id with the next global arrival sequence.
+func (s *Sharded) assignSeq(id string) {
+	s.seqMu.Lock()
+	s.seq[id] = s.nextSeq
+	s.nextSeq++
+	s.seqMu.Unlock()
+}
+
+// Add routes the document to its shard. Duplicate-id detection works
+// unchanged: equal ids always hash to the same shard.
+func (s *Sharded) Add(doc index.Document) error {
+	s.assignSeq(doc.ID)
+	return s.shards[s.ShardFor(doc.ID)].Add(doc)
+}
+
+// AddBulk partitions docs by owning shard (preserving relative order, so
+// each shard's insertion order — and therefore its HNSW graph — is
+// deterministic) and feeds the shards in parallel. On error the index may
+// be partially updated, exactly like a stopped sequential loop.
+func (s *Sharded) AddBulk(docs []index.Document) error {
+	if len(s.shards) == 1 {
+		for _, d := range docs {
+			s.assignSeq(d.ID)
+		}
+		return s.shards[0].AddBulk(docs)
+	}
+	parts := make([][]index.Document, len(s.shards))
+	for _, d := range docs {
+		s.assignSeq(d.ID)
+		i := s.ShardFor(d.ID)
+		parts[i] = append(parts[i], d)
+	}
+	_, err := pipeline.Map(context.Background(), s.cfg.Workers, len(s.shards),
+		func(_ context.Context, i int) (struct{}, error) {
+			return struct{}{}, s.shards[i].AddBulk(parts[i])
+		})
+	return err
+}
+
+// Delete tombstones a chunk on its owning shard.
+func (s *Sharded) Delete(chunkID string) bool {
+	return s.shards[s.ShardFor(chunkID)].Delete(chunkID)
+}
+
+// DeleteParent tombstones every chunk of a KB document. Chunks of one
+// parent hash by their own chunk ids and may live on any shard, so the
+// delete fans out to all of them.
+func (s *Sharded) DeleteParent(parentID string) int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.DeleteParent(parentID)
+	}
+	return n
+}
+
+// HasParent reports whether any shard holds a live chunk of the KB
+// document.
+func (s *Sharded) HasParent(parentID string) bool {
+	for _, sh := range s.shards {
+		if sh.HasParent(parentID) {
+			return true
+		}
+	}
+	return false
+}
+
+// Epoch returns the sum of the shard epochs. Every mutation bumps exactly
+// one shard, each shard's epoch is non-decreasing, and reads are atomic, so
+// the sum is monotonic and changes whenever any shard changes — the same
+// staleness contract the search-layer query cache relies on with a
+// monolithic index (see search.QueryCache).
+func (s *Sharded) Epoch() uint64 {
+	var e uint64
+	for _, sh := range s.shards {
+		e += sh.Epoch()
+	}
+	return e
+}
+
+// Len counts chunks ever inserted across shards, including tombstones.
+func (s *Sharded) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// LiveLen counts live chunks across shards.
+func (s *Sharded) LiveLen() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.LiveLen()
+	}
+	return n
+}
+
+// Tombstones counts tombstoned chunks across shards.
+func (s *Sharded) Tombstones() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Tombstones()
+	}
+	return n
+}
+
+// Doc returns the document at a global ordinal, where ordinals concatenate
+// the shards in order: shard 0's documents first, then shard 1's, and so
+// on. The mapping is only stable between mutations; it exists for
+// diagnostics and sampling, not for identifying documents — use DocByID.
+func (s *Sharded) Doc(ord int) index.Document {
+	for _, sh := range s.shards {
+		if n := sh.Len(); ord < n {
+			return sh.Doc(ord)
+		} else {
+			ord -= n
+		}
+	}
+	panic(fmt.Sprintf("shard: ordinal %d out of range", ord))
+}
+
+// DocByID fetches a document from its owning shard.
+func (s *Sharded) DocByID(id string) (index.Document, bool) {
+	return s.shards[s.ShardFor(id)].DocByID(id)
+}
+
+// Schema returns the shared shard schema.
+func (s *Sharded) Schema() index.Schema { return s.shards[0].Schema() }
+
+// Analyzer returns the shared shard analyzer.
+func (s *Sharded) Analyzer() *textproc.Analyzer { return s.shards[0].Analyzer() }
+
+// VectorFields lists the vector fields (shared, read-only).
+func (s *Sharded) VectorFields() []string { return s.shards[0].VectorFields() }
+
+// SearchableFields lists the searchable fields (shared, read-only).
+func (s *Sharded) SearchableFields() []string { return s.shards[0].SearchableFields() }
+
+// LiveDocs concatenates the shards' live documents in shard order.
+func (s *Sharded) LiveDocs() []index.Document {
+	var out []index.Document
+	for _, sh := range s.shards {
+		out = append(out, sh.LiveDocs()...)
+	}
+	return out
+}
+
+// record notes one shard query for the per-shard latency gauges.
+func (s *Sharded) record(shard int, start time.Time) {
+	s.stats[shard].queries.Add(1)
+	s.stats[shard].nanos.Add(uint64(time.Since(start)))
+}
+
+// SearchText runs a BM25 query across all shards and merges the per-shard
+// top-n into the global top-n.
+//
+// The fan-out happens in two waves: first every shard reports its corpus
+// statistics for the analyzed query terms, then every shard scores with
+// the merged global statistics. Both waves run over pipeline.Map, which
+// preserves task order, so the merge input — and therefore the final
+// ranking under the canonical (score desc, id asc) order — is
+// deterministic.
+func (s *Sharded) SearchText(query string, n int, opts index.TextOptions) []index.Hit {
+	if len(s.shards) == 1 {
+		start := time.Now()
+		defer s.record(0, start)
+		return s.shards[0].SearchText(query, n, opts)
+	}
+	if n <= 0 {
+		return nil
+	}
+	terms := s.Analyzer().AnalyzeTerms(query)
+	if len(terms) == 0 {
+		return nil
+	}
+	fields := opts.Fields
+	if len(fields) == 0 {
+		fields = s.SearchableFields()
+	}
+
+	ctx := context.Background()
+	partials, err := pipeline.Map(ctx, s.cfg.Workers, len(s.shards),
+		func(_ context.Context, i int) (index.CorpusStats, error) {
+			return s.shards[i].CollectStats(fields, terms), nil
+		})
+	if err != nil {
+		return nil
+	}
+	var global index.CorpusStats
+	for _, p := range partials {
+		global.Merge(p)
+	}
+
+	perShard, err := pipeline.Map(ctx, s.cfg.Workers, len(s.shards),
+		func(_ context.Context, i int) ([]index.Hit, error) {
+			start := time.Now()
+			defer s.record(i, start)
+			return s.shards[i].SearchTextGlobal(query, n, opts, &global), nil
+		})
+	if err != nil {
+		return nil
+	}
+	return mergeText(perShard, n)
+}
+
+// mergeText merges per-shard ranked hit lists into the global top-n under
+// the canonical text order. Each input holds at most n hits, so a flat
+// append-and-sort beats a k-way heap at the sizes involved.
+func mergeText(perShard [][]index.Hit, n int) []index.Hit {
+	total := 0
+	for _, hits := range perShard {
+		total += len(hits)
+	}
+	merged := make([]index.Hit, 0, total)
+	for _, hits := range perShard {
+		merged = append(merged, hits...)
+	}
+	index.SortHits(merged)
+	if len(merged) > n {
+		merged = merged[:n]
+	}
+	return merged
+}
+
+// SearchVector runs an ANN query across all shards and merges the
+// per-shard candidates into the global top-k. Every shard returns its own
+// k best survivors; the global k best are a subset of that union. Ties in
+// score break on the global arrival sequence, which reproduces the
+// insertion-ordinal tiebreak of a monolithic exhaustive index.
+func (s *Sharded) SearchVector(field string, q vector.Vector, k int, filters []index.Filter) []index.Hit {
+	if len(s.shards) == 1 {
+		start := time.Now()
+		defer s.record(0, start)
+		return s.shards[0].SearchVector(field, q, k, filters)
+	}
+	if k <= 0 {
+		return nil
+	}
+	perShard, err := pipeline.Map(context.Background(), s.cfg.Workers, len(s.shards),
+		func(_ context.Context, i int) ([]index.Hit, error) {
+			start := time.Now()
+			defer s.record(i, start)
+			return s.shards[i].SearchVector(field, q, k, filters), nil
+		})
+	if err != nil {
+		return nil
+	}
+	total := 0
+	for _, hits := range perShard {
+		total += len(hits)
+	}
+	merged := make([]index.Hit, 0, total)
+	for _, hits := range perShard {
+		merged = append(merged, hits...)
+	}
+	seqs := make([]uint64, len(merged))
+	s.seqMu.RLock()
+	for i, h := range merged {
+		seqs[i] = s.seq[h.ID]
+	}
+	s.seqMu.RUnlock()
+	sort.Sort(&bySeqTie{hits: merged, seqs: seqs})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged
+}
+
+// bySeqTie orders hits by score descending with ties broken by global
+// arrival sequence ascending, then id ascending (ids are unique, so the
+// order is total even if a sequence is missing).
+type bySeqTie struct {
+	hits []index.Hit
+	seqs []uint64
+}
+
+func (b *bySeqTie) Len() int { return len(b.hits) }
+
+func (b *bySeqTie) Swap(i, j int) {
+	b.hits[i], b.hits[j] = b.hits[j], b.hits[i]
+	b.seqs[i], b.seqs[j] = b.seqs[j], b.seqs[i]
+}
+
+func (b *bySeqTie) Less(i, j int) bool {
+	if b.hits[i].Score != b.hits[j].Score {
+		return b.hits[i].Score > b.hits[j].Score
+	}
+	if b.seqs[i] != b.seqs[j] {
+		return b.seqs[i] < b.seqs[j]
+	}
+	return b.hits[i].ID < b.hits[j].ID
+}
+
+// ShardStat is one shard's dashboard gauge row.
+type ShardStat struct {
+	// Shard is the shard index.
+	Shard int
+	// Stats is the shard's index gauge snapshot (docs, postings, ...).
+	index.Stats
+	// Queries counts per-shard search calls since process start.
+	Queries uint64
+	// AvgQueryLatency is the mean per-shard search latency.
+	AvgQueryLatency time.Duration
+}
+
+// ShardStats returns one gauge row per shard for the monitoring dashboard.
+func (s *Sharded) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(s.shards))
+	for i, sh := range s.shards {
+		q := s.stats[i].queries.Load()
+		ns := s.stats[i].nanos.Load()
+		st := ShardStat{Shard: i, Stats: sh.Stats(), Queries: q}
+		if q > 0 {
+			st.AvgQueryLatency = time.Duration(ns / q)
+		}
+		out[i] = st
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package shard_test
+
+import (
+	"fmt"
+	"testing"
+
+	"uniask/internal/index"
+	"uniask/internal/shard"
+	"uniask/internal/vector"
+)
+
+// doc builds a minimal chunk document.
+func doc(id, parent, title, content string) index.Document {
+	return index.Document{
+		ID:       id,
+		ParentID: parent,
+		Fields:   map[string]string{"title": title, "content": content},
+	}
+}
+
+// fill adds n synthetic chunks (two chunks per parent) and returns their ids.
+func fill(t *testing.T, s *shard.Sharded, n int) []string {
+	t.Helper()
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("doc%03d#%d", i/2, i%2)
+		parent := fmt.Sprintf("doc%03d", i/2)
+		if err := s.Add(doc(id, parent, fmt.Sprintf("titolo %d", i), fmt.Sprintf("contenuto numero %d carta", i))); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+func TestRoutingIsStableAndExhaustive(t *testing.T) {
+	s := shard.New(shard.Config{Shards: 4})
+	ids := fill(t, s, 40)
+	perShard := 0
+	for i := 0; i < s.NumShards(); i++ {
+		perShard += s.Shard(i).Len()
+	}
+	if perShard != len(ids) || s.Len() != len(ids) {
+		t.Fatalf("shards hold %d docs, facade says %d, want %d", perShard, s.Len(), len(ids))
+	}
+	for _, id := range ids {
+		want := s.ShardFor(id)
+		if got := s.ShardFor(id); got != want {
+			t.Fatalf("ShardFor(%q) unstable: %d then %d", id, want, got)
+		}
+		if _, ok := s.Shard(want).DocByID(id); !ok {
+			t.Fatalf("doc %q not on its routed shard %d", id, want)
+		}
+		if _, ok := s.DocByID(id); !ok {
+			t.Fatalf("facade DocByID(%q) missed", id)
+		}
+	}
+	// With 40 ids over 4 shards, FNV should not collapse onto one shard.
+	occupied := 0
+	for i := 0; i < s.NumShards(); i++ {
+		if s.Shard(i).Len() > 0 {
+			occupied++
+		}
+	}
+	if occupied < 2 {
+		t.Fatalf("routing collapsed onto %d shard(s)", occupied)
+	}
+}
+
+func TestDeleteRoutesAndParentFansOut(t *testing.T) {
+	s := shard.New(shard.Config{Shards: 4})
+	ids := fill(t, s, 20)
+
+	if !s.Delete(ids[0]) {
+		t.Fatal("Delete on existing chunk returned false")
+	}
+	if s.Delete(ids[0]) {
+		t.Fatal("second Delete on same chunk returned true")
+	}
+	if s.Tombstones() != 1 || s.LiveLen() != len(ids)-1 {
+		t.Fatalf("tombstones=%d live=%d after one delete", s.Tombstones(), s.LiveLen())
+	}
+
+	// doc003 has two chunks which may live on different shards; the parent
+	// delete must reach both.
+	if !s.HasParent("doc003") {
+		t.Fatal("HasParent(doc003) = false before delete")
+	}
+	if n := s.DeleteParent("doc003"); n != 2 {
+		t.Fatalf("DeleteParent removed %d chunks, want 2", n)
+	}
+	if s.HasParent("doc003") {
+		t.Fatal("HasParent(doc003) = true after DeleteParent")
+	}
+	if s.LiveLen() != len(ids)-3 {
+		t.Fatalf("live=%d, want %d", s.LiveLen(), len(ids)-3)
+	}
+}
+
+func TestEpochIsMonotonicAcrossShards(t *testing.T) {
+	s := shard.New(shard.Config{Shards: 4})
+	last := s.Epoch()
+	for i := 0; i < 12; i++ {
+		id := fmt.Sprintf("e%02d#0", i)
+		if err := s.Add(doc(id, fmt.Sprintf("e%02d", i), "t", "c")); err != nil {
+			t.Fatal(err)
+		}
+		if e := s.Epoch(); e <= last {
+			t.Fatalf("epoch %d did not advance past %d after Add", e, last)
+		} else {
+			last = e
+		}
+	}
+	s.Delete("e03#0")
+	if e := s.Epoch(); e <= last {
+		t.Fatalf("epoch %d did not advance past %d after Delete", e, last)
+	}
+}
+
+func TestAddBulkMatchesSequentialAdds(t *testing.T) {
+	docs := make([]index.Document, 30)
+	for i := range docs {
+		docs[i] = doc(fmt.Sprintf("b%03d#0", i), fmt.Sprintf("b%03d", i),
+			fmt.Sprintf("titolo %d", i), fmt.Sprintf("contenuto carta %d", i))
+	}
+	seq := shard.New(shard.Config{Shards: 4})
+	for _, d := range docs {
+		if err := seq.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bulk := shard.New(shard.Config{Shards: 4})
+	if err := bulk.AddBulk(docs); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if a, b := seq.Shard(i).Len(), bulk.Shard(i).Len(); a != b {
+			t.Fatalf("shard %d: sequential=%d bulk=%d docs", i, a, b)
+		}
+	}
+	a := fmt.Sprintf("%#v", seq.SearchText("contenuto carta", 10, index.TextOptions{}))
+	b := fmt.Sprintf("%#v", bulk.SearchText("contenuto carta", 10, index.TextOptions{}))
+	if a != b {
+		t.Fatalf("bulk-built facade ranks differently:\nseq:  %s\nbulk: %s", a, b)
+	}
+}
+
+func TestShardStatsCountQueries(t *testing.T) {
+	s := shard.New(shard.Config{Shards: 2})
+	fill(t, s, 10)
+	s.SearchText("contenuto carta", 5, index.TextOptions{})
+	s.SearchVector("contentVector", vector.Vector{}, 5, nil) // no vector field: still counts per-shard calls
+	stats := s.ShardStats()
+	if len(stats) != 2 {
+		t.Fatalf("ShardStats returned %d rows, want 2", len(stats))
+	}
+	var queries uint64
+	docs := 0
+	for i, st := range stats {
+		if st.Shard != i {
+			t.Fatalf("row %d has Shard=%d", i, st.Shard)
+		}
+		queries += st.Queries
+		docs += st.Docs
+	}
+	if queries == 0 {
+		t.Fatal("no per-shard queries recorded")
+	}
+	if docs != 10 {
+		t.Fatalf("gauge docs sum %d, want 10", docs)
+	}
+}
+
+func TestSingleShardFacadeMatchesIndex(t *testing.T) {
+	plain := index.New(index.Config{})
+	facade := shard.New(shard.Config{Shards: 1})
+	for i := 0; i < 10; i++ {
+		d := doc(fmt.Sprintf("s%02d#0", i), fmt.Sprintf("s%02d", i),
+			fmt.Sprintf("titolo %d", i), fmt.Sprintf("contenuto carta %d", i))
+		if err := plain.Add(d); err != nil {
+			t.Fatal(err)
+		}
+		if err := facade.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := fmt.Sprintf("%#v", plain.SearchText("contenuto carta", 5, index.TextOptions{}))
+	b := fmt.Sprintf("%#v", facade.SearchText("contenuto carta", 5, index.TextOptions{}))
+	if a != b {
+		t.Fatalf("single-shard facade diverged:\nindex:  %s\nfacade: %s", a, b)
+	}
+	if plain.Epoch() != facade.Epoch() {
+		t.Fatalf("epochs diverged: index=%d facade=%d", plain.Epoch(), facade.Epoch())
+	}
+}

@@ -26,7 +26,6 @@ import (
 	"uniask/internal/core"
 	"uniask/internal/embedding"
 	"uniask/internal/guardrails"
-	"uniask/internal/index"
 	"uniask/internal/indexer"
 	"uniask/internal/ingest"
 	"uniask/internal/kb"
@@ -66,6 +65,11 @@ type Config struct {
 	// ANN search per vector field run in parallel; default: one worker
 	// per CPU). 1 forces fully sequential retrieval.
 	SearchWorkers int
+	// ShardCount splits the index into N hash-routed shards built and
+	// searched in parallel, with results merged into the exact ranking a
+	// monolithic index would return (see docs/OPERATIONS.md). 0 or 1 keeps
+	// the single monolithic index.
+	ShardCount int
 	// Observer receives per-stage pipeline reports for every query
 	// (latency, sizes, errors). NewServer overrides it with the server's
 	// metrics registry; set it here for custom instrumentation.
@@ -104,6 +108,7 @@ func New(cfg Config) *System {
 		SearchOptions: cfg.SearchOptions,
 		Observer:      cfg.Observer,
 		SearchWorkers: cfg.SearchWorkers,
+		ShardCount:    cfg.ShardCount,
 	})}
 }
 
@@ -185,18 +190,10 @@ func (s *System) SaveIndex(w io.Writer) error {
 
 // LoadIndex replaces the system's index with one previously written by
 // SaveIndex. The embedder configuration must match the one used when the
-// index was built.
+// index was built. A system configured with ShardCount > 1 also accepts
+// snapshots written before sharding (or at a different shard count),
+// migrating them by re-routing every document; a monolithic system rejects
+// sharded snapshots with a descriptive error.
 func (s *System) LoadIndex(r io.Reader) error {
-	ix, err := index.Read(r, index.Config{})
-	if err != nil {
-		return err
-	}
-	s.engine.Index = ix
-	s.engine.Searcher.Index = ix
-	// The fresh index restarts its mutation epoch at zero, so cached
-	// results keyed to the old index could look current — drop them all.
-	if s.engine.Searcher.Cache != nil {
-		s.engine.Searcher.Cache.Purge()
-	}
-	return nil
+	return s.engine.LoadIndex(r)
 }
