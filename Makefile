@@ -52,20 +52,22 @@ chaos:
 	done
 
 # Short fuzzing pass over the parsers that consume untrusted / fault-injected
-# bytes: the tokenizer+analyzer (arbitrary document text) and the citation
-# parser (raw LLM output). Seeds include the checked-in crasher corpora.
+# bytes: the tokenizer+analyzer (arbitrary document text), the citation
+# parser (raw LLM output) and the TraceQL-lite query parser (the
+# /api/traces?q= input). Seeds include the checked-in crasher corpora.
 FUZZTIME ?= 5s
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzTokenize -fuzztime $(FUZZTIME) ./internal/textproc/
 	$(GO) test -run '^$$' -fuzz FuzzAnalyze -fuzztime $(FUZZTIME) ./internal/textproc/
 	$(GO) test -run '^$$' -fuzz FuzzExtractCitationKeys -fuzztime $(FUZZTIME) ./internal/generation/
+	$(GO) test -run '^$$' -fuzz FuzzTraceQL -fuzztime $(FUZZTIME) ./internal/trace/
 
 # Query hot-path micro-benchmarks (BM25, ANN, filter bitsets, query cache,
-# shard-count scaling) with allocation stats, recorded as BENCH_query.json
-# via cmd/benchjson.
+# shard-count scaling, tracing overhead) with allocation stats, recorded as
+# BENCH_query.json via cmd/benchjson.
 bench:
-	$(GO) test -bench 'BenchmarkSearchText|BenchmarkSearchVector|BenchmarkFilterSet|BenchmarkQueryCache' \
-		-benchmem -run '^$$' ./internal/index/ ./internal/search/ ./internal/shard/ \
+	$(GO) test -bench 'BenchmarkSearchText|BenchmarkSearchVector|BenchmarkFilterSet|BenchmarkQueryCache|BenchmarkTrace' \
+		-benchmem -run '^$$' ./internal/index/ ./internal/search/ ./internal/shard/ ./internal/trace/ \
 		| $(GO) run ./cmd/benchjson -baseline BENCH_query_baseline.json > BENCH_query.json
 	@echo "wrote BENCH_query.json"
 

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	uniask [-addr :8080] [-docs 6000] [-seed 1] [-shards 4]
+//	       [-trace-capacity 2048] [-trace-sample 1.0] [-trace-slow 250ms]
 //
 // Example session:
 //
@@ -25,11 +26,14 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		docs    = flag.Int("docs", 6000, "synthetic corpus size (paper: 59308)")
-		seed    = flag.Int64("seed", 1, "corpus generation seed")
-		workers = flag.Int("workers", 0, "retrieval fan-out width (0 = one per CPU, 1 = sequential)")
-		shards  = flag.Int("shards", 1, "index shard count (1 = monolithic index)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		docs      = flag.Int("docs", 6000, "synthetic corpus size (paper: 59308)")
+		seed      = flag.Int64("seed", 1, "corpus generation seed")
+		workers   = flag.Int("workers", 0, "retrieval fan-out width (0 = one per CPU, 1 = sequential)")
+		shards    = flag.Int("shards", 1, "index shard count (1 = monolithic index)")
+		traceCap  = flag.Int("trace-capacity", 0, "trace store size (0 = 2048 retained traces, negative disables tracing)")
+		traceRate = flag.Float64("trace-sample", 0, "head-sampling rate in (0,1] (0 = trace every request)")
+		traceSlow = flag.Duration("trace-slow", 0, "always-retain latency threshold (0 = 250ms)")
 	)
 	flag.Parse()
 
@@ -37,9 +41,12 @@ func main() {
 	start := time.Now()
 	corpus := uniask.SyntheticCorpus(*docs, *seed)
 	sys, err := uniask.NewFromCorpus(context.Background(), corpus, uniask.Config{
-		EnrichSummary: true,
-		SearchWorkers: *workers,
-		ShardCount:    *shards,
+		EnrichSummary:      true,
+		SearchWorkers:      *workers,
+		ShardCount:         *shards,
+		TraceCapacity:      *traceCap,
+		TraceSampleRate:    *traceRate,
+		TraceSlowThreshold: *traceSlow,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "setup failed:", err)

@@ -17,6 +17,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"uniask/internal/embedding"
 	"uniask/internal/generation"
@@ -32,6 +33,7 @@ import (
 	"uniask/internal/resilience"
 	"uniask/internal/search"
 	"uniask/internal/shard"
+	"uniask/internal/trace"
 	"uniask/internal/vector"
 )
 
@@ -96,6 +98,23 @@ type Config struct {
 	// EmbedderMiddleware likewise wraps the query embedder before its
 	// resilience decorator.
 	EmbedderMiddleware func(embedding.CtxEmbedder) embedding.CtxEmbedder
+	// TraceCapacity bounds the in-memory trace store (0 =
+	// trace.DefaultCapacity; negative disables tracing entirely — no tracer,
+	// no per-request spans).
+	TraceCapacity int
+	// TraceSampleRate is the head-sampling probability in (0, 1]; 0 means
+	// record every request. Sampled-out requests still get a trace ID (for
+	// the response header) but record no spans and cost no allocations on
+	// the query path.
+	TraceSampleRate float64
+	// TraceSlowThreshold is the duration at or above which a trace is
+	// tail-retained in the protected ring even under head sampling victory
+	// by healthy traffic (0 = trace.DefaultSlowThreshold; negative disables
+	// slow retention).
+	TraceSlowThreshold time.Duration
+	// TraceSeed makes trace-ID generation (and therefore head-sampling
+	// decisions) deterministic for tests (0 = a fixed default seed).
+	TraceSeed int64
 }
 
 // Engine is a fully assembled UniAsk instance.
@@ -116,6 +135,11 @@ type Engine struct {
 	// (nil when Resilience.Disable is set).
 	LLMBreaker   *resilience.Breaker
 	EmbedBreaker *resilience.Breaker
+
+	// Tracer owns the per-request span recording and the bounded trace
+	// store behind /api/traces (nil when Config.TraceCapacity < 0; every
+	// trace method is nil-safe, so callers never guard).
+	Tracer *trace.Tracer
 
 	notifyMu      sync.Mutex
 	breakerNotify func(name, from, to string)
@@ -147,10 +171,18 @@ func New(cfg Config) *Engine {
 	}
 	eng := &Engine{
 		cfg:      cfg,
-		obs:      pipeline.OrNop(cfg.Observer),
 		Index:    ix,
 		Embedder: emb,
 	}
+	if cfg.TraceCapacity >= 0 {
+		eng.Tracer = trace.New(trace.Config{
+			Capacity:      cfg.TraceCapacity,
+			SampleRate:    cfg.TraceSampleRate,
+			SlowThreshold: cfg.TraceSlowThreshold,
+			Seed:          cfg.TraceSeed,
+		})
+	}
+	eng.obs = eng.composeObserver(cfg.Observer)
 
 	// Assemble the LLM and query-embedder stacks: optional fault-injection
 	// middleware innermost, then the resilience decorator (retry + breaker)
@@ -282,12 +314,22 @@ func (e *Engine) LoadIndex(r io.Reader) error {
 	return nil
 }
 
+// composeObserver pairs the caller's observer with the tracing stage
+// adapter, so every stage report both feeds the dashboard aggregates and —
+// on a traced request — becomes a span in the request's trace.
+func (e *Engine) composeObserver(obs pipeline.Observer) pipeline.Observer {
+	if e.Tracer == nil {
+		return pipeline.OrNop(obs)
+	}
+	return pipeline.Multi(pipeline.OrNop(obs), trace.Stages())
+}
+
 // SetObserver replaces the engine's stage observer (nil = discard) for the
 // whole query pipeline, including the searcher's retrieval stages. The
 // server wires its metrics registry here so every Ask feeds the per-stage
-// dashboard.
+// dashboard. The tracing stage adapter stays composed in regardless.
 func (e *Engine) SetObserver(obs pipeline.Observer) {
-	e.obs = pipeline.OrNop(obs)
+	e.obs = e.composeObserver(obs)
 	e.Searcher.Observer = e.obs
 }
 
@@ -424,7 +466,7 @@ func (e *Engine) Ask(ctx context.Context, question string) (Response, error) {
 	if ans.Degraded {
 		// The LLM was unavailable: the extractive fallback answered. Report
 		// the shed generation like the searcher reports shed legs.
-		e.obs.ObserveStage(pipeline.StageInfo{
+		pipeline.Observe(ctx, e.obs, pipeline.StageInfo{
 			Stage: pipeline.StageDegraded, In: 1,
 			Err: fmt.Errorf("core: shed generation: llm unavailable"),
 		})

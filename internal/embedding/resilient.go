@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"uniask/internal/resilience"
+	"uniask/internal/trace"
 	"uniask/internal/vector"
 )
 
@@ -65,8 +66,19 @@ type Resilient struct {
 }
 
 // EmbedCtx implements CtxEmbedder: retries transient failures, validates
-// the dimensionality of every response, and trips/obeys the breaker.
-func (r *Resilient) EmbedCtx(ctx context.Context, text string) (vector.Vector, error) {
+// the dimensionality of every response, and trips/obeys the breaker. On a
+// traced request the call is one "embedding.embed" leaf span carrying the
+// retry, hedge and breaker events.
+func (r *Resilient) EmbedCtx(ctx context.Context, text string) (v vector.Vector, err error) {
+	ctx, sp := trace.Start(ctx, "embedding.embed")
+	defer func() {
+		sp.SetError(err)
+		sp.End()
+	}()
+	return r.embedCtx(ctx, text)
+}
+
+func (r *Resilient) embedCtx(ctx context.Context, text string) (vector.Vector, error) {
 	attempt := func(ctx context.Context) (vector.Vector, error) {
 		op := func(ctx context.Context) (vector.Vector, error) {
 			if r.HedgeDelay > 0 {
@@ -90,10 +102,11 @@ func (r *Resilient) EmbedCtx(ctx context.Context, text string) (vector.Vector, e
 	}
 	return resilience.DoValue(ctx, r.Policy, func(ctx context.Context) (vector.Vector, error) {
 		if err := r.Breaker.Allow(); err != nil {
+			trace.AddEvent(ctx, "breaker.shed", trace.A("breaker", r.Breaker.Name()))
 			return nil, err
 		}
 		v, err := attempt(ctx)
-		r.Breaker.Record(err)
+		r.Breaker.RecordCtx(ctx, err)
 		return v, err
 	})
 }

@@ -12,6 +12,7 @@ import (
 	"errors"
 
 	"uniask/internal/resilience"
+	"uniask/internal/trace"
 )
 
 // ClassifyLLMError is the retry classification for chat-completion errors:
@@ -41,8 +42,15 @@ type ResilientClient struct {
 	Breaker *resilience.Breaker
 }
 
-// Complete implements Client.
-func (c *ResilientClient) Complete(ctx context.Context, req Request) (Response, error) {
+// Complete implements Client. On a traced request the whole call — every
+// retry attempt, breaker shed and breaker transition included — is one
+// "llm.complete" leaf span.
+func (c *ResilientClient) Complete(ctx context.Context, req Request) (resp Response, err error) {
+	ctx, sp := trace.Start(ctx, "llm.complete")
+	defer func() {
+		sp.SetError(err)
+		sp.End()
+	}()
 	p := c.Policy
 	if p.Classify == nil {
 		p.Classify = ClassifyLLMError
@@ -54,10 +62,11 @@ func (c *ResilientClient) Complete(ctx context.Context, req Request) (Response, 
 	}
 	return resilience.DoValue(ctx, p, func(ctx context.Context) (Response, error) {
 		if err := c.Breaker.Allow(); err != nil {
+			trace.AddEvent(ctx, "breaker.shed", trace.A("breaker", c.Breaker.Name()))
 			return Response{}, err
 		}
 		resp, err := c.Inner.Complete(ctx, req)
-		c.Breaker.Record(err)
+		c.Breaker.RecordCtx(ctx, err)
 		return resp, err
 	})
 }

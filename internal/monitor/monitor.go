@@ -11,6 +11,7 @@
 package monitor
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -18,9 +19,16 @@ import (
 	"time"
 
 	"uniask/internal/pipeline"
+	"uniask/internal/trace"
 )
 
 // Metrics is the registry the microservices record events into.
+//
+// Locking: the stage-aggregate map lives under its own stageMu, separate
+// from the registry lock. ObserveStage fires several times per query on the
+// pipeline hot path; splitting the locks means stage reports never contend
+// with RecordQuery/RecordFeedback writers or a dashboard Snapshot walking
+// the registry maps.
 type Metrics struct {
 	mu                 sync.Mutex
 	users              map[string]bool
@@ -30,12 +38,14 @@ type Metrics struct {
 	feedbacks          int
 	positiveFeedbacks  int
 	totalLatency       time.Duration
-	stages             map[string]*stageAgg
 	breakerStates      map[string]string
 	breakerTransitions map[string]int
 	degradedQueries    int
 	degradedParts      map[string]int
 	shardSource        func() []ShardGauge
+
+	stageMu sync.Mutex
+	stages  map[string]*stageAgg
 }
 
 // stageAgg accumulates one pipeline stage's reports.
@@ -45,6 +55,12 @@ type stageAgg struct {
 	totalLatency time.Duration
 	totalIn      int
 	totalOut     int
+	// maxLatency is the worst single execution seen; exemplar is the trace
+	// ID of the worst *traced* execution (exemplarLatency its latency), the
+	// dashboard's link from an aggregate to one concrete slow request.
+	maxLatency      time.Duration
+	exemplar        string
+	exemplarLatency time.Duration
 }
 
 // New returns an empty registry.
@@ -140,8 +156,20 @@ func (m *Metrics) RecordFeedback(positive bool) {
 // ObserveStage implements pipeline.Observer: one report per stage
 // execution, aggregated into per-stage counters and latency.
 func (m *Metrics) ObserveStage(info pipeline.StageInfo) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.observeStage("", info)
+}
+
+// ObserveStageCtx implements pipeline.CtxObserver: like ObserveStage, but
+// when the reporting request is traced its trace ID competes to become the
+// stage's worst-latency exemplar — the dashboard aggregate then links
+// straight to a full span tree at /api/traces/{id}.
+func (m *Metrics) ObserveStageCtx(ctx context.Context, info pipeline.StageInfo) {
+	m.observeStage(trace.ContextID(ctx), info)
+}
+
+func (m *Metrics) observeStage(traceID string, info pipeline.StageInfo) {
+	m.stageMu.Lock()
+	defer m.stageMu.Unlock()
 	agg, ok := m.stages[info.Stage]
 	if !ok {
 		agg = &stageAgg{}
@@ -154,6 +182,13 @@ func (m *Metrics) ObserveStage(info pipeline.StageInfo) {
 	if info.Err != nil {
 		agg.errors++
 	}
+	if info.Duration > agg.maxLatency {
+		agg.maxLatency = info.Duration
+	}
+	if traceID != "" && (agg.exemplar == "" || info.Duration > agg.exemplarLatency) {
+		agg.exemplar = traceID
+		agg.exemplarLatency = info.Duration
+	}
 }
 
 // StageStats is the dashboard view of one pipeline stage.
@@ -164,8 +199,14 @@ type StageStats struct {
 	// counts as a failure).
 	Count  int
 	Errors int
-	// AvgLatency is mean stage latency over all executions.
+	// AvgLatency is mean stage latency over all executions; MaxLatency is
+	// the worst single execution.
 	AvgLatency time.Duration
+	MaxLatency time.Duration
+	// ExemplarTraceID is the trace of the worst-latency traced execution
+	// (empty when no traced request has reported) — fetch it from
+	// /api/traces/{id} to see where that slow sample spent its time.
+	ExemplarTraceID string
 	// AvgIn and AvgOut are the mean input/output sizes (items).
 	AvgIn, AvgOut float64
 }
@@ -206,6 +247,7 @@ func (m *Metrics) Snapshot() Dashboard {
 		// locks and must not nest under m.mu.
 		shards = src()
 	}
+	stages := m.stageStats() // under stageMu only, never nested in m.mu
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	d := Dashboard{
@@ -236,15 +278,7 @@ func (m *Metrics) Snapshot() Dashboard {
 	if m.queries > 0 {
 		d.AvgResponse = m.totalLatency / time.Duration(m.queries)
 	}
-	for name, agg := range m.stages {
-		s := StageStats{Stage: name, Count: agg.count, Errors: agg.errors}
-		if agg.count > 0 {
-			s.AvgLatency = agg.totalLatency / time.Duration(agg.count)
-			s.AvgIn = float64(agg.totalIn) / float64(agg.count)
-			s.AvgOut = float64(agg.totalOut) / float64(agg.count)
-		}
-		d.Stages = append(d.Stages, s)
-	}
+	d.Stages = stages
 	sort.Slice(d.Stages, func(i, j int) bool {
 		oi, oj := pipeline.StageOrder(d.Stages[i].Stage), pipeline.StageOrder(d.Stages[j].Stage)
 		if oi != oj {
@@ -254,6 +288,26 @@ func (m *Metrics) Snapshot() Dashboard {
 	})
 	d.Shards = shards
 	return d
+}
+
+// stageStats snapshots the per-stage aggregates under stageMu.
+func (m *Metrics) stageStats() []StageStats {
+	m.stageMu.Lock()
+	defer m.stageMu.Unlock()
+	out := make([]StageStats, 0, len(m.stages))
+	for name, agg := range m.stages {
+		s := StageStats{
+			Stage: name, Count: agg.count, Errors: agg.errors,
+			MaxLatency: agg.maxLatency, ExemplarTraceID: agg.exemplar,
+		}
+		if agg.count > 0 {
+			s.AvgLatency = agg.totalLatency / time.Duration(agg.count)
+			s.AvgIn = float64(agg.totalIn) / float64(agg.count)
+			s.AvgOut = float64(agg.totalOut) / float64(agg.count)
+		}
+		out = append(out, s)
+	}
+	return out
 }
 
 // StageByName returns the stats for one stage (zero value when absent).
@@ -326,8 +380,12 @@ func (d Dashboard) StagesString() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "  pipeline stages:       (calls / errors / avg latency / avg in -> out)\n")
 	for _, s := range d.Stages {
-		fmt.Fprintf(&b, "    %-12s %6d  %4d  %10v  %8.1f -> %.1f\n",
+		fmt.Fprintf(&b, "    %-12s %6d  %4d  %10v  %8.1f -> %.1f",
 			s.Stage+":", s.Count, s.Errors, s.AvgLatency.Round(time.Microsecond), s.AvgIn, s.AvgOut)
+		if s.ExemplarTraceID != "" {
+			fmt.Fprintf(&b, "  worst=%v trace=%s", s.MaxLatency.Round(time.Microsecond), s.ExemplarTraceID)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"uniask/internal/pipeline"
+	"uniask/internal/trace"
 )
 
 func TestSnapshotBasics(t *testing.T) {
@@ -147,5 +149,95 @@ func TestConcurrentRecording(t *testing.T) {
 	}
 	if s, _ := d.StageByName(pipeline.StageRetrieval); s.Count != 800 {
 		t.Fatalf("lost stage reports: %+v", s)
+	}
+}
+
+// tracedCtx returns a context carrying a sampled trace, plus its id.
+func tracedCtx(t *testing.T, tr *trace.Tracer) (context.Context, string) {
+	t.Helper()
+	ctx, req := tr.StartRequest(context.Background(), "ask")
+	if !req.Sampled() {
+		t.Fatal("request must be sampled")
+	}
+	return ctx, req.TraceID()
+}
+
+func TestStageExemplarTracksWorstLatency(t *testing.T) {
+	m := New()
+	tr := trace.New(trace.Config{})
+	fast, fastID := tracedCtx(t, tr)
+	slow, slowID := tracedCtx(t, tr)
+
+	m.ObserveStageCtx(fast, pipeline.StageInfo{Stage: pipeline.StageRerank, Duration: 2 * time.Millisecond})
+	m.ObserveStageCtx(slow, pipeline.StageInfo{Stage: pipeline.StageRerank, Duration: 9 * time.Millisecond})
+	// A later, faster traced run must not displace the worst exemplar.
+	m.ObserveStageCtx(fast, pipeline.StageInfo{Stage: pipeline.StageRerank, Duration: 1 * time.Millisecond})
+	// An untraced run raises the max but cannot become the exemplar.
+	m.ObserveStage(pipeline.StageInfo{Stage: pipeline.StageRerank, Duration: 20 * time.Millisecond})
+
+	s, ok := m.Snapshot().StageByName(pipeline.StageRerank)
+	if !ok {
+		t.Fatal("rerank stage missing")
+	}
+	if s.MaxLatency != 20*time.Millisecond {
+		t.Fatalf("MaxLatency = %v, want 20ms", s.MaxLatency)
+	}
+	if s.ExemplarTraceID != slowID {
+		t.Fatalf("exemplar = %q, want the slow trace %q (fast was %q)", s.ExemplarTraceID, slowID, fastID)
+	}
+	if !strings.Contains(m.Snapshot().StagesString(), "trace="+slowID) {
+		t.Fatal("StagesString must surface the exemplar trace id")
+	}
+}
+
+// TestConcurrentStageObserversVsSnapshot hammers the stage-aggregate map
+// from observer and reader goroutines at once; run with -race this proves
+// the stageMu split (satellite of the tracing PR) is sound.
+func TestConcurrentStageObserversVsSnapshot(t *testing.T) {
+	m := New()
+	tr := trace.New(trace.Config{})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, _ := tr.StartRequest(context.Background(), "ask")
+			for j := 0; j < 200; j++ {
+				m.ObserveStageCtx(ctx, pipeline.StageInfo{Stage: pipeline.StageRetrieval, Duration: time.Duration(j) * time.Microsecond, In: 1, Out: 1})
+				m.ObserveStage(pipeline.StageInfo{Stage: pipeline.StageFusion, Duration: time.Microsecond})
+				m.RecordQuery("user", time.Millisecond, "none", false)
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				d := m.Snapshot()
+				_ = d.StagesString()
+				_ = d.String()
+			}
+		}
+	}()
+	// Let the reader contend for a few ms, then stop it and join everyone.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for i := 0; i < 5; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	<-done
+
+	s, _ := m.Snapshot().StageByName(pipeline.StageRetrieval)
+	if s.Count != 800 {
+		t.Fatalf("lost stage reports under contention: %d, want 800", s.Count)
+	}
+	if s.ExemplarTraceID == "" {
+		t.Fatal("traced reports must leave an exemplar")
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -76,6 +77,43 @@ type Observer interface {
 	ObserveStage(StageInfo)
 }
 
+// CtxObserver is the optional context-aware extension of Observer: an
+// observer that also wants the reporting stage's context — the tracing
+// adapter reads the active trace from it, the monitor reads the trace id
+// for its exemplar links. Observe prefers this method when present.
+type CtxObserver interface {
+	Observer
+	ObserveStageCtx(ctx context.Context, info StageInfo)
+}
+
+// observerPanics counts observer panics swallowed by Observe. Observers
+// are bystanders: one that panics must not kill the query it is watching,
+// so the dispatch recovers, counts, and moves on.
+var observerPanics atomic.Uint64
+
+// ObserverPanics reports how many observer panics have been recovered
+// process-wide (monotonic; exposed for tests and health diagnostics).
+func ObserverPanics() uint64 { return observerPanics.Load() }
+
+// Observe dispatches one stage report to obs, preferring the context-aware
+// interface, and recovers (and counts) an observer panic instead of
+// letting it unwind into the stage that reported.
+func Observe(ctx context.Context, obs Observer, info StageInfo) {
+	if obs == nil {
+		return
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			observerPanics.Add(1)
+		}
+	}()
+	if co, ok := obs.(CtxObserver); ok {
+		co.ObserveStageCtx(ctx, info)
+		return
+	}
+	obs.ObserveStage(info)
+}
+
 // ObserverFunc adapts a function to the Observer interface.
 type ObserverFunc func(StageInfo)
 
@@ -101,8 +139,15 @@ func OrNop(obs Observer) Observer {
 type multiObserver []Observer
 
 func (m multiObserver) ObserveStage(info StageInfo) {
+	m.ObserveStageCtx(context.Background(), info)
+}
+
+// ObserveStageCtx fans the report out to every member through the
+// panic-recovering dispatch, so one crashing observer cannot starve its
+// siblings of the report (or kill the query).
+func (m multiObserver) ObserveStageCtx(ctx context.Context, info StageInfo) {
 	for _, o := range m {
-		o.ObserveStage(info)
+		Observe(ctx, o, info)
 	}
 }
 
@@ -130,12 +175,12 @@ func Multi(obs ...Observer) Observer {
 func Run(ctx context.Context, obs Observer, stage string, in int, fn func(context.Context) (int, error)) error {
 	obs = OrNop(obs)
 	if err := ctx.Err(); err != nil {
-		obs.ObserveStage(StageInfo{Stage: stage, In: in, Err: err})
+		Observe(ctx, obs, StageInfo{Stage: stage, In: in, Err: err})
 		return err
 	}
 	start := time.Now()
 	out, err := fn(ctx)
-	obs.ObserveStage(StageInfo{Stage: stage, Duration: time.Since(start), In: in, Out: out, Err: err})
+	Observe(ctx, obs, StageInfo{Stage: stage, Duration: time.Since(start), In: in, Out: out, Err: err})
 	return err
 }
 

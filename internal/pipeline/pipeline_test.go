@@ -247,3 +247,97 @@ func TestStageOrder(t *testing.T) {
 		t.Fatal("unknown stages must sort after canonical ones")
 	}
 }
+
+// ctxRecorder is a context-aware test observer: it records which context
+// key values it saw, proving Observe prefers ObserveStageCtx.
+type ctxRecorder struct {
+	recorder
+	ctxSeen atomic.Int64
+}
+
+type testCtxKey struct{}
+
+func (r *ctxRecorder) ObserveStageCtx(ctx context.Context, info StageInfo) {
+	if ctx.Value(testCtxKey{}) != nil {
+		r.ctxSeen.Add(1)
+	}
+	r.ObserveStage(info)
+}
+
+func TestObservePrefersCtxObserver(t *testing.T) {
+	rec := &ctxRecorder{}
+	ctx := context.WithValue(context.Background(), testCtxKey{}, "yes")
+	Observe(ctx, rec, StageInfo{Stage: "x"})
+	if rec.ctxSeen.Load() != 1 {
+		t.Fatal("Observe must dispatch through ObserveStageCtx when implemented")
+	}
+	if len(rec.byStage("x")) != 1 {
+		t.Fatal("report lost")
+	}
+	// Run must hand its context through to the observer too.
+	if err := Run(ctx, rec, "y", 0, func(context.Context) (int, error) { return 0, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if rec.ctxSeen.Load() != 2 {
+		t.Fatal("Run must dispatch reports with the stage's context")
+	}
+}
+
+// panicObserver panics on every report, in both dispatch shapes.
+type panicObserver struct{}
+
+func (panicObserver) ObserveStage(StageInfo) { panic("observer bug") }
+func (panicObserver) ObserveStageCtx(context.Context, StageInfo) {
+	panic("ctx observer bug")
+}
+
+func TestObserveRecoversPanickingObserver(t *testing.T) {
+	before := ObserverPanics()
+	rec := &recorder{}
+	obs := Multi(panicObserver{}, rec)
+
+	// The stage must complete and its report must still reach the healthy
+	// sibling, with the panic counted instead of unwinding into the query.
+	err := Run(context.Background(), obs, StageRerank, 5, func(context.Context) (int, error) {
+		return 2, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.byStage(StageRerank); len(got) != 1 || got[0].Out != 2 {
+		t.Fatalf("healthy sibling reports = %+v, want one rerank report", got)
+	}
+	if ObserverPanics() <= before {
+		t.Fatal("recovered panic must be counted")
+	}
+
+	// A bare (non-Multi) panicking observer must not kill Run either.
+	if err := Run(context.Background(), panicObserver{}, "z", 0, func(context.Context) (int, error) {
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiObserverConcurrent(t *testing.T) {
+	a, b := &recorder{}, &recorder{}
+	obs := Multi(a, b, panicObserver{})
+	const goroutines, reports = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < reports; i++ {
+				Observe(context.Background(), obs, StageInfo{Stage: "conc", In: g, Out: i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(a.byStage("conc")); got != goroutines*reports {
+		t.Fatalf("observer a saw %d reports, want %d", got, goroutines*reports)
+	}
+	if got := len(b.byStage("conc")); got != goroutines*reports {
+		t.Fatalf("observer b saw %d reports, want %d", got, goroutines*reports)
+	}
+}

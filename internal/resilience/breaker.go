@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"uniask/internal/trace"
 	"uniask/internal/vclock"
 )
 
@@ -180,8 +181,29 @@ func (b *Breaker) Allow() error {
 
 // Record reports the outcome of an admitted call.
 func (b *Breaker) Record(err error) {
+	b.record(err)
+}
+
+// RecordCtx is Record plus tracing: when the outcome transitions the
+// breaker, the transition is attached as an event to the span active in
+// ctx — the request that tripped (or healed) the circuit carries the
+// evidence in its own trace.
+func (b *Breaker) RecordCtx(ctx context.Context, err error) {
+	from, to, changed := b.record(err)
+	if changed && trace.Enabled(ctx) {
+		trace.AddEvent(ctx, "breaker.transition",
+			trace.A("breaker", b.cfg.Name),
+			trace.A("from", from.String()),
+			trace.A("to", to.String()))
+	}
+}
+
+// record applies one admitted call's outcome and reports the state
+// transition it caused, if any.
+func (b *Breaker) record(err error) (from, to State, changed bool) {
 	failed := b.cfg.IsFailure(err)
 	b.mu.Lock()
+	before := b.state
 	var notify func()
 	switch b.state {
 	case Closed:
@@ -206,10 +228,12 @@ func (b *Breaker) Record(err error) {
 	case Open:
 		// A straggler from before the circuit opened; its outcome is stale.
 	}
+	after := b.state
 	b.mu.Unlock()
 	if notify != nil {
 		notify()
 	}
+	return before, after, before != after
 }
 
 // Do runs op through the breaker: shed with ErrBreakerOpen when the circuit

@@ -12,6 +12,7 @@ import (
 	"context"
 	"time"
 
+	"uniask/internal/trace"
 	"uniask/internal/vclock"
 )
 
@@ -57,6 +58,7 @@ func Hedge[T any](ctx context.Context, clock vclock.Clock, delay time.Duration, 
 			return r.v, r.err
 		case <-timer:
 			timer = nil // a nil channel never fires again
+			trace.AddEvent(ctx, "hedge", trace.A("delay", delay.String()))
 			launch(1)
 		case <-ctx.Done():
 			return zero, ctx.Err()

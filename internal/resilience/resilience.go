@@ -23,8 +23,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"time"
 
+	"uniask/internal/trace"
 	"uniask/internal/vclock"
 )
 
@@ -225,6 +227,14 @@ func DoValue[T any](ctx context.Context, p Policy, op func(context.Context) (T, 
 			return v, nil
 		}
 		lastErr = err
+		// Each failed attempt becomes an event on whatever span is active
+		// (the llm/embedding leaf span, or a retrieval component span), so a
+		// fetched trace shows exactly how the retry budget was spent.
+		if trace.Enabled(ctx) {
+			trace.AddEvent(ctx, "retry",
+				trace.A("attempt", strconv.Itoa(attempt+1)),
+				trace.A("error", err.Error()))
+		}
 		// The caller's own cancellation always wins over classification: an
 		// attempt that failed because the parent died must not be retried.
 		if ctxErr := ctx.Err(); ctxErr != nil {

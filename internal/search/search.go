@@ -32,6 +32,7 @@ import (
 	"uniask/internal/pipeline"
 	"uniask/internal/rerank"
 	"uniask/internal/resilience"
+	"uniask/internal/trace"
 	"uniask/internal/vector"
 )
 
@@ -278,7 +279,7 @@ func (s *Searcher) searchPlain(ctx context.Context, query string, opts Options) 
 			// Nothing to degrade to: vector-only retrieval needs the vector.
 			return nil, deg, fmt.Errorf("search: embed: %w", err)
 		}
-		s.shed(pipeline.StageEmbed, 1, err)
+		s.shed(ctx, pipeline.StageEmbed, 1, err)
 		deg.VectorSkipped = true
 		qvec = nil
 	}
@@ -310,12 +311,39 @@ func (s *Searcher) embed(ctx context.Context, query string) (vector.Vector, erro
 }
 
 // shed reports n dropped units of work to the observer under the synthetic
-// "degraded" stage, with the cause.
-func (s *Searcher) shed(what string, n int, cause error) {
-	s.obs().ObserveStage(pipeline.StageInfo{
+// "degraded" stage, with the cause. The context carries the active trace, so
+// a traced request records each shed as a degraded span.
+func (s *Searcher) shed(ctx context.Context, what string, n int, cause error) {
+	pipeline.Observe(ctx, s.obs(), pipeline.StageInfo{
 		Stage: pipeline.StageDegraded, In: n,
 		Err: fmt.Errorf("search: shed %s: %w", what, cause),
 	})
+}
+
+// ctxQueryable is the optional context-aware query surface. The sharded
+// facade implements it to emit per-shard fan-out spans; a plain
+// index.Queryable (the monolithic index) simply runs without them.
+type ctxQueryable interface {
+	SearchTextCtx(ctx context.Context, query string, n int, opts index.TextOptions) []index.Hit
+	SearchVectorCtx(ctx context.Context, field string, q vector.Vector, k int, filters []index.Filter) []index.Hit
+}
+
+// searchText routes one BM25 leg through the ctx-aware surface when the
+// index offers it.
+func (s *Searcher) searchText(ctx context.Context, query string, n int, opts index.TextOptions) []index.Hit {
+	if cq, ok := s.Index.(ctxQueryable); ok {
+		return cq.SearchTextCtx(ctx, query, n, opts)
+	}
+	return s.Index.SearchText(query, n, opts)
+}
+
+// searchVector routes one ANN leg through the ctx-aware surface when the
+// index offers it.
+func (s *Searcher) searchVector(ctx context.Context, field string, q vector.Vector, k int, filters []index.Filter) []index.Hit {
+	if cq, ok := s.Index.(ctxQueryable); ok {
+		return cq.SearchVectorCtx(ctx, field, q, k, filters)
+	}
+	return s.Index.SearchVector(field, q, k, filters)
 }
 
 // searchOnce runs one text+vector+RRF+rerank pass with the given query text
@@ -365,14 +393,14 @@ func (s *Searcher) components(query string, qvec vector.Vector, opts Options) []
 			textOpts.FieldWeights = map[string]float64{"title": opts.TitleBoost}
 		}
 		comps = append(comps, component{kind: "text", run: func(ctx context.Context) (fusion.Ranking, error) {
-			return hitsToRanking(s.Index.SearchText(query, opts.TextN, textOpts)), nil
+			return hitsToRanking(s.searchText(ctx, query, opts.TextN, textOpts)), nil
 		}})
 	}
 	if opts.Mode != TextOnly && qvec != nil {
 		for _, field := range s.Index.VectorFields() {
 			field := field
 			comps = append(comps, component{kind: "vector:" + field, run: func(ctx context.Context) (fusion.Ranking, error) {
-				return hitsToRanking(s.Index.SearchVector(field, qvec, opts.VectorK, opts.Filters)), nil
+				return hitsToRanking(s.searchVector(ctx, field, qvec, opts.VectorK, opts.Filters)), nil
 			}})
 		}
 	}
@@ -381,8 +409,15 @@ func (s *Searcher) components(query string, qvec vector.Vector, opts Options) []
 
 // runComponent executes one leg under the per-component retry policy, with
 // panics converted to errors so a poisoned leg sheds instead of crashing
-// the process.
+// the process. On a traced request the leg is a live "component" span: the
+// per-shard fan-out spans nest under it, and its retry attempts attach as
+// events.
 func runComponent(ctx context.Context, c component) (r fusion.Ranking, err error) {
+	ctx, sp := trace.Start(ctx, "component", trace.A("kind", c.kind))
+	defer func() {
+		sp.SetError(err)
+		sp.End()
+	}()
 	return resilience.DoValue(ctx, componentPolicy, func(ctx context.Context) (_ fusion.Ranking, opErr error) {
 		defer func() {
 			if p := recover(); p != nil {
@@ -432,7 +467,7 @@ func (s *Searcher) runComponents(ctx context.Context, comps []component) ([]fusi
 				if firstErr == nil {
 					firstErr = o.err
 				}
-				s.shed("component "+comps[i].kind, 1, o.err)
+				s.shed(ctx, "component "+comps[i].kind, 1, o.err)
 				rankings[i] = fusion.Ranking{}
 				continue
 			}
@@ -538,7 +573,7 @@ func (s *Searcher) searchQGA(ctx context.Context, query string, opts Options) ([
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, deg, ctxErr
 		}
-		s.shed("QGA expansion", 1, err)
+		s.shed(ctx, "QGA expansion", 1, err)
 		deg.ExpansionSkipped = true
 	} else {
 		expanded = query + " " + resp.Content
@@ -562,7 +597,7 @@ func (s *Searcher) searchMQ1(ctx context.Context, query string, opts Options) ([
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, deg, ctxErr
 		}
-		s.shed("MQ1 expansion", 1, err)
+		s.shed(ctx, "MQ1 expansion", 1, err)
 		deg.ExpansionSkipped = true
 		opts.Expansion = NoExpansion
 		res, d, err := s.searchPlain(ctx, query, opts)
@@ -629,7 +664,7 @@ func (s *Searcher) embedMany(ctx context.Context, queries []string) ([]vector.Ve
 		ok := 0
 		for i, o := range outcomes {
 			if o.err != nil {
-				s.shed("embedding "+strconv.Itoa(i), 1, o.err)
+				s.shed(ctx, "embedding "+strconv.Itoa(i), 1, o.err)
 				continue
 			}
 			vecs[i] = o.vec
@@ -657,7 +692,7 @@ func (s *Searcher) searchMQ2(ctx context.Context, query string, opts Options) ([
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, deg, ctxErr
 		}
-		s.shed("MQ2 expansion", 1, err)
+		s.shed(ctx, "MQ2 expansion", 1, err)
 		deg.ExpansionSkipped = true
 		opts.Expansion = NoExpansion
 		res, d, err := s.searchPlain(ctx, query, opts)
@@ -679,7 +714,7 @@ func (s *Searcher) searchMQ2(ctx context.Context, query string, opts Options) ([
 				if ctxErr := ctx.Err(); ctxErr != nil {
 					return 0, ctxErr
 				}
-				s.shed("MQ2 embedding", 1, err)
+				s.shed(ctx, "MQ2 embedding", 1, err)
 				deg.VectorSkipped = true
 				continue
 			}

@@ -1,0 +1,48 @@
+package search
+
+import (
+	"context"
+	"testing"
+
+	"uniask/internal/trace"
+)
+
+// BenchmarkTraceOverheadSearchText compares the retrieval path on an
+// untraced context against BenchmarkTraceOverheadSearchTraced below: the
+// instrumentation calls (trace.Start in every component and shard, the ctx
+// observer dispatch) are all live, but head sampling rejected the request,
+// so every one must be a no-op. The two numbers bracket the per-query cost
+// of tracing; the sampled-out delta is the one the hot path pays always.
+func BenchmarkTraceOverheadSearchText(b *testing.B) {
+	s := buildLargeSearcher(b)
+	s.Cache = nil // measure the pipeline, not the cache
+	tr := trace.New(trace.Config{SampleRate: -1})
+	ctx, req := tr.StartRequest(context.Background(), "bench")
+	defer req.End()
+	query := "bloccare la carta di credito"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Search(ctx, query, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceOverheadSearchTraced is the same retrieval with a sampled
+// trace recording every component and shard span.
+func BenchmarkTraceOverheadSearchTraced(b *testing.B) {
+	s := buildLargeSearcher(b)
+	s.Cache = nil
+	tr := trace.New(trace.Config{Capacity: 64})
+	query := "bloccare la carta di credito"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, req := tr.StartRequest(context.Background(), "bench")
+		if _, err := s.Search(ctx, query, Options{}); err != nil {
+			b.Fatal(err)
+		}
+		req.End()
+	}
+}

@@ -23,7 +23,13 @@ import (
 	"uniask/internal/eventlog"
 	"uniask/internal/monitor"
 	"uniask/internal/resilience"
+	"uniask/internal/trace"
 )
+
+// TraceIDHeader is the response header carrying the request's trace id on
+// the query endpoints — the handle an operator pastes into /api/traces/{id}
+// when a user reports a slow or wrong answer.
+const TraceIDHeader = "X-Uniask-Trace-Id"
 
 // Feedback is one granular feedback submission, mirroring the §8 pop-up
 // modal fields.
@@ -174,6 +180,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/search", s.withDeadline(s.handleSearch))
 	mux.HandleFunc("POST /api/feedback", s.handleFeedback)
 	mux.HandleFunc("GET /api/dashboard", s.handleDashboard)
+	mux.HandleFunc("GET /api/traces", s.handleTraces)
+	mux.HandleFunc("GET /api/traces/{id}", s.handleTraceByID)
 	mux.HandleFunc("GET /api/health", s.handleHealth)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -246,6 +254,9 @@ type askResponse struct {
 	// what was shed.
 	Degraded      bool     `json:"degraded,omitempty"`
 	DegradedParts []string `json:"degradedParts,omitempty"`
+	// TraceID identifies this request's trace (also in X-Uniask-Trace-Id):
+	// GET /api/traces/{traceId} returns the full span tree.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 type docResponse struct {
@@ -267,14 +278,27 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "question required")
 		return
 	}
+	ctx, treq := s.Engine.Tracer.StartRequest(r.Context(), "ask")
+	defer treq.End()
+	if id := treq.TraceID(); id != "" {
+		w.Header().Set(TraceIDHeader, id)
+	}
+	treq.Root().SetAttr("user", user)
 	start := time.Now()
-	resp, err := s.Engine.Ask(r.Context(), req.Question)
+	resp, err := s.Engine.Ask(ctx, req.Question)
 	latency := time.Since(start)
 	if err != nil {
+		treq.Root().SetError(err)
 		s.Metrics.RecordQuery(user, latency, "", true)
 		s.Log.Append(eventlog.Event{At: time.Now(), Service: "backend", Type: "error", User: user})
-		httpError(w, queryErrorStatus(err), "ask failed")
+		httpErrorTraced(w, queryErrorStatus(err), "ask failed", treq.TraceID())
 		return
+	}
+	if resp.Degraded {
+		// A degraded answer marks the whole trace degraded, which tail
+		// sampling always retains.
+		treq.Root().SetStatus(trace.StatusDegraded)
+		treq.Root().SetAttr("degradedParts", strings.Join(resp.DegradedParts, ","))
 	}
 	s.Metrics.RecordQuery(user, latency, resp.Guardrail.String(), false)
 	s.Metrics.RecordDegraded(resp.DegradedParts)
@@ -293,6 +317,7 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		Citations:     resp.Citations,
 		Degraded:      resp.Degraded,
 		DegradedParts: resp.DegradedParts,
+		TraceID:       treq.TraceID(),
 	}
 	for i, d := range resp.Documents {
 		if i >= 10 {
@@ -317,12 +342,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "q required")
 		return
 	}
+	ctx, treq := s.Engine.Tracer.StartRequest(r.Context(), "search")
+	defer treq.End()
+	if id := treq.TraceID(); id != "" {
+		w.Header().Set(TraceIDHeader, id)
+	}
+	treq.Root().SetAttr("user", user)
 	start := time.Now()
-	results, err := s.Engine.Search(r.Context(), q)
+	results, err := s.Engine.Search(ctx, q)
 	latency := time.Since(start)
 	if err != nil {
+		treq.Root().SetError(err)
 		s.Metrics.RecordQuery(user, latency, "", true)
-		httpError(w, queryErrorStatus(err), "search failed")
+		httpErrorTraced(w, queryErrorStatus(err), "search failed", treq.TraceID())
 		return
 	}
 	s.Metrics.RecordQuery(user, latency, "", false)
@@ -366,6 +398,141 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.Metrics.Snapshot())
+}
+
+// traceSummary is one row of the GET /api/traces listing.
+type traceSummary struct {
+	TraceID    string    `json:"traceId"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"durationMs"`
+	Status     string    `json:"status"`
+	// Retained says why tail sampling kept the trace ("error", "degraded",
+	// "slow", or "sampled" for the ordinary ring).
+	Retained string `json:"retained"`
+	Spans    int    `json:"spans"`
+}
+
+// defaultTraceListLimit caps an unfiltered /api/traces listing.
+const defaultTraceListLimit = 50
+
+// handleTraces lists retained traces, newest first. Query parameters
+// compose conjunctively:
+//
+//	q            TraceQL-lite span matcher, e.g. name=retrieval dur>50ms status=error
+//	min_duration whole-trace duration floor (Go duration literal)
+//	status       trace outcome: ok | error | degraded
+//	stage        keep traces containing a span with this name ("retrieval", ...)
+//	shard        keep traces that touched this shard id
+//	limit        row cap (default 50)
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	store := s.Engine.Tracer.Store()
+	qp := r.URL.Query()
+
+	tq, err := trace.Parse(qp.Get("q"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var minDur time.Duration
+	if v := qp.Get("min_duration"); v != "" {
+		if minDur, err = time.ParseDuration(v); err != nil {
+			httpError(w, http.StatusBadRequest, "min_duration: "+err.Error())
+			return
+		}
+	}
+	var (
+		wantStatus trace.Status
+		hasStatus  bool
+	)
+	if v := qp.Get("status"); v != "" {
+		if wantStatus, hasStatus = trace.ParseStatus(v); !hasStatus {
+			httpError(w, http.StatusBadRequest, "status: want ok, error or degraded")
+			return
+		}
+	}
+	stage := qp.Get("stage")
+	shardID := qp.Get("shard")
+	limit := defaultTraceListLimit
+	if v := qp.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			httpError(w, http.StatusBadRequest, "limit: want a positive integer")
+			return
+		}
+		limit = n
+	}
+
+	filter := func(td *trace.TraceData) bool {
+		if td.Duration < minDur {
+			return false
+		}
+		if hasStatus && td.Status != wantStatus {
+			return false
+		}
+		if stage != "" {
+			if _, ok := td.SpanByName(stage); !ok {
+				return false
+			}
+		}
+		if shardID != "" && !traceTouchedShard(td, shardID) {
+			return false
+		}
+		return tq.MatchTrace(td)
+	}
+	out := []traceSummary{}
+	for _, td := range store.List(filter, limit) {
+		out = append(out, traceSummary{
+			TraceID:    td.TraceID,
+			Name:       td.Name,
+			Start:      td.Start,
+			DurationMS: float64(td.Duration) / float64(time.Millisecond),
+			Status:     td.Status.String(),
+			Retained:   td.Retained,
+			Spans:      len(td.Spans),
+		})
+	}
+	writeJSON(w, out)
+}
+
+// traceTouchedShard reports whether any span of the trace carries a
+// shard=<id> attribute (the per-shard fan-out spans do).
+func traceTouchedShard(td *trace.TraceData, id string) bool {
+	for i := range td.Spans {
+		for _, a := range td.Spans[i].Attrs {
+			if a.Key == "shard" && a.Value == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// traceDetail is the GET /api/traces/{id} payload: the listing row plus the
+// full span tree.
+type traceDetail struct {
+	traceSummary
+	Tree []*trace.Node `json:"tree"`
+}
+
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	td, ok := s.Engine.Tracer.Store().Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "trace not found (evicted, unsampled, or never existed)")
+		return
+	}
+	writeJSON(w, traceDetail{
+		traceSummary: traceSummary{
+			TraceID:    td.TraceID,
+			Name:       td.Name,
+			Start:      td.Start,
+			DurationMS: float64(td.Duration) / float64(time.Millisecond),
+			Status:     td.Status.String(),
+			Retained:   td.Retained,
+			Spans:      len(td.Spans),
+		},
+		Tree: td.Tree(),
+	})
 }
 
 // healthResponse is the /api/health readiness payload.
@@ -417,6 +584,19 @@ func httpError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// httpErrorTraced is httpError plus the request's trace id, so a 500/503
+// body carries the handle for /api/traces/{id} — the error trace is always
+// tail-retained, so the id stays resolvable.
+func httpErrorTraced(w http.ResponseWriter, code int, msg, traceID string) {
+	if traceID == "" {
+		httpError(w, code, msg)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg, "traceId": traceID})
 }
 
 // snippet truncates text on a word boundary.

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,6 +35,7 @@ import (
 	"uniask/internal/index"
 	"uniask/internal/pipeline"
 	"uniask/internal/textproc"
+	"uniask/internal/trace"
 	"uniask/internal/vector"
 )
 
@@ -277,9 +279,18 @@ func (s *Sharded) record(shard int, start time.Time) {
 // ranking under the canonical (score desc, id asc) order — is
 // deterministic.
 func (s *Sharded) SearchText(query string, n int, opts index.TextOptions) []index.Hit {
+	return s.SearchTextCtx(context.Background(), query, n, opts)
+}
+
+// SearchTextCtx is SearchText with context propagation: on a traced request
+// each shard's scoring wave emits one child "shard.search" span carrying the
+// shard id and the leg kind, so a fetched trace shows the fan-out shape and
+// which shard dominated the leg's latency.
+func (s *Sharded) SearchTextCtx(ctx context.Context, query string, n int, opts index.TextOptions) []index.Hit {
 	if len(s.shards) == 1 {
+		_, sp := trace.Start(ctx, "shard.search", trace.A("shard", "0"), trace.A("leg", "text"))
 		start := time.Now()
-		defer s.record(0, start)
+		defer func() { s.record(0, start); sp.End() }()
 		return s.shards[0].SearchText(query, n, opts)
 	}
 	if n <= 0 {
@@ -294,7 +305,6 @@ func (s *Sharded) SearchText(query string, n int, opts index.TextOptions) []inde
 		fields = s.SearchableFields()
 	}
 
-	ctx := context.Background()
 	partials, err := pipeline.Map(ctx, s.cfg.Workers, len(s.shards),
 		func(_ context.Context, i int) (index.CorpusStats, error) {
 			return s.shards[i].CollectStats(fields, terms), nil
@@ -308,9 +318,10 @@ func (s *Sharded) SearchText(query string, n int, opts index.TextOptions) []inde
 	}
 
 	perShard, err := pipeline.Map(ctx, s.cfg.Workers, len(s.shards),
-		func(_ context.Context, i int) ([]index.Hit, error) {
+		func(ctx context.Context, i int) ([]index.Hit, error) {
+			_, sp := trace.Start(ctx, "shard.search", trace.A("shard", strconv.Itoa(i)), trace.A("leg", "text"))
 			start := time.Now()
-			defer s.record(i, start)
+			defer func() { s.record(i, start); sp.End() }()
 			return s.shards[i].SearchTextGlobal(query, n, opts, &global), nil
 		})
 	if err != nil {
@@ -344,18 +355,26 @@ func mergeText(perShard [][]index.Hit, n int) []index.Hit {
 // score break on the global arrival sequence, which reproduces the
 // insertion-ordinal tiebreak of a monolithic exhaustive index.
 func (s *Sharded) SearchVector(field string, q vector.Vector, k int, filters []index.Filter) []index.Hit {
+	return s.SearchVectorCtx(context.Background(), field, q, k, filters)
+}
+
+// SearchVectorCtx is SearchVector with context propagation: each shard's ANN
+// probe becomes a child "shard.search" span on a traced request.
+func (s *Sharded) SearchVectorCtx(ctx context.Context, field string, q vector.Vector, k int, filters []index.Filter) []index.Hit {
 	if len(s.shards) == 1 {
+		_, sp := trace.Start(ctx, "shard.search", trace.A("shard", "0"), trace.A("leg", "vector:"+field))
 		start := time.Now()
-		defer s.record(0, start)
+		defer func() { s.record(0, start); sp.End() }()
 		return s.shards[0].SearchVector(field, q, k, filters)
 	}
 	if k <= 0 {
 		return nil
 	}
-	perShard, err := pipeline.Map(context.Background(), s.cfg.Workers, len(s.shards),
-		func(_ context.Context, i int) ([]index.Hit, error) {
+	perShard, err := pipeline.Map(ctx, s.cfg.Workers, len(s.shards),
+		func(ctx context.Context, i int) ([]index.Hit, error) {
+			_, sp := trace.Start(ctx, "shard.search", trace.A("shard", strconv.Itoa(i)), trace.A("leg", "vector:"+field))
 			start := time.Now()
-			defer s.record(i, start)
+			defer func() { s.record(i, start); sp.End() }()
 			return s.shards[i].SearchVector(field, q, k, filters), nil
 		})
 	if err != nil {

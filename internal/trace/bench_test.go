@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkTraceStartSampledOut is the head-sampled-out hot path: every
+// instrumented layer calls Start unconditionally, so on an untraced context
+// the whole span API must cost nothing — no allocations, a couple of ns.
+func BenchmarkTraceStartSampledOut(b *testing.B) {
+	tr := New(Config{SampleRate: -1}) // sample nothing
+	ctx, req := tr.StartRequest(context.Background(), "ask")
+	defer req.End()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sctx, sp := Start(ctx, "shard.search", A("shard", "3"))
+		sp.SetAttr("leg", "text")
+		sp.End()
+		_ = sctx
+	}
+}
+
+// BenchmarkTraceStartSampled is the traced path: one child span with one
+// attribute, created and ended.
+func BenchmarkTraceStartSampled(b *testing.B) {
+	tr := New(Config{})
+	ctx, req := tr.StartRequest(context.Background(), "ask")
+	defer req.End()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, "shard.search", A("shard", "3"))
+		sp.End()
+	}
+}
+
+// BenchmarkTraceRequestSampledOut is the whole per-request overhead when
+// head sampling rejects the request: id minting plus the Request handle.
+func BenchmarkTraceRequestSampledOut(b *testing.B) {
+	tr := New(Config{SampleRate: -1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, req := tr.StartRequest(context.Background(), "ask")
+		req.End()
+	}
+}
+
+// BenchmarkTraceRequestSampled is one fully traced request: root span, a
+// child per pipeline stage, tail-sampling decision, store insert.
+func BenchmarkTraceRequestSampled(b *testing.B) {
+	tr := New(Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, req := tr.StartRequest(context.Background(), "ask")
+		for _, stage := range []string{"retrieval", "fusion", "rerank", "generation"} {
+			_, sp := Start(ctx, stage)
+			sp.End()
+		}
+		req.End()
+	}
+}
+
+// BenchmarkTraceQLMatch runs the matcher of a three-condition query over a
+// stored trace with a realistic span count.
+func BenchmarkTraceQLMatch(b *testing.B) {
+	q, err := Parse("name=shard.search dur>5ms shard=3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spans := []Span{{SpanID: 1, Name: "ask", Duration: 80 * time.Millisecond}}
+	for i := 2; i <= 20; i++ {
+		spans = append(spans, Span{
+			SpanID: uint64(i), Parent: 1, Name: "shard.search",
+			Duration: time.Duration(i) * time.Millisecond,
+			Attrs:    []Attr{{Key: "shard", Value: "3"}, {Key: "leg", Value: "text"}},
+		})
+	}
+	td := &TraceData{TraceID: "t", Spans: spans}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !q.MatchTrace(td) {
+			b.Fatal("must match")
+		}
+	}
+}

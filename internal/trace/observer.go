@@ -1,0 +1,54 @@
+package trace
+
+// The pipeline.Observer adapter: every stage report of the existing query
+// pipeline becomes a span on the trace active in the stage's context, so
+// the whole Figure-1 flow is traced without the stages changing at all.
+// Stage spans are recorded post-hoc from the report (start reconstructed
+// as now - duration), which keeps the observer contract one-way: the
+// pipeline never waits on the tracer.
+
+import (
+	"context"
+	"strconv"
+	"time"
+
+	"uniask/internal/pipeline"
+)
+
+// stageObserver adapts stage reports to spans. It is stateless: the trace
+// to record into travels in the stage's context, so one shared adapter
+// serves every engine.
+type stageObserver struct{}
+
+// Stages returns the pipeline.Observer that records every stage report as
+// a span on the context's active trace. Compose it with the metrics
+// registry via pipeline.Multi.
+func Stages() pipeline.Observer { return stageObserver{} }
+
+// ObserveStage implements pipeline.Observer. Without a context there is no
+// trace to attach to, so plain reports are dropped; the pipeline always
+// prefers ObserveStageCtx.
+func (stageObserver) ObserveStage(pipeline.StageInfo) {}
+
+// ObserveStageCtx implements pipeline.CtxObserver.
+func (stageObserver) ObserveStageCtx(ctx context.Context, info pipeline.StageInfo) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return
+	}
+	attrs := []Attr{
+		{Key: "in", Value: strconv.Itoa(info.In)},
+		{Key: "out", Value: strconv.Itoa(info.Out)},
+	}
+	sp := parent.rec.newSpan(info.Stage, parent.SpanID, time.Now().Add(-info.Duration), info.Duration, attrs)
+	if info.Err != nil {
+		if info.Stage == pipeline.StageDegraded {
+			// Degraded-stage reports carry the shed cause in Err by
+			// convention; the work unit itself succeeded at lower fidelity.
+			sp.SetStatus(StatusDegraded)
+			sp.SetAttr("cause", info.Err.Error())
+		} else {
+			sp.SetError(info.Err)
+		}
+	}
+}

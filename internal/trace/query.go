@@ -1,0 +1,261 @@
+package trace
+
+// TraceQL-lite: the matcher grammar behind GET /api/traces?q=…, a
+// deliberately small cut of Grafana Tempo's TraceQL. A query is a
+// whitespace-separated conjunction of conditions; a trace matches when at
+// least one of its spans satisfies every condition (Tempo's spanset
+// semantics, restricted to a single spanset):
+//
+//	name=retrieval dur>50ms status=error shard=3
+//
+// Fields: "name" (span name), "dur" (span duration, Go duration literals),
+// "status" (ok | error | degraded), anything else matches span attributes.
+// Operators: = != on strings; = != > >= < <= on durations and on
+// attributes whose value parses as a number. Values containing spaces are
+// double-quoted.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Cond is one parsed condition.
+type Cond struct {
+	// Field is "name", "dur", "status", or an attribute key.
+	Field string
+	// Op is one of = != > >= < <=.
+	Op string
+	// Value is the raw comparison value.
+	Value string
+
+	dur    time.Duration // parsed Value when Field == "dur"
+	status Status        // parsed Value when Field == "status"
+	num    float64       // parsed Value for numeric attribute comparison
+	isNum  bool
+}
+
+// Query is a parsed TraceQL-lite expression. The zero value matches every
+// trace.
+type Query struct {
+	Conds []Cond
+}
+
+// ordered reports whether op is a range operator.
+func ordered(op string) bool {
+	return op == ">" || op == ">=" || op == "<" || op == "<="
+}
+
+// Parse parses a TraceQL-lite expression. An empty (or all-whitespace)
+// input yields the match-everything query; malformed input returns an
+// error, never a panic — the parser is fuzzed (FuzzTraceQL).
+func Parse(s string) (Query, error) {
+	var q Query
+	toks, err := tokenize(s)
+	if err != nil {
+		return Query{}, err
+	}
+	for _, tok := range toks {
+		c, err := parseCond(tok)
+		if err != nil {
+			return Query{}, err
+		}
+		q.Conds = append(q.Conds, c)
+	}
+	return q, nil
+}
+
+// tokenize splits on whitespace, keeping double-quoted sections (which may
+// contain spaces) inside their token. Quotes must balance.
+func tokenize(s string) ([]string, error) {
+	var (
+		toks []string
+		cur  strings.Builder
+		in   bool // inside quotes
+		any  bool // cur holds a token (possibly empty quoted string)
+	)
+	for _, r := range s {
+		switch {
+		case r == '"':
+			in = !in
+			any = true
+			cur.WriteRune(r)
+		case !in && (r == ' ' || r == '\t' || r == '\n' || r == '\r'):
+			if any {
+				toks = append(toks, cur.String())
+				cur.Reset()
+				any = false
+			}
+		default:
+			any = true
+			cur.WriteRune(r)
+		}
+	}
+	if in {
+		return nil, fmt.Errorf("trace: unterminated quote in %q", s)
+	}
+	if any {
+		toks = append(toks, cur.String())
+	}
+	return toks, nil
+}
+
+// parseCond parses one `field op value` term.
+func parseCond(tok string) (Cond, error) {
+	// Longest operators first, so ">=" is not read as ">" + "=value".
+	var field, op, val string
+	for _, cand := range []string{"!=", ">=", "<=", "=", ">", "<"} {
+		if i := strings.Index(tok, cand); i > 0 {
+			field, op, val = tok[:i], cand, tok[i+len(cand):]
+			break
+		}
+	}
+	if op == "" {
+		return Cond{}, fmt.Errorf("trace: condition %q: want field=value (ops = != > >= < <=)", tok)
+	}
+	val = unquote(val)
+	if val == "" {
+		return Cond{}, fmt.Errorf("trace: condition %q: empty value", tok)
+	}
+	// The grammar has no escape sequences, so a quote may only wrap a whole
+	// value; embedded quotes would not survive the canonical String form.
+	if strings.Contains(field, `"`) || strings.Contains(val, `"`) {
+		return Cond{}, fmt.Errorf("trace: condition %q: embedded quotes are not supported", tok)
+	}
+	c := Cond{Field: field, Op: op, Value: val}
+	switch field {
+	case "name":
+		if ordered(op) {
+			return Cond{}, fmt.Errorf("trace: name supports only = and !=, got %q", op)
+		}
+	case "dur":
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return Cond{}, fmt.Errorf("trace: dur value %q: %w", val, err)
+		}
+		c.dur = d
+	case "status":
+		if ordered(op) {
+			return Cond{}, fmt.Errorf("trace: status supports only = and !=, got %q", op)
+		}
+		st, ok := ParseStatus(val)
+		if !ok {
+			return Cond{}, fmt.Errorf("trace: status value %q: want ok, error or degraded", val)
+		}
+		c.status = st
+	default:
+		if n, err := strconv.ParseFloat(val, 64); err == nil {
+			c.num, c.isNum = n, true
+		} else if ordered(op) {
+			return Cond{}, fmt.Errorf("trace: attribute %s: %q is not numeric, %q needs a number", field, val, op)
+		}
+	}
+	return c, nil
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// quoteIfNeeded renders a value back into token form.
+func quoteIfNeeded(s string) string {
+	if strings.ContainsAny(s, " \t\n\r") {
+		return `"` + s + `"`
+	}
+	return s
+}
+
+// String renders the query back into its canonical textual form;
+// Parse(q.String()) reproduces q.
+func (q Query) String() string {
+	parts := make([]string, len(q.Conds))
+	for i, c := range q.Conds {
+		parts[i] = c.Field + c.Op + quoteIfNeeded(c.Value)
+	}
+	return strings.Join(parts, " ")
+}
+
+// cmpOK applies an ordered/equality comparison result: c is negative,
+// zero or positive as left <op> right.
+func cmpOK(op string, c int) bool {
+	switch op {
+	case "=":
+		return c == 0
+	case "!=":
+		return c != 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	}
+	return false
+}
+
+// MatchSpan reports whether one span satisfies every condition.
+func (q Query) MatchSpan(sp *Span) bool {
+	for _, c := range q.Conds {
+		if !c.matchSpan(sp) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c Cond) matchSpan(sp *Span) bool {
+	switch c.Field {
+	case "name":
+		return cmpOK(c.Op, strings.Compare(sp.Name, c.Value))
+	case "dur":
+		switch {
+		case sp.Duration == c.dur:
+			return cmpOK(c.Op, 0)
+		case sp.Duration > c.dur:
+			return cmpOK(c.Op, 1)
+		}
+		return cmpOK(c.Op, -1)
+	case "status":
+		return cmpOK(c.Op, int(sp.Status)-int(c.status))
+	}
+	for _, a := range sp.Attrs {
+		if a.Key != c.Field {
+			continue
+		}
+		if c.isNum {
+			if v, err := strconv.ParseFloat(a.Value, 64); err == nil {
+				switch {
+				case v == c.num:
+					return cmpOK(c.Op, 0)
+				case v > c.num:
+					return cmpOK(c.Op, 1)
+				default:
+					return cmpOK(c.Op, -1)
+				}
+			}
+		}
+		return cmpOK(c.Op, strings.Compare(a.Value, c.Value))
+	}
+	// Absent attribute: != holds vacuously, everything else fails.
+	return c.Op == "!="
+}
+
+// MatchTrace reports whether any span of the trace satisfies every
+// condition (single-spanset TraceQL semantics).
+func (q Query) MatchTrace(td *TraceData) bool {
+	if len(q.Conds) == 0 {
+		return true
+	}
+	for i := range td.Spans {
+		if q.MatchSpan(&td.Spans[i]) {
+			return true
+		}
+	}
+	return false
+}

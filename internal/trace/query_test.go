@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustParse(t *testing.T, s string) Query {
+	t.Helper()
+	q, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return q
+}
+
+func TestParseValid(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		conds int
+	}{
+		{"", 0},
+		{"   \t\n  ", 0},
+		{"name=retrieval", 1},
+		{"name=retrieval dur>50ms status=error", 3},
+		{"shard=3", 1},
+		{"dur>=1.5s", 1},
+		{"status!=ok", 1},
+		{`cause="context deadline exceeded"`, 1},
+		{"attempt>2 leg=text", 2},
+	} {
+		q := mustParse(t, tc.in)
+		if len(q.Conds) != tc.conds {
+			t.Errorf("Parse(%q) = %d conds, want %d", tc.in, len(q.Conds), tc.conds)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"name",             // no operator
+		"name=",            // empty value
+		"=value",           // empty field (op at index 0 is rejected)
+		"name>retrieval",   // ordered op on name
+		"status<error",     // ordered op on status
+		"status=bogus",     // unknown status
+		"dur=fast",         // not a duration
+		"dur>50",           // bare number is not a Go duration
+		"shard>three",      // ordered op on non-numeric attribute
+		`cause="unterm`,    // unbalanced quote
+		"name=ok extra",    // second token has no operator
+		"name=retrieval >", // dangling operator token: field is empty
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): expected error, got none", in)
+		}
+	}
+}
+
+func TestStringRoundtrip(t *testing.T) {
+	for _, in := range []string{
+		"name=retrieval dur>50ms status=error",
+		`cause="context deadline exceeded" shard=3`,
+		"dur<=100ms attempt!=0",
+	} {
+		q := mustParse(t, in)
+		s := q.String()
+		back := mustParse(t, s)
+		if back.String() != s {
+			t.Errorf("roundtrip %q: String=%q, reparse String=%q", in, s, back.String())
+		}
+	}
+}
+
+// matchTD builds a minimal stored trace out of spans for matcher tests.
+func matchTD(spans ...Span) *TraceData {
+	return &TraceData{TraceID: "t", Spans: spans}
+}
+
+func TestMatchSemantics(t *testing.T) {
+	td := matchTD(
+		Span{SpanID: 1, Name: "ask", Duration: 80 * time.Millisecond, Status: StatusDegraded},
+		Span{SpanID: 2, Parent: 1, Name: "retrieval", Duration: 60 * time.Millisecond},
+		Span{SpanID: 3, Parent: 2, Name: "shard.search", Duration: 10 * time.Millisecond,
+			Attrs: []Attr{{Key: "shard", Value: "3"}, {Key: "leg", Value: "text"}}},
+		Span{SpanID: 4, Parent: 1, Name: "llm.complete", Duration: 5 * time.Millisecond,
+			Status: StatusError, Error: "boom"},
+	)
+	for _, tc := range []struct {
+		q    string
+		want bool
+	}{
+		{"", true},
+		{"name=retrieval", true},
+		{"name=missing", false},
+		{"name!=ask", true},  // some span is not "ask"
+		{"dur>50ms", true},   // root and retrieval qualify
+		{"dur>500ms", false}, // nothing that slow
+		{"status=error", true},
+		{"status=degraded", true},
+		{"status=ok", true},                 // retrieval and shard.search are ok
+		{"status!=error", true},             // plenty of non-error spans
+		{"shard=3", true},                   // numeric attribute equality
+		{"shard>2", true},                   // numeric attribute range
+		{"shard<3", false},                  // 3 is the only shard
+		{"shard=03", true},                  // numeric compare: 03 == 3
+		{"leg=text", true},                  // string attribute
+		{"leg=vector", false},               // wrong value
+		{"leg!=vector", true},               // held by every span (absent is vacuous)
+		{"missing=x", false},                // absent attribute fails =
+		{"missing!=x", true},                // absent attribute passes !=
+		{"name=shard.search shard=3", true}, // conjunction on one span
+		{"name=retrieval shard=3", false},   // single-spanset: no span has both
+		{"name=llm.complete status=error", true},
+		{"dur>50ms status=degraded", true}, // the root satisfies both
+	} {
+		q := mustParse(t, tc.q)
+		if got := q.MatchTrace(td); got != tc.want {
+			t.Errorf("MatchTrace(%q) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func FuzzTraceQL(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"name=retrieval dur>50ms status=error",
+		`cause="context deadline exceeded"`,
+		"shard>=3 leg!=text",
+		"dur<1h30m",
+		`a="b c" d=e`,
+		"x=\"\" y>1",
+		"!==<>\"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		q, err := Parse(in)
+		if err != nil {
+			return // malformed input must error, never panic — reaching here is the test
+		}
+		// Accepted input must roundtrip through the canonical form.
+		s := q.String()
+		back, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but canonical form %q does not reparse: %v", in, s, err)
+		}
+		if back.String() != s {
+			t.Fatalf("canonical form is not a fixed point: %q -> %q", s, back.String())
+		}
+		if len(back.Conds) != len(q.Conds) {
+			t.Fatalf("roundtrip changed arity: %d -> %d", len(q.Conds), len(back.Conds))
+		}
+		// And the matcher must not panic on any accepted query.
+		td := matchTD(
+			Span{SpanID: 1, Name: "ask", Duration: time.Millisecond},
+			Span{SpanID: 2, Parent: 1, Name: "x", Attrs: []Attr{{Key: "shard", Value: "1"}}},
+		)
+		q.MatchTrace(td)
+	})
+}
+
+func TestQuoteIfNeeded(t *testing.T) {
+	if got := quoteIfNeeded("plain"); got != "plain" {
+		t.Fatalf("quoteIfNeeded(plain) = %q", got)
+	}
+	if got := quoteIfNeeded("two words"); got != `"two words"` {
+		t.Fatalf("quoteIfNeeded = %q", got)
+	}
+	if !strings.Contains(mustParse(t, `a="b c"`).String(), `"b c"`) {
+		t.Fatal("String must requote spaced values")
+	}
+}

@@ -1,0 +1,244 @@
+// Package trace is UniAsk's per-request distributed-tracing subsystem: the
+// debugging counterpart to the monitor package's aggregates. The §9
+// dashboard answers "is the p99 regressing?"; a trace answers "which stage,
+// shard, retry attempt or breaker did it to *this* query".
+//
+// A Tracer mints one trace per request (Tracer.StartRequest), decides up
+// front whether the request is head-sampled, and — once the request ends —
+// applies tail-sampling rules that always retain error, degraded and slow
+// traces regardless of ordinary ring-buffer pressure. Sampled requests
+// carry their active span in the context; trace.Start creates child spans
+// anywhere downstream without the layers knowing about each other, and
+// trace.Event attaches retry attempts, breaker transitions and hedges to
+// whatever span is active. On a head-sampled-out request every entry point
+// is a nil-receiver no-op costing no allocations, which is what keeps the
+// BM25 hot path unchanged (see BenchmarkTraceStartSampledOut).
+//
+// Finished traces live in a bounded lock-sharded in-memory ring-buffer
+// store (Store) queryable by the TraceQL-lite matcher grammar of this
+// package's Parse ("name=retrieval dur>50ms status=error"), surfaced over
+// the server's /api/traces endpoints.
+package trace
+
+import (
+	"context"
+	"time"
+)
+
+// Status classifies a span (and, through the root span, a whole trace).
+type Status int
+
+// Span statuses.
+const (
+	// StatusOK is the default: the span completed normally.
+	StatusOK Status = iota
+	// StatusError means the span's operation failed.
+	StatusError
+	// StatusDegraded means the operation completed at reduced fidelity
+	// (shed retrieval legs, extractive generation fallback).
+	StatusDegraded
+)
+
+// String renders the status for JSON and the TraceQL-lite matcher.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusError:
+		return "error"
+	case StatusDegraded:
+		return "degraded"
+	}
+	return "unknown"
+}
+
+// MarshalJSON renders the status as its string form.
+func (s Status) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// ParseStatus maps a status string back to its Status (ok=false when the
+// string names no status).
+func ParseStatus(s string) (Status, bool) {
+	switch s {
+	case "ok":
+		return StatusOK, true
+	case "error":
+		return StatusError, true
+	case "degraded":
+		return StatusDegraded, true
+	}
+	return StatusOK, false
+}
+
+// Attr is one key/value span attribute. Values are strings; numeric
+// attributes (shard ids, attempt counts) render with strconv and compare
+// numerically in the TraceQL-lite matcher.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// A returns an Attr — shorthand for call sites that add several.
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Event is one timestamped point-in-span occurrence: a retry attempt, a
+// breaker transition, a hedge firing.
+type Event struct {
+	// At is when the event happened.
+	At time.Time `json:"at"`
+	// Name identifies the event kind ("retry", "breaker.transition", ...).
+	Name string `json:"name"`
+	// Attrs carries the event details.
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// Span is one timed operation inside a trace. Spans are created through
+// Tracer.StartRequest (the root) and Start (children); a nil *Span is the
+// valid no-op span of an unsampled request, and every method tolerates it.
+type Span struct {
+	// SpanID is unique within the trace (1 is the root).
+	SpanID uint64 `json:"spanId"`
+	// Parent is the parent span's SpanID (0 on the root).
+	Parent uint64 `json:"parentId,omitempty"`
+	// Name is the operation ("ask", "retrieval", "shard.search", ...).
+	Name string `json:"name"`
+	// Start is when the operation began.
+	Start time.Time `json:"start"`
+	// Duration is how long it ran (0 while still running).
+	Duration time.Duration `json:"durationNs"`
+	// Status is the span outcome.
+	Status Status `json:"status"`
+	// Error carries the failure message when Status is StatusError.
+	Error string `json:"error,omitempty"`
+	// Attrs are the span's key/value attributes.
+	Attrs []Attr `json:"attrs,omitempty"`
+	// Events are the span's timestamped occurrences.
+	Events []Event `json:"events,omitempty"`
+
+	rec *rec // owning trace; nil only on the shared no-op span
+}
+
+// SetAttr adds (or overwrites) an attribute.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.rec.mu.Lock()
+	defer s.rec.mu.Unlock()
+	for i := range s.Attrs {
+		if s.Attrs[i].Key == key {
+			s.Attrs[i].Value = value
+			return
+		}
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+}
+
+// SetStatus sets the span outcome.
+func (s *Span) SetStatus(st Status) {
+	if s == nil {
+		return
+	}
+	s.rec.mu.Lock()
+	s.Status = st
+	s.rec.mu.Unlock()
+}
+
+// SetError marks the span failed with err's message (no-op on nil err).
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.rec.mu.Lock()
+	s.Status = StatusError
+	s.Error = err.Error()
+	s.rec.mu.Unlock()
+}
+
+// AddEvent appends a timestamped event to the span.
+func (s *Span) AddEvent(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	// Copy the variadic (see Start): callers' attr slices stay on the stack,
+	// so a nil receiver costs nothing.
+	var held []Attr
+	if len(attrs) > 0 {
+		held = append(held, attrs...)
+	}
+	s.rec.mu.Lock()
+	s.Events = append(s.Events, Event{At: now, Name: name, Attrs: held})
+	s.rec.mu.Unlock()
+}
+
+// End stamps the span's duration. Call exactly once, when the operation
+// finishes; the span stays queryable in its trace afterwards.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.Start)
+	s.rec.mu.Lock()
+	if s.Duration == 0 {
+		s.Duration = d
+	}
+	s.rec.mu.Unlock()
+}
+
+// TraceID reports the owning trace's id ("" on the nil span).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.rec.id
+}
+
+// ctxKey carries the active *Span through a request's context.
+type ctxKey struct{}
+
+// FromContext returns the active span, or nil when the request is
+// untraced or head-sampled out.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// ContextID reports the trace id active in ctx ("" when untraced).
+func ContextID(ctx context.Context) string {
+	return FromContext(ctx).TraceID()
+}
+
+// Start opens a child span of the span active in ctx and returns a context
+// carrying it. On an untraced context it returns ctx unchanged and a nil
+// span — zero allocations, which is the whole point: instrumented layers
+// call Start unconditionally and sampling stays a per-request decision.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	// Copy the variadic instead of retaining it: that keeps the caller's
+	// attrs slice non-escaping, so the sampled-out early return above costs
+	// zero allocations at every instrumented call site.
+	var held []Attr
+	if len(attrs) > 0 {
+		held = append(held, attrs...)
+	}
+	child := parent.rec.newSpan(name, parent.SpanID, time.Now(), 0, held)
+	return context.WithValue(ctx, ctxKey{}, child), child
+}
+
+// AddEvent appends an event to the span active in ctx (no-op when
+// untraced). This is how the resilience layer records retry attempts and
+// breaker transitions without holding a span of its own.
+func AddEvent(ctx context.Context, name string, attrs ...Attr) {
+	FromContext(ctx).AddEvent(name, attrs...)
+}
+
+// Enabled reports whether ctx carries a sampled trace — the guard for
+// instrumentation whose argument construction itself would allocate.
+func Enabled(ctx context.Context) bool {
+	return FromContext(ctx) != nil
+}

@@ -22,6 +22,7 @@ package uniask
 import (
 	"context"
 	"io"
+	"time"
 
 	"uniask/internal/core"
 	"uniask/internal/embedding"
@@ -74,6 +75,17 @@ type Config struct {
 	// (latency, sizes, errors). NewServer overrides it with the server's
 	// metrics registry; set it here for custom instrumentation.
 	Observer pipeline.Observer
+	// TraceCapacity bounds the in-memory trace store behind /api/traces
+	// (0 = the default 2048 retained traces; negative disables per-request
+	// tracing entirely).
+	TraceCapacity int
+	// TraceSampleRate is the head-sampling probability in (0, 1]; 0 records
+	// every request. Error, degraded and slow traces are tail-retained
+	// regardless of store pressure once sampled.
+	TraceSampleRate float64
+	// TraceSlowThreshold is the latency at which a trace counts as slow and
+	// is always retained (0 = 250ms; negative disables the slow rule).
+	TraceSlowThreshold time.Duration
 }
 
 // System is a fully assembled UniAsk instance.
@@ -103,12 +115,15 @@ func New(cfg Config) *System {
 			ChunkTokens:   cfg.ChunkTokens,
 			EnrichSummary: cfg.EnrichSummary,
 		},
-		Guardrails:    guardrails.Config{RougeThreshold: cfg.RougeThreshold},
-		M:             cfg.M,
-		SearchOptions: cfg.SearchOptions,
-		Observer:      cfg.Observer,
-		SearchWorkers: cfg.SearchWorkers,
-		ShardCount:    cfg.ShardCount,
+		Guardrails:         guardrails.Config{RougeThreshold: cfg.RougeThreshold},
+		M:                  cfg.M,
+		SearchOptions:      cfg.SearchOptions,
+		Observer:           cfg.Observer,
+		SearchWorkers:      cfg.SearchWorkers,
+		ShardCount:         cfg.ShardCount,
+		TraceCapacity:      cfg.TraceCapacity,
+		TraceSampleRate:    cfg.TraceSampleRate,
+		TraceSlowThreshold: cfg.TraceSlowThreshold,
 	})}
 }
 
