@@ -17,9 +17,12 @@ test:
 
 # Race-enabled run of the concurrent packages plus everything that sits
 # on top of them. Slower than `make test`; required before merging
-# changes to pipeline, search, core, or monitor.
+# changes to pipeline, search, core, or monitor. The experiments package
+# rebuilds several paper-scale corpora (now with background segment
+# compaction re-indexing merged runs) and needs more than go test's
+# default 10m per-package budget under the race detector's ~10x slowdown.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 20m ./...
 
 vet:
 	$(GO) vet ./...
@@ -53,20 +56,22 @@ chaos:
 
 # Short fuzzing pass over the parsers that consume untrusted / fault-injected
 # bytes: the tokenizer+analyzer (arbitrary document text), the citation
-# parser (raw LLM output) and the TraceQL-lite query parser (the
-# /api/traces?q= input). Seeds include the checked-in crasher corpora.
+# parser (raw LLM output), the TraceQL-lite query parser (the
+# /api/traces?q= input) and the segment-container snapshot decoder (bytes
+# read back from disk). Seeds include the checked-in crasher corpora.
 FUZZTIME ?= 5s
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzTokenize -fuzztime $(FUZZTIME) ./internal/textproc/
 	$(GO) test -run '^$$' -fuzz FuzzAnalyze -fuzztime $(FUZZTIME) ./internal/textproc/
 	$(GO) test -run '^$$' -fuzz FuzzExtractCitationKeys -fuzztime $(FUZZTIME) ./internal/generation/
 	$(GO) test -run '^$$' -fuzz FuzzTraceQL -fuzztime $(FUZZTIME) ./internal/trace/
+	$(GO) test -run '^$$' -fuzz FuzzSegmentedManifest -fuzztime $(FUZZTIME) ./internal/index/
 
 # Query hot-path micro-benchmarks (BM25, ANN, filter bitsets, query cache,
-# shard-count scaling, tracing overhead) with allocation stats, recorded as
-# BENCH_query.json via cmd/benchjson.
+# shard-count scaling, tracing overhead, ingest-while-query steady state)
+# with allocation stats, recorded as BENCH_query.json via cmd/benchjson.
 bench:
-	$(GO) test -bench 'BenchmarkSearchText|BenchmarkSearchVector|BenchmarkFilterSet|BenchmarkQueryCache|BenchmarkTrace' \
+	$(GO) test -bench 'BenchmarkSearchText|BenchmarkSearchVector|BenchmarkFilterSet|BenchmarkQueryCache|BenchmarkTrace|BenchmarkIngest' \
 		-benchmem -run '^$$' ./internal/index/ ./internal/search/ ./internal/shard/ ./internal/trace/ \
 		| $(GO) run ./cmd/benchjson -baseline BENCH_query_baseline.json > BENCH_query.json
 	@echo "wrote BENCH_query.json"

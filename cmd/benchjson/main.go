@@ -26,13 +26,22 @@ type Result struct {
 	// BytesPerOp and AllocsPerOp are present only under -benchmem.
 	BytesPerOp  *int64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds b.ReportMetric extras (e.g. docs/sec, p99-ns/op).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // benchLine matches e.g.
 //
 //	BenchmarkSearchText-8   17612   67289 ns/op   3066 B/op   10 allocs/op
+//
+// Custom b.ReportMetric units print between ns/op and B/op, e.g.
+//
+//	BenchmarkIngestSegmented-8   21097   56237 ns/op   17782 docs/sec   5731 B/op   77 allocs/op
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op((?:\s+[\d.eE+-]+ \S+)*)\s*$`)
+
+// metricPair splits the tail of a benchmark line into value/unit pairs.
+var metricPair = regexp.MustCompile(`([\d.eE+-]+) (\S+)`)
 
 func main() {
 	baselinePath := flag.String("baseline", "",
@@ -55,13 +64,24 @@ func main() {
 		iters, _ := strconv.ParseInt(m[2], 10, 64)
 		ns, _ := strconv.ParseFloat(m[3], 64)
 		r := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
-		if m[4] != "" {
-			b, _ := strconv.ParseInt(m[4], 10, 64)
-			r.BytesPerOp = &b
-		}
-		if m[5] != "" {
-			a, _ := strconv.ParseInt(m[5], 10, 64)
-			r.AllocsPerOp = &a
+		for _, pair := range metricPair.FindAllStringSubmatch(m[4], -1) {
+			switch pair[2] {
+			case "B/op":
+				b, _ := strconv.ParseInt(pair[1], 10, 64)
+				r.BytesPerOp = &b
+			case "allocs/op":
+				a, _ := strconv.ParseInt(pair[1], 10, 64)
+				r.AllocsPerOp = &a
+			default:
+				v, err := strconv.ParseFloat(pair[1], 64)
+				if err != nil {
+					continue
+				}
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[pair[2]] = v
+			}
 		}
 		results = append(results, r)
 	}

@@ -31,6 +31,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "corpus generation seed")
 		workers   = flag.Int("workers", 0, "retrieval fan-out width (0 = one per CPU, 1 = sequential)")
 		shards    = flag.Int("shards", 1, "index shard count (1 = monolithic index)")
+		memtable  = flag.Int("memtable-max-docs", 0, "chunks per memtable before auto-seal (0 = 1024, negative disables auto-seal)")
+		fanIn     = flag.Int("compaction-fanin", 0, "sealed segments merged per compaction (0 = 4, negative disables compaction)")
 		traceCap  = flag.Int("trace-capacity", 0, "trace store size (0 = 2048 retained traces, negative disables tracing)")
 		traceRate = flag.Float64("trace-sample", 0, "head-sampling rate in (0,1] (0 = trace every request)")
 		traceSlow = flag.Duration("trace-slow", 0, "always-retain latency threshold (0 = 250ms)")
@@ -44,6 +46,8 @@ func main() {
 		EnrichSummary:      true,
 		SearchWorkers:      *workers,
 		ShardCount:         *shards,
+		MemtableMaxDocs:    *memtable,
+		CompactionFanIn:    *fanIn,
 		TraceCapacity:      *traceCap,
 		TraceSampleRate:    *traceRate,
 		TraceSlowThreshold: *traceSlow,

@@ -85,7 +85,16 @@ type Config struct {
 	// keeps the monolithic index — exactly today's behavior, no facade in
 	// the path.
 	ShardCount int
-	// QueryCacheCapacity sizes the epoch-invalidated query-result cache
+	// MemtableMaxDocs seals a store's mutable memtable into an immutable
+	// segment once it holds this many chunks (0 =
+	// index.DefaultMemtableMaxDocs; negative disables auto-sealing, so only
+	// end-of-cycle publication seals).
+	MemtableMaxDocs int
+	// CompactionFanIn is how many adjacent sealed segments one background
+	// compaction merges (0 = index.DefaultCompactionFanIn; negative
+	// disables background compaction).
+	CompactionFanIn int
+	// QueryCacheCapacity sizes the snapshot-keyed query-result cache
 	// (0 = search.DefaultQueryCacheCapacity; negative disables caching).
 	QueryCacheCapacity int
 	// Resilience configures retries and circuit breakers around the LLM and
@@ -121,8 +130,9 @@ type Config struct {
 type Engine struct {
 	cfg Config
 	obs pipeline.Observer
-	// Index is the chunk store: a monolithic *index.Index when
-	// Config.ShardCount <= 1, otherwise the *shard.Sharded facade (see
+	// Index is the chunk store: one segmented LSM-style store
+	// (*index.Segmented) when Config.ShardCount <= 1, otherwise the
+	// *shard.Sharded facade holding one segmented store per shard (see
 	// Sharded()). All layers program against the Repository surface.
 	Index     index.Repository
 	Searcher  *search.Searcher
@@ -159,15 +169,20 @@ func New(cfg Config) *Engine {
 		cfg.M = generation.DefaultM
 	}
 	emb := embedding.NewSynth(cfg.EmbeddingDim, cfg.Lexicon)
+	segCfg := index.SegmentConfig{
+		MemtableMaxDocs: cfg.MemtableMaxDocs,
+		CompactionFanIn: cfg.CompactionFanIn,
+	}
 	var ix index.Repository
 	if cfg.ShardCount > 1 {
 		ix = shard.New(shard.Config{
 			Shards:  cfg.ShardCount,
 			Index:   index.Config{Schema: indexer.Schema()},
+			Segment: segCfg,
 			Workers: cfg.SearchWorkers,
 		})
 	} else {
-		ix = index.New(index.Config{Schema: indexer.Schema()})
+		ix = index.NewSegmented(index.Config{Schema: indexer.Schema()}, segCfg)
 	}
 	eng := &Engine{
 		cfg:      cfg,
@@ -281,6 +296,39 @@ func (e *Engine) Sharded() *shard.Sharded {
 	return s
 }
 
+// Publish seals the store's memtable(s) into immutable segments and
+// schedules background compaction — the publication point that rotates the
+// cache's stats snapshot key. The ingestion entry points (IndexCorpus, each
+// poller pass, single-page indexing) call it after their writes, mirroring
+// a search engine's refresh-after-bulk; between publications writes are
+// searchable but cached rankings may replay.
+func (e *Engine) Publish() {
+	if p, ok := e.Index.(index.Publisher); ok {
+		p.Publish()
+	}
+}
+
+// SegmentStats returns one segmented-store gauge snapshot per shard (one
+// entry total for a monolithic engine) for the dashboard.
+func (e *Engine) SegmentStats() []index.SegmentStats {
+	switch ix := e.Index.(type) {
+	case *shard.Sharded:
+		return ix.SegmentStats()
+	case *index.Segmented:
+		return []index.SegmentStats{ix.SegmentStats()}
+	}
+	return nil
+}
+
+// CacheStats snapshots the query cache's effectiveness counters; ok is
+// false when caching is disabled.
+func (e *Engine) CacheStats() (search.CacheStats, bool) {
+	if e.Searcher == nil || e.Searcher.Cache == nil {
+		return search.CacheStats{}, false
+	}
+	return e.Searcher.Cache.Stats(), true
+}
+
 // LoadIndex replaces the engine's index with one restored from a snapshot,
 // honoring the engine's shard configuration: a sharded engine accepts both
 // the sharded container and legacy single-file snapshots (migrating the
@@ -294,14 +342,19 @@ func (e *Engine) LoadIndex(r io.Reader) error {
 		ix  index.Repository
 		err error
 	)
+	segCfg := index.SegmentConfig{
+		MemtableMaxDocs: e.cfg.MemtableMaxDocs,
+		CompactionFanIn: e.cfg.CompactionFanIn,
+	}
 	if e.cfg.ShardCount > 1 {
 		ix, err = shard.Load(r, shard.Config{
 			Shards:  e.cfg.ShardCount,
 			Index:   index.Config{Schema: indexer.Schema()},
+			Segment: segCfg,
 			Workers: e.cfg.SearchWorkers,
 		})
 	} else {
-		ix, err = index.Read(r, index.Config{})
+		ix, err = index.ReadSegmented(r, index.Config{}, segCfg)
 	}
 	if err != nil {
 		return err
@@ -374,6 +427,7 @@ func (e *Engine) IndexCorpus(ctx context.Context, corpus *kb.Corpus) error {
 	if _, err := in.IndexBatch(ctx, docs, runtime.NumCPU()); err != nil {
 		return fmt.Errorf("core: index: %w", err)
 	}
+	e.Publish()
 	return nil
 }
 
@@ -538,6 +592,11 @@ func (e *Engine) NewPoller(ctx context.Context, src ingest.Source) func() (int, 
 			if _, err := in.IndexDocument(ctx, doc); err != nil {
 				return changed, fmt.Errorf("core: poll index: %w", err)
 			}
+		}
+		if changed > 0 {
+			// End-of-cycle publication: the pass's adds and deletes become a
+			// new stats snapshot, exactly one cache rotation per poll.
+			e.Publish()
 		}
 		return changed, nil
 	}

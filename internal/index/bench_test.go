@@ -8,14 +8,13 @@ import (
 	"uniask/internal/vector"
 )
 
-// benchIndex builds the warm 2000-doc corpus the query micro-benchmarks run
-// against: realistic Italian banking text with shared vocabulary (so posting
-// lists are long), four filterable domains, and 64-dim vectors in both
-// vector fields.
-func benchIndex(tb testing.TB) (*Index, vector.Vector) {
-	tb.Helper()
+// benchCorpus generates the warm 2000-doc corpus the query micro-benchmarks
+// run against: realistic Italian banking text with shared vocabulary (so
+// posting lists are long), four filterable domains, and 64-dim vectors in
+// both vector fields. Returns the documents plus a query vector drawn from
+// the same distribution.
+func benchCorpus() ([]Document, vector.Vector) {
 	rng := rand.New(rand.NewSource(42))
-	ix := New(Config{})
 	subjects := []string{
 		"carta di credito", "bonifico estero", "conto corrente",
 		"mutuo prima casa", "prestito personale", "deposito titoli",
@@ -23,6 +22,7 @@ func benchIndex(tb testing.TB) (*Index, vector.Vector) {
 	actions := []string{"bloccare", "aprire", "chiudere", "modificare", "verificare", "autorizzare"}
 	domains := []string{"prodotti", "pagamenti", "errori", "normativa"}
 	dim := 64
+	docs := make([]Document, 0, 2000)
 	for i := 0; i < 2000; i++ {
 		subj := subjects[i%len(subjects)]
 		act := actions[(i/len(subjects))%len(actions)]
@@ -37,7 +37,7 @@ func benchIndex(tb testing.TB) (*Index, vector.Vector) {
 			tv[j] = float32(rng.NormFloat64())
 			cv[j] = float32(rng.NormFloat64())
 		}
-		err := ix.Add(Document{
+		docs = append(docs, Document{
 			ID:       fmt.Sprintf("d%04d#0", i),
 			ParentID: fmt.Sprintf("d%04d", i),
 			Fields: map[string]string{
@@ -51,13 +51,23 @@ func benchIndex(tb testing.TB) (*Index, vector.Vector) {
 				"contentVector": cv,
 			},
 		})
-		if err != nil {
-			tb.Fatal(err)
-		}
 	}
 	q := make(vector.Vector, dim)
 	for j := 0; j < dim; j++ {
 		q[j] = float32(rng.NormFloat64())
+	}
+	return docs, q
+}
+
+// benchIndex loads the benchCorpus into a monolithic index.
+func benchIndex(tb testing.TB) (*Index, vector.Vector) {
+	tb.Helper()
+	docs, q := benchCorpus()
+	ix := New(Config{})
+	for _, doc := range docs {
+		if err := ix.Add(doc); err != nil {
+			tb.Fatal(err)
+		}
 	}
 	return ix, q
 }

@@ -120,6 +120,167 @@ func TestConcurrentSearchWithLiveWriter(t *testing.T) {
 	}
 }
 
+// TestSegmentedIngestWhileQuery is the live-ingestion stress test for the
+// segmented store: readers hammer text/vector search and the gauge surfaces
+// while one writer streams adds, deletes and publications, with a memtable
+// small enough that seals and background compactions fire mid-query. Run
+// under -race (the Makefile's check target does) it verifies the store-level
+// lock discipline: seal re-labels, compaction splices, stats-snapshot and
+// journal reads must all be tear-free. After quiescing it checks no document
+// was lost or duplicated across the part topology and that the final ranking
+// matches a monolithic index over the surviving documents.
+func TestSegmentedIngestWhileQuery(t *testing.T) {
+	seg := NewSegmented(Config{}, SegmentConfig{MemtableMaxDocs: 24, CompactionFanIn: 2})
+	// Per-document rng so the monolithic reference below can regenerate the
+	// exact same corpus without replaying one shared stream.
+	mkDoc := func(i int) Document {
+		rng := rand.New(rand.NewSource(int64(1000 + i)))
+		v := make(vector.Vector, 16)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		return Document{
+			ID:       fmt.Sprintf("g%03d#0", i),
+			ParentID: fmt.Sprintf("g%03d", i),
+			Fields: map[string]string{
+				"title":   fmt.Sprintf("Procedura %d per il conto corrente", i),
+				"content": fmt.Sprintf("La procedura operativa %d prevede controlli sul conto e verifica del codice PRC-%03d.", i, i%37),
+				"domain":  []string{"prodotti", "pagamenti", "errori"}[i%3],
+			},
+			Vectors: map[string]vector.Vector{"contentVector": v},
+		}
+	}
+	const preload = 60
+	for i := 0; i < preload; i++ {
+		if err := seg.Add(mkDoc(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qrng := rand.New(rand.NewSource(17))
+	q := make(vector.Vector, 16)
+	for j := range q {
+		q[j] = float32(qrng.NormFloat64())
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	reader := func(fn func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					fn()
+				}
+			}
+		}()
+	}
+	reader(func() {
+		hits := seg.SearchText("procedura per verificare il conto corrente", 20, TextOptions{})
+		seen := make(map[string]bool, len(hits))
+		for _, h := range hits {
+			if seen[h.ID] {
+				t.Errorf("duplicate id %s in one result set", h.ID)
+				return
+			}
+			seen[h.ID] = true
+		}
+	})
+	reader(func() { seg.SearchVector("contentVector", q, 10, nil) })
+	reader(func() {
+		seg.DocByID("g005#0")
+		seg.LiveLen()
+		seg.StatsKey()
+		seg.Epoch()
+		seg.SegmentStats()
+		seg.DeletesSince(0)
+	})
+
+	// Writer: stream adds, deletes and explicit publications.
+	deleted := make(map[string]bool)
+	for i := preload; i < preload+180; i++ {
+		if err := seg.Add(mkDoc(i)); err != nil {
+			t.Error(err)
+		}
+		if i%3 == 0 {
+			victim := fmt.Sprintf("g%03d#0", i-preload)
+			if seg.Delete(victim) {
+				deleted[victim] = true
+			}
+		}
+		if i%25 == 0 {
+			seg.Publish()
+		}
+	}
+	close(stop)
+	wg.Wait()
+	seg.Publish()
+	seg.WaitCompaction()
+	// A sentinel document forces one final seal + merge so every tombstone
+	// is reclaimed and the reference below can replay exact statistics.
+	if err := seg.Add(mkDoc(preload + 180)); err != nil {
+		t.Fatal(err)
+	}
+	seg.Publish()
+	seg.WaitCompaction()
+	if got := seg.Tombstones(); got != 0 {
+		t.Fatalf("final compaction left %d tombstones", got)
+	}
+
+	// Quiesced invariants: exact survivor set, no duplicates.
+	want := preload + 181 - len(deleted)
+	if got := seg.LiveLen(); got != want {
+		t.Fatalf("live count after quiesce = %d, want %d", got, want)
+	}
+	seen := make(map[string]bool)
+	for _, d := range seg.LiveDocs() {
+		if seen[d.ID] {
+			t.Fatalf("duplicate live document %s across parts", d.ID)
+		}
+		seen[d.ID] = true
+		if deleted[d.ID] {
+			t.Fatalf("deleted document %s still live", d.ID)
+		}
+	}
+
+	// Ranking parity: a monolithic index replaying the same add+delete
+	// history, compacted tombstone-free like the quiesced segmented store,
+	// must produce a byte-identical ranking.
+	replay := New(Config{})
+	for i := 0; i <= preload+180; i++ {
+		if err := replay.Add(mkDoc(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := range deleted {
+		if !replay.Delete(id) {
+			t.Fatalf("reference delete %s failed", id)
+		}
+	}
+	mono, err := replay.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mono.LiveLen() != seg.LiveLen() {
+		t.Fatalf("reference live %d, segmented %d", mono.LiveLen(), seg.LiveLen())
+	}
+	query := "procedura per verificare il conto corrente"
+	wantHits := mono.SearchText(query, 20, TextOptions{})
+	gotHits := seg.SearchText(query, 20, TextOptions{})
+	if len(wantHits) != len(gotHits) {
+		t.Fatalf("quiesced ranking has %d hits, monolithic %d", len(gotHits), len(wantHits))
+	}
+	for i := range wantHits {
+		if wantHits[i].ID != gotHits[i].ID || wantHits[i].Score != gotHits[i].Score {
+			t.Fatalf("quiesced hit %d = {%s %v}, monolithic {%s %v}",
+				i, gotHits[i].ID, gotHits[i].Score, wantHits[i].ID, wantHits[i].Score)
+		}
+	}
+}
+
 // TestSearchTextAllocs guards the zero-allocation hot path: a warm SearchText
 // must stay within a small constant allocation budget (term slice, hit slice,
 // nothing per-posting). The measured value is ~10; the threshold leaves slack
@@ -148,6 +309,41 @@ func TestSearchTextAllocs(t *testing.T) {
 	})
 	if allocs > 30 {
 		t.Fatalf("SearchText allocated %.0f times per run, want <= 30", allocs)
+	}
+}
+
+// TestSearchTextAllocsSegmented extends the allocation guard to the
+// multi-part path: searching 4 sealed segments plus a live memtable pays a
+// per-part constant (stats collection, per-part hit slices, the final merge)
+// but must stay bounded — no per-posting or per-document allocations. The
+// measured value is ~60 on 5 parts; 120 leaves slack for runtime noise while
+// still catching an accidental per-hit copy or per-query map.
+func TestSearchTextAllocsSegmented(t *testing.T) {
+	seg := NewSegmented(Config{}, SegmentConfig{MemtableMaxDocs: 128, CompactionFanIn: -1})
+	for i := 0; i < 500; i++ {
+		err := seg.Add(Document{
+			ID:       fmt.Sprintf("a%03d#0", i),
+			ParentID: fmt.Sprintf("a%03d", i),
+			Fields: map[string]string{
+				"title":   fmt.Sprintf("Procedura %d verificare conto corrente", i),
+				"content": fmt.Sprintf("La procedura autorizzativa %d per il conto corrente prevede controlli.", i),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := seg.SegmentStats(); st.Segments < 3 {
+		t.Fatalf("fixture must span several parts, got %+v", st)
+	}
+	query := "procedura autorizzativa per verificare il conto corrente"
+	// Warm the accumulator pools in every part.
+	seg.SearchText(query, 50, TextOptions{})
+	allocs := testing.AllocsPerRun(50, func() {
+		seg.SearchText(query, 50, TextOptions{})
+	})
+	if allocs > 120 {
+		t.Fatalf("segmented SearchText allocated %.0f times per run, want <= 120", allocs)
 	}
 }
 

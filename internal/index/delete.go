@@ -42,6 +42,10 @@ func (ix *Index) deleteLocked(chunkID string) bool {
 		ix.byParent[parent] = live
 	}
 	ix.epoch.Add(1)
+	// A tombstone does not move the stats key — BM25 statistics still count
+	// the chunk — but the delete journal lets caches evict exactly the
+	// entries that surfaced it.
+	ix.journal.Record(chunkID)
 	return true
 }
 
@@ -58,6 +62,24 @@ func (ix *Index) DeleteParent(parentID string) int {
 		}
 	}
 	return n
+}
+
+// ParentChunkIDs returns the external ids of the live chunks of a KB
+// document. Wrapping stores (the segmented store, the shard facade) use it
+// to learn which chunk ids a DeleteParent will remove, so their own delete
+// journals can name them.
+func (ix *Index) ParentChunkIDs(parentID string) []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ords := ix.byParent[parentID]
+	if len(ords) == 0 {
+		return nil
+	}
+	ids := make([]string, 0, len(ords))
+	for _, ord := range ords {
+		ids = append(ids, ix.docs[ord].ID)
+	}
+	return ids
 }
 
 // HasParent reports whether any live chunk of the KB document remains.

@@ -112,6 +112,8 @@ type Index struct {
 	cfg      Config
 	mu       sync.RWMutex
 	epoch    atomic.Uint64
+	statsKey atomic.Uint64
+	journal  *DeleteJournal
 	docs     []Document
 	byID     map[string]int32
 	byParent map[string][]int32 // live chunk ordinals per KB document
@@ -164,6 +166,7 @@ func New(cfg Config) *Index {
 	}
 	ix := &Index{
 		cfg:         cfg,
+		journal:     NewDeleteJournal(),
 		byID:        make(map[string]int32),
 		byParent:    make(map[string][]int32),
 		fields:      make(map[string]*fieldIndex),
@@ -194,6 +197,24 @@ func New(cfg Config) *Index {
 // (the search-layer query cache invalidates on epoch change). It is safe to
 // call without holding any lock.
 func (ix *Index) Epoch() uint64 { return ix.epoch.Load() }
+
+// StatsKey identifies the BM25 stats snapshot queries are currently scored
+// under. On a plain mutable index every Add changes the corpus statistics
+// immediately, so the key advances with each Add; Delete leaves it alone,
+// because tombstones keep contributing to N, average length and DF exactly
+// as before (deleted chunks are instead invalidated precisely through
+// DeletesSince). The segmented store overrides this with
+// publication-granular semantics: its key rotates only when a memtable seal
+// or compaction publishes new statistics.
+func (ix *Index) StatsKey() uint64 { return ix.statsKey.Load() }
+
+// DeletesSince returns the chunk ids deleted at or after cursor and the
+// cursor to resume from; ok is false when the bounded journal has dropped
+// entries the caller has not seen (the caller should then discard all cached
+// results). A zero cursor reads from the journal's retained start.
+func (ix *Index) DeletesSince(cursor uint64) (ids []string, next uint64, ok bool) {
+	return ix.journal.Since(cursor)
+}
 
 // Len reports the number of chunks ever inserted, including tombstoned
 // ones; LiveLen counts only searchable chunks.
@@ -229,8 +250,10 @@ func (ix *Index) Add(doc Document) error {
 	}
 	// Bump before the first mutation: even a failed vector insert below has
 	// already changed index state, and a too-early bump only costs a cache
-	// miss while a missed bump would serve stale results.
+	// miss while a missed bump would serve stale results. The stats key moves
+	// with it — on a mutable index every Add shifts the idf curve at once.
 	ix.epoch.Add(1)
+	ix.statsKey.Add(1)
 	id := int32(len(ix.docs))
 	ix.docs = append(ix.docs, doc)
 	ix.byID[doc.ID] = id

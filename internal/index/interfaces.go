@@ -30,14 +30,32 @@ type Searcher interface {
 }
 
 // Queryable is the read surface the search layer needs: ranked retrieval,
-// result materialization, and the mutation epoch its query cache keys
-// staleness on.
+// result materialization, and the staleness signals its query cache keys on
+// — the stats snapshot key for score validity and the delete journal for
+// precise per-document eviction.
 type Queryable interface {
 	Epoch() uint64
+	// StatsKey identifies the BM25 stats snapshot in effect; it changes only
+	// when corpus statistics (and therefore every query's scores) change.
+	StatsKey() uint64
+	// DeletesSince drains the delete journal from cursor; ok is false when
+	// the journal wrapped past the cursor and the caller missed deletes.
+	DeletesSince(cursor uint64) (ids []string, next uint64, ok bool)
 	SearchText(query string, n int, opts TextOptions) []Hit
 	SearchVector(field string, q vector.Vector, k int, filters []Filter) []Hit
 	VectorFields() []string
 	DocByID(id string) (Document, bool)
+}
+
+// Publisher is implemented by stores with a deferred publication point (the
+// segmented store and the sharded facade over it): Publish seals the current
+// memtable(s) into immutable segments, rotating the stats snapshot key and
+// scheduling background compaction. The ingestion layer calls it at the end
+// of each bulk load / poll cycle, mirroring a search engine's
+// refresh-after-bulk. Stores whose writes publish immediately (the plain
+// *Index) simply do not implement it.
+type Publisher interface {
+	Publish()
 }
 
 // Writer is the mutation surface the ingestion layer needs.

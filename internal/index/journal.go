@@ -1,0 +1,67 @@
+package index
+
+import "sync"
+
+// Delete journal. The search-layer query cache invalidates precisely on
+// deletes: tombstoning a chunk leaves every BM25 corpus statistic unchanged
+// (tombstones stay in the posting lists and keep counting toward N, average
+// length and document frequency — see CorpusStats), so a cached top-k that
+// does not contain the deleted chunk is still byte-exact, and only entries
+// that do contain it are stale. Each top-level store (monolithic *Index,
+// *Segmented, the shard facade) keeps a bounded journal of recently deleted
+// chunk ids; the cache pulls the tail it has not seen yet and evicts exactly
+// the entries naming one of those ids. When the journal has wrapped past a
+// reader's cursor the reader must assume it missed deletes and purge
+// everything — the journal degrades to the old flush-the-world behavior
+// instead of ever serving a deleted document.
+
+// defaultJournalCap bounds the retained delete tail. 4096 ids comfortably
+// covers the deletes between two cache lookups under the 15-minute ingestion
+// cadence; an overflow only costs a full cache purge, never staleness.
+const defaultJournalCap = 4096
+
+// DeleteJournal is a bounded, append-only log of deleted chunk ids with a
+// monotonically increasing sequence. Safe for concurrent use.
+type DeleteJournal struct {
+	mu    sync.Mutex
+	cap   int
+	start uint64 // sequence number of ids[0]
+	ids   []string
+}
+
+// NewDeleteJournal creates an empty journal with the default capacity.
+func NewDeleteJournal() *DeleteJournal {
+	return &DeleteJournal{cap: defaultJournalCap}
+}
+
+// Record appends one deleted id, dropping the oldest entries beyond the
+// capacity bound.
+func (j *DeleteJournal) Record(id string) {
+	j.mu.Lock()
+	j.ids = append(j.ids, id)
+	if over := len(j.ids) - j.cap; over > 0 {
+		j.ids = append(j.ids[:0], j.ids[over:]...)
+		j.start += uint64(over)
+	}
+	j.mu.Unlock()
+}
+
+// Since returns a copy of the ids recorded at or after cursor plus the next
+// cursor to resume from. ok is false when the journal has already dropped
+// entries past the cursor — the caller missed deletes and must treat every
+// cached result as suspect.
+func (j *DeleteJournal) Since(cursor uint64) (ids []string, next uint64, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	end := j.start + uint64(len(j.ids))
+	if cursor < j.start {
+		return nil, end, false
+	}
+	if cursor >= end {
+		return nil, end, true
+	}
+	tail := j.ids[cursor-j.start:]
+	out := make([]string, len(tail))
+	copy(out, tail)
+	return out, end, true
+}

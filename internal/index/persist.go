@@ -112,6 +112,9 @@ func Read(r io.Reader, cfg Config) (*Index, error) {
 	if peek, err := br.Peek(len(ShardedSnapshotMagic)); err == nil && string(peek) == ShardedSnapshotMagic {
 		return nil, ErrShardedSnapshot
 	}
+	if peek, err := br.Peek(len(SegmentedSnapshotMagic)); err == nil && string(peek) == SegmentedSnapshotMagic {
+		return nil, ErrSegmentedSnapshot
+	}
 	var snap indexSnapshot
 	if err := gob.NewDecoder(br).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("index: decode: %w", err)

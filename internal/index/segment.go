@@ -1,0 +1,725 @@
+package index
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"uniask/internal/textproc"
+	"uniask/internal/trace"
+	"uniask/internal/vector"
+)
+
+// Segmented is the LSM-style index store: a small mutable memtable absorbs
+// Add/Delete while immutable sealed segments are searched read-only, and a
+// background compactor merges sealed segments off the query path. It
+// satisfies the same Repository surface as a plain *Index, so the search,
+// ingestion and persistence layers run on either interchangeably, and the
+// same Searcher surface, so the shard facade can hold one Segmented per
+// shard.
+//
+// Search visibility is immediate: queries always see memtable documents,
+// scored with corpus statistics collected live across every part
+// (CollectStats + Merge + SearchTextGlobal — the exact machinery the shard
+// facade uses for cross-shard BM25), so rankings stay byte-identical to a
+// monolithic index holding the same documents. What is deferred is
+// *publication*: the stats snapshot key (StatsKey) rotates only when a
+// non-empty memtable seals or a compaction drops tombstones — the two
+// events that move the published idf curve — so query caches keyed on it
+// survive writes that have not been published yet, the near-real-time
+// refresh semantics of Lucene/Elasticsearch.
+//
+// "Immutable" for a sealed segment means it absorbs no new documents; like
+// a Lucene segment with its live-docs bitset, deletes still tombstone
+// chunks inside it (tombstones do not change BM25 statistics, so no
+// publication happens). Compaction rebuilds a run of adjacent sealed
+// segments into one, dropping tombstones and reclaiming posting and graph
+// space.
+//
+// Concurrency matches the monolithic index: any number of concurrent
+// readers racing a single live writer. The store-level RWMutex guards only
+// the parts topology (which *Index is the memtable, which are sealed); each
+// part has its own internal lock. Sealing re-labels the memtable object in
+// place — no data is copied or rebuilt — so a search racing a seal sees the
+// same documents and statistics either way, and can never observe a
+// half-merged stats snapshot. The background compactor is the only code
+// that splices the sealed list, it runs at most once concurrently, and the
+// splice happens under the exclusive lock with deletes that arrived during
+// the merge re-applied first.
+type Segmented struct {
+	cfg  Config
+	scfg SegmentConfig
+
+	mu     sync.RWMutex
+	mem    *Index   // mutable memtable; always non-nil
+	sealed []*Index // immutable sealed segments, oldest first
+
+	epoch    atomic.Uint64
+	statsKey atomic.Uint64
+	journal  *DeleteJournal
+
+	// seq stamps every chunk id with its arrival ordinal across the whole
+	// store — the cross-segment equivalent of the monolithic insertion
+	// ordinal, used to break vector-distance ties exactly like a single
+	// index would (same trick the shard facade plays across shards).
+	seqMu   sync.RWMutex
+	seq     map[string]uint64
+	nextSeq uint64
+
+	seals       atomic.Uint64
+	compactions atomic.Uint64
+	compacting  atomic.Bool // single background compactor guard
+	wg          sync.WaitGroup
+}
+
+// SegmentConfig tunes the segmented store's write path.
+type SegmentConfig struct {
+	// MemtableMaxDocs seals the memtable automatically once it holds this
+	// many chunks (counting tombstones); 0 means DefaultMemtableMaxDocs,
+	// negative disables auto-sealing so only Publish seals.
+	MemtableMaxDocs int
+	// CompactionFanIn is the number of adjacent sealed segments one
+	// compaction merges; 0 means DefaultCompactionFanIn, negative disables
+	// background compaction (CompactOnce still works when called).
+	CompactionFanIn int
+}
+
+// DefaultMemtableMaxDocs bounds the memtable at 1024 chunks — small enough
+// that a seal publishes fresh statistics every couple of poll cycles at the
+// paper's ingestion rate, large enough that bulk loads do not shatter into
+// confetti segments.
+const DefaultMemtableMaxDocs = 1024
+
+// DefaultCompactionFanIn merges four adjacent segments per compaction, the
+// classic tiered fan-in: enough to keep the segment count logarithmic in
+// corpus size, small enough that one merge stays cheap and cancelable.
+const DefaultCompactionFanIn = 4
+
+// memtableMax resolves the configured memtable bound.
+func (c SegmentConfig) memtableMax() int {
+	if c.MemtableMaxDocs == 0 {
+		return DefaultMemtableMaxDocs
+	}
+	return c.MemtableMaxDocs
+}
+
+// fanIn resolves the configured compaction fan-in.
+func (c SegmentConfig) fanIn() int {
+	if c.CompactionFanIn == 0 {
+		return DefaultCompactionFanIn
+	}
+	return c.CompactionFanIn
+}
+
+// NewSegmented creates an empty segmented store.
+func NewSegmented(cfg Config, scfg SegmentConfig) *Segmented {
+	s := &Segmented{
+		scfg:    scfg,
+		mem:     New(cfg),
+		journal: NewDeleteJournal(),
+		seq:     make(map[string]uint64),
+	}
+	// Adopt the memtable's normalized config (schema, analyzer, BM25
+	// defaults filled in) so every future part is built identically.
+	s.cfg = s.mem.cfg
+	return s
+}
+
+// Compile-time checks: the segmented store is a drop-in Repository for the
+// engine and a drop-in Searcher for the shard facade.
+var (
+	_ Repository = (*Segmented)(nil)
+	_ Searcher   = (*Segmented)(nil)
+	_ Publisher  = (*Segmented)(nil)
+)
+
+// parts returns a point-in-time view of the store: every sealed segment in
+// order, then the memtable. The slice is a private copy; the *Index parts
+// are shared and internally synchronized.
+func (s *Segmented) parts() []*Index {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.partsLocked()
+}
+
+// partsLocked is parts with s.mu already held.
+func (s *Segmented) partsLocked() []*Index {
+	out := make([]*Index, 0, len(s.sealed)+1)
+	out = append(out, s.sealed...)
+	out = append(out, s.mem)
+	return out
+}
+
+// Epoch returns the store mutation epoch: bumped by every Add and
+// successful Delete (matching a plain index) and by every stats-changing
+// compaction.
+func (s *Segmented) Epoch() uint64 { return s.epoch.Load() }
+
+// StatsKey identifies the published BM25 stats snapshot. Unlike a plain
+// index — where every Add moves the key because statistics shift
+// immediately — the segmented store rotates it only at publication points:
+// a non-empty memtable sealing, or a compaction dropping tombstones. Writes
+// between publications are searchable at once but do not invalidate caches
+// keyed on this snapshot.
+func (s *Segmented) StatsKey() uint64 { return s.statsKey.Load() }
+
+// DeletesSince drains the store's delete journal from cursor (see
+// Queryable).
+func (s *Segmented) DeletesSince(cursor uint64) (ids []string, next uint64, ok bool) {
+	return s.journal.Since(cursor)
+}
+
+// assignSeq stamps id with the next arrival sequence.
+func (s *Segmented) assignSeq(id string) {
+	s.seqMu.Lock()
+	s.seq[id] = s.nextSeq
+	s.nextSeq++
+	s.seqMu.Unlock()
+}
+
+// Add indexes a document into the memtable, sealing it first when full.
+// Duplicate ids are rejected across every part, not just the memtable.
+func (s *Segmented) Add(doc Document) error {
+	s.mu.RLock()
+	for _, seg := range s.sealed {
+		if _, dup := seg.DocByID(doc.ID); dup {
+			s.mu.RUnlock()
+			return fmt.Errorf("%w: %s", ErrDuplicateID, doc.ID)
+		}
+	}
+	mem := s.mem
+	s.mu.RUnlock()
+	if err := mem.Add(doc); err != nil {
+		return err
+	}
+	s.assignSeq(doc.ID)
+	s.epoch.Add(1)
+	if max := s.scfg.memtableMax(); max > 0 && mem.Len() >= max {
+		s.seal()
+		s.maybeCompact()
+	}
+	return nil
+}
+
+// AddBulk indexes docs in order, stopping at the first error. Sequential on
+// purpose: memtable seals must interleave at deterministic document
+// boundaries so a bulk load always produces the same segment layout.
+func (s *Segmented) AddBulk(docs []Document) error {
+	for _, d := range docs {
+		if err := s.Add(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete tombstones a chunk in whichever part holds it. Sealed segments
+// accept tombstones (their document set is what is immutable); statistics
+// do not change, so no publication happens — the delete journal carries the
+// id to caches instead.
+//
+// The store read lock is held for the whole operation, not just the parts
+// snapshot: the compactor's segment splice runs under the exclusive lock,
+// so a delete can never land on a segment the splice is about to retire and
+// silently miss the merged replacement.
+func (s *Segmented) Delete(chunkID string) bool {
+	s.mu.RLock()
+	ok := false
+	for _, part := range s.partsLocked() {
+		if part.Delete(chunkID) {
+			ok = true
+			break
+		}
+	}
+	s.mu.RUnlock()
+	if ok {
+		s.journal.Record(chunkID)
+		s.epoch.Add(1)
+	}
+	return ok
+}
+
+// DeleteParent tombstones every chunk of a KB document across all parts and
+// returns how many chunks were removed. Like Delete it holds the store read
+// lock throughout so it cannot interleave with a compaction splice.
+func (s *Segmented) DeleteParent(parentID string) int {
+	s.mu.RLock()
+	var removed []string
+	for _, part := range s.partsLocked() {
+		ids := part.ParentChunkIDs(parentID)
+		if len(ids) == 0 {
+			continue
+		}
+		part.DeleteParent(parentID)
+		removed = append(removed, ids...)
+	}
+	s.mu.RUnlock()
+	for _, id := range removed {
+		s.journal.Record(id)
+		s.epoch.Add(1)
+	}
+	return len(removed)
+}
+
+// ParentChunkIDs returns the live chunk ids of a KB document across all
+// parts (see the method on *Index).
+func (s *Segmented) ParentChunkIDs(parentID string) []string {
+	var ids []string
+	for _, part := range s.parts() {
+		ids = append(ids, part.ParentChunkIDs(parentID)...)
+	}
+	return ids
+}
+
+// HasParent reports whether any part holds a live chunk of the KB document.
+func (s *Segmented) HasParent(parentID string) bool {
+	for _, part := range s.parts() {
+		if part.HasParent(parentID) {
+			return true
+		}
+	}
+	return false
+}
+
+// Publish seals the memtable (when non-empty) and schedules background
+// compaction — the store's publication point, called by the ingestion layer
+// after each bulk load or poll cycle like a search engine's
+// refresh-after-bulk. Queries already see the documents; Publish is what
+// rotates the stats snapshot key so caches recompute against the new
+// statistics.
+func (s *Segmented) Publish() {
+	s.seal()
+	s.maybeCompact()
+}
+
+// seal converts a non-empty memtable into the newest sealed segment and
+// installs a fresh memtable. The sealed *Index is the same object the
+// memtable was — no data moves, so a concurrent search observes identical
+// documents and statistics through either topology and a torn stats
+// snapshot is structurally impossible.
+func (s *Segmented) seal() {
+	s.mu.Lock()
+	if s.mem.Len() == 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.sealed = append(s.sealed, s.mem)
+	s.mem = New(s.cfg)
+	s.mu.Unlock()
+	s.seals.Add(1)
+	// Publication: the sealed documents' contribution to the idf curve is
+	// now permanent, so snapshots scored before them are stale.
+	s.statsKey.Add(1)
+}
+
+// maybeCompact starts the background compactor when the sealed backlog
+// reaches the fan-in and no compactor is already running. At most one
+// compactor goroutine exists at a time; it keeps merging until the backlog
+// drops below the fan-in.
+func (s *Segmented) maybeCompact() {
+	fan := s.scfg.fanIn()
+	if fan <= 1 {
+		return
+	}
+	s.mu.RLock()
+	backlog := len(s.sealed)
+	s.mu.RUnlock()
+	if backlog < fan {
+		return
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer s.compacting.Store(false)
+		for {
+			merged, err := s.CompactOnce(context.Background())
+			if err != nil || !merged {
+				return
+			}
+		}
+	}()
+}
+
+// WaitCompaction blocks until the background compactor (if any) finishes
+// its current run. Deterministic tests and snapshot writers use it to
+// quiesce the store.
+func (s *Segmented) WaitCompaction() { s.wg.Wait() }
+
+// CompactOnce merges one run of adjacent sealed segments into a single
+// segment, dropping tombstones. It reports whether a merge happened (false
+// when the backlog is below the fan-in). The merge is:
+//
+//   - bounded: exactly fanIn adjacent segments, chosen as the run with the
+//     fewest total chunks (oldest run on ties) — the size-tiered policy
+//     that keeps merge work from re-processing big segments over and over;
+//   - deterministic: documents re-add in arrival order (segment order,
+//     then ordinal order), so the merged segment's postings, ordinals and
+//     HNSW graphs are reproducible;
+//   - cancelable: ctx is checked between documents, and a canceled merge
+//     leaves the store untouched;
+//   - off the query path: the rebuild runs without store locks; only the
+//     final splice takes the write lock, after re-applying any delete that
+//     arrived mid-merge.
+func (s *Segmented) CompactOnce(ctx context.Context) (bool, error) {
+	fan := s.scfg.fanIn()
+	if fan <= 1 {
+		return false, nil
+	}
+	s.mu.RLock()
+	if len(s.sealed) < fan {
+		s.mu.RUnlock()
+		return false, nil
+	}
+	// Pick the adjacent run with the fewest total chunks, oldest on ties.
+	best, bestSize := 0, -1
+	for i := 0; i+fan <= len(s.sealed); i++ {
+		size := 0
+		for _, seg := range s.sealed[i : i+fan] {
+			size += seg.Len()
+		}
+		if bestSize < 0 || size < bestSize {
+			best, bestSize = i, size
+		}
+	}
+	window := make([]*Index, fan)
+	copy(window, s.sealed[best:best+fan])
+	s.mu.RUnlock()
+
+	_, sp := trace.Start(ctx, "index.compact",
+		trace.A("segments", strconv.Itoa(fan)),
+		trace.A("chunks", strconv.Itoa(bestSize)))
+	defer sp.End()
+
+	merged := New(s.cfg)
+	sourceLen := 0
+	for _, seg := range window {
+		sourceLen += seg.Len()
+		for _, d := range seg.LiveDocs() {
+			if err := ctx.Err(); err != nil {
+				sp.SetError(err)
+				return false, err
+			}
+			if err := merged.Add(d); err != nil {
+				sp.SetError(err)
+				return false, fmt.Errorf("index: compact: %w", err)
+			}
+		}
+	}
+
+	s.mu.Lock()
+	// Re-locate the window by identity: Publish may have appended newer
+	// segments behind it, but only this (single) compactor splices, so the
+	// run itself is still contiguous at the same offset.
+	if best+fan > len(s.sealed) || s.sealed[best] != window[0] {
+		s.mu.Unlock()
+		err := fmt.Errorf("index: compact: sealed run moved under single-compactor contract")
+		sp.SetError(err)
+		return false, err
+	}
+	// Deletes that landed in the window during the merge are re-applied
+	// before the swap so no tombstone is lost.
+	liveNow := make(map[string]bool, merged.Len())
+	for _, seg := range window {
+		for _, d := range seg.LiveDocs() {
+			liveNow[d.ID] = true
+		}
+	}
+	for _, d := range merged.LiveDocs() {
+		if !liveNow[d.ID] {
+			merged.Delete(d.ID)
+		}
+	}
+	dropped := sourceLen - merged.Len()
+	tail := append([]*Index{merged}, s.sealed[best+fan:]...)
+	s.sealed = append(s.sealed[:best], tail...)
+	s.mu.Unlock()
+
+	s.compactions.Add(1)
+	sp.SetAttr("dropped", strconv.Itoa(dropped))
+	if dropped > 0 {
+		// Dropping tombstones shrinks N, total lengths and document
+		// frequencies — a new published stats snapshot.
+		s.statsKey.Add(1)
+		s.epoch.Add(1)
+	}
+	return true, nil
+}
+
+// Len counts chunks across all parts, including tombstones still held in
+// segments (compaction reclaims them).
+func (s *Segmented) Len() int {
+	n := 0
+	for _, part := range s.parts() {
+		n += part.Len()
+	}
+	return n
+}
+
+// LiveLen counts live chunks across all parts.
+func (s *Segmented) LiveLen() int {
+	n := 0
+	for _, part := range s.parts() {
+		n += part.LiveLen()
+	}
+	return n
+}
+
+// Tombstones counts tombstoned-but-unreclaimed chunks across all parts.
+func (s *Segmented) Tombstones() int {
+	n := 0
+	for _, part := range s.parts() {
+		n += part.Tombstones()
+	}
+	return n
+}
+
+// Doc returns the document at a global ordinal, where ordinals concatenate
+// the parts in order (sealed segments oldest-first, then the memtable). The
+// mapping is only stable between mutations and compactions; use DocByID to
+// identify documents.
+func (s *Segmented) Doc(ord int) Document {
+	for _, part := range s.parts() {
+		if n := part.Len(); ord < n {
+			return part.Doc(ord)
+		} else {
+			ord -= n
+		}
+	}
+	panic(fmt.Sprintf("index: segmented ordinal %d out of range", ord))
+}
+
+// DocByID fetches a live document from whichever part holds it.
+func (s *Segmented) DocByID(id string) (Document, bool) {
+	for _, part := range s.parts() {
+		if d, ok := part.DocByID(id); ok {
+			return d, true
+		}
+	}
+	return Document{}, false
+}
+
+// Schema returns the shared part schema.
+func (s *Segmented) Schema() Schema { return s.cfg.Schema }
+
+// Analyzer returns the shared part analyzer.
+func (s *Segmented) Analyzer() *textproc.Analyzer { return s.cfg.Analyzer }
+
+// VectorFields lists the vector fields (schema-derived, identical in every
+// part). The store lock covers the memtable pointer read — seal swaps it.
+func (s *Segmented) VectorFields() []string {
+	s.mu.RLock()
+	mem := s.mem
+	s.mu.RUnlock()
+	return mem.VectorFields()
+}
+
+// SearchableFields lists the searchable fields (schema-derived, identical
+// in every part; same locking note as VectorFields).
+func (s *Segmented) SearchableFields() []string {
+	s.mu.RLock()
+	mem := s.mem
+	s.mu.RUnlock()
+	return mem.SearchableFields()
+}
+
+// Retrievable projects doc onto its retrievable fields.
+func (s *Segmented) Retrievable(doc Document) map[string]string {
+	out := make(map[string]string)
+	for f, v := range doc.Fields {
+		if s.cfg.Schema[f].Retrievable {
+			out[f] = v
+		}
+	}
+	return out
+}
+
+// LiveDocs concatenates the parts' live documents in part order — which is
+// arrival order, because segments seal oldest-first and compaction
+// preserves relative order inside the run it merges.
+func (s *Segmented) LiveDocs() []Document {
+	var out []Document
+	for _, part := range s.parts() {
+		out = append(out, part.LiveDocs()...)
+	}
+	return out
+}
+
+// CollectStats merges every part's BM25 statistics — the store's
+// contribution when it is one shard of the sharded facade.
+func (s *Segmented) CollectStats(fields, terms []string) CorpusStats {
+	var cs CorpusStats
+	for _, part := range s.parts() {
+		cs.Merge(part.CollectStats(fields, terms))
+	}
+	return cs
+}
+
+// SearchText ranks chunks across all parts with Okapi BM25 and returns the
+// global top n. With one part it is a plain delegated search; with several,
+// statistics are first collected across every part and merged, then each
+// part scores with the aggregate (SearchTextGlobal) — the same two-wave
+// scheme the shard facade uses, which is what keeps the segmented ranking
+// byte-identical to a monolithic index over the same documents.
+func (s *Segmented) SearchText(query string, n int, opts TextOptions) []Hit {
+	parts := s.parts()
+	if len(parts) == 1 {
+		return parts[0].SearchText(query, n, opts)
+	}
+	if n <= 0 {
+		return nil
+	}
+	terms := s.cfg.Analyzer.AnalyzeTerms(query)
+	if len(terms) == 0 {
+		return nil
+	}
+	fields := opts.Fields
+	if len(fields) == 0 {
+		fields = s.SearchableFields()
+	}
+	var global CorpusStats
+	for _, part := range parts {
+		global.Merge(part.CollectStats(fields, terms))
+	}
+	return searchPartsGlobal(parts, query, n, opts, &global)
+}
+
+// SearchTextGlobal scores every part with caller-provided global statistics
+// and merges — the per-shard leg of a sharded query, where the facade has
+// already merged statistics across shards (and therefore across this
+// store's parts, via CollectStats above).
+func (s *Segmented) SearchTextGlobal(query string, n int, opts TextOptions, stats *CorpusStats) []Hit {
+	parts := s.parts()
+	if len(parts) == 1 {
+		return parts[0].SearchTextGlobal(query, n, opts, stats)
+	}
+	return searchPartsGlobal(parts, query, n, opts, stats)
+}
+
+// searchPartsGlobal runs the scoring wave over each part with shared global
+// statistics and merges the per-part top-n under the canonical text order.
+func searchPartsGlobal(parts []*Index, query string, n int, opts TextOptions, stats *CorpusStats) []Hit {
+	var merged []Hit
+	for _, part := range parts {
+		merged = append(merged, part.SearchTextGlobal(query, n, opts, stats)...)
+	}
+	SortHits(merged)
+	if len(merged) > n {
+		merged = merged[:n]
+	}
+	return merged
+}
+
+// SearchVector runs an ANN query across all parts and merges the per-part
+// candidates into the global top-k, breaking score ties by arrival
+// sequence then id — reproducing the insertion-ordinal tiebreak of a
+// monolithic exhaustive index, exactly like the shard facade does across
+// shards.
+func (s *Segmented) SearchVector(field string, q vector.Vector, k int, filters []Filter) []Hit {
+	parts := s.parts()
+	if len(parts) == 1 {
+		return parts[0].SearchVector(field, q, k, filters)
+	}
+	if k <= 0 {
+		return nil
+	}
+	var merged []Hit
+	for _, part := range parts {
+		merged = append(merged, part.SearchVector(field, q, k, filters)...)
+	}
+	seqs := make([]uint64, len(merged))
+	s.seqMu.RLock()
+	for i, h := range merged {
+		seqs[i] = s.seq[h.ID]
+	}
+	s.seqMu.RUnlock()
+	sort.Sort(&segSeqTie{hits: merged, seqs: seqs})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged
+}
+
+// segSeqTie orders hits by score descending, ties broken by arrival
+// sequence ascending, then id ascending.
+type segSeqTie struct {
+	hits []Hit
+	seqs []uint64
+}
+
+func (b *segSeqTie) Len() int { return len(b.hits) }
+
+func (b *segSeqTie) Swap(i, j int) {
+	b.hits[i], b.hits[j] = b.hits[j], b.hits[i]
+	b.seqs[i], b.seqs[j] = b.seqs[j], b.seqs[i]
+}
+
+func (b *segSeqTie) Less(i, j int) bool {
+	if b.hits[i].Score != b.hits[j].Score {
+		return b.hits[i].Score > b.hits[j].Score
+	}
+	if b.seqs[i] != b.seqs[j] {
+		return b.seqs[i] < b.seqs[j]
+	}
+	return b.hits[i].ID < b.hits[j].ID
+}
+
+// Stats sums the parts' gauge snapshots (docs, postings, ...), matching the
+// shape a monolithic index reports on the dashboard.
+func (s *Segmented) Stats() Stats {
+	var st Stats
+	for _, part := range s.parts() {
+		ps := part.Stats()
+		st.Docs += ps.Docs
+		st.Live += ps.Live
+		st.Tombstones += ps.Tombstones
+		st.Terms += ps.Terms
+		st.Postings += ps.Postings
+	}
+	return st
+}
+
+// SegmentStats is the segmented store's dashboard gauge snapshot.
+type SegmentStats struct {
+	// MemtableDocs counts chunks currently buffered in the memtable.
+	MemtableDocs int
+	// Segments counts sealed segments awaiting queries and compaction.
+	Segments int
+	// Seals counts memtable seals since process start.
+	Seals uint64
+	// Compactions counts completed merges since process start.
+	Compactions uint64
+	// Backlog is how far the sealed count exceeds the compaction trigger
+	// (0 when compaction is keeping up).
+	Backlog int
+	// StatsKey is the current published stats snapshot key.
+	StatsKey uint64
+	// Docs/Live/Tombstones total the chunk counts across all parts.
+	Docs, Live, Tombstones int
+}
+
+// SegmentStats computes the gauge snapshot for the monitoring dashboard.
+func (s *Segmented) SegmentStats() SegmentStats {
+	s.mu.RLock()
+	mem, sealed := s.mem, len(s.sealed)
+	s.mu.RUnlock()
+	st := SegmentStats{
+		MemtableDocs: mem.Len(),
+		Segments:     sealed,
+		Seals:        s.seals.Load(),
+		Compactions:  s.compactions.Load(),
+		StatsKey:     s.statsKey.Load(),
+		Docs:         s.Len(),
+		Live:         s.LiveLen(),
+		Tombstones:   s.Tombstones(),
+	}
+	if fan := s.scfg.fanIn(); fan > 1 && sealed >= fan {
+		st.Backlog = sealed - fan + 1
+	}
+	return st
+}

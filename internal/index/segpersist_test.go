@@ -1,0 +1,178 @@
+package index
+
+import (
+	"bytes"
+	"testing"
+)
+
+// segStore builds a segmented store with sealed segments, a live memtable
+// and a tombstone — every container feature a snapshot must carry.
+func segStore(t testing.TB) *Segmented {
+	t.Helper()
+	seg := NewSegmented(Config{}, SegmentConfig{MemtableMaxDocs: 8, CompactionFanIn: -1})
+	if err := seg.AddBulk(segCorpus(20)); err != nil {
+		t.Fatal(err)
+	}
+	if !seg.Delete("s004#0") {
+		t.Fatal("delete failed")
+	}
+	return seg
+}
+
+func TestSegmentedPersistRoundTrip(t *testing.T) {
+	seg := segStore(t)
+	var buf bytes.Buffer
+	if err := seg.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSegmented(&buf, Config{}, SegmentConfig{MemtableMaxDocs: 8, CompactionFanIn: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if restored.Len() != seg.Len() || restored.LiveLen() != seg.LiveLen() || restored.Tombstones() != seg.Tombstones() {
+		t.Fatalf("restored %d/%d/%d, want %d/%d/%d",
+			restored.Len(), restored.LiveLen(), restored.Tombstones(),
+			seg.Len(), seg.LiveLen(), seg.Tombstones())
+	}
+	if a, b := seg.SegmentStats(), restored.SegmentStats(); a.Segments != b.Segments || a.MemtableDocs != b.MemtableDocs {
+		t.Fatalf("topology changed across save/load: %+v vs %+v", a, b)
+	}
+	if restored.StatsKey() != seg.StatsKey() || restored.Epoch() != seg.Epoch() {
+		t.Fatalf("keys changed across save/load: statsKey %d/%d epoch %d/%d",
+			restored.StatsKey(), seg.StatsKey(), restored.Epoch(), seg.Epoch())
+	}
+	for _, q := range segQueries {
+		a := seg.SearchText(q, 15, TextOptions{})
+		b := restored.SearchText(q, 15, TextOptions{})
+		if len(a) != len(b) {
+			t.Fatalf("%q: %d hits restored, want %d", q, len(b), len(a))
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID || a[i].Score != b[i].Score {
+				t.Fatalf("%q: restored hit %d = {%s %v}, want {%s %v}",
+					q, i, b[i].ID, b[i].Score, a[i].ID, a[i].Score)
+			}
+		}
+	}
+	// The restored store must keep working: accept writes, seal, publish.
+	if err := restored.Add(Document{ID: "new#0", ParentID: "new", Fields: map[string]string{"title": "nuovo documento"}}); err != nil {
+		t.Fatal(err)
+	}
+	before := restored.StatsKey()
+	restored.Publish()
+	restored.WaitCompaction()
+	if restored.StatsKey() == before {
+		t.Fatal("restored store did not rotate on publish")
+	}
+}
+
+// TestSegmentedPersistLegacyMigration loads a snapshot written by the plain
+// Index.Save into a segmented store: the whole index is adopted as one
+// sealed segment, preserving documents, tombstones and rankings.
+func TestSegmentedPersistLegacyMigration(t *testing.T) {
+	ix, _ := newTestIndex(t)
+	ix.Delete("d2#0")
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	seg, err := ReadSegmented(&buf, Config{}, SegmentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Len() != ix.Len() || seg.LiveLen() != ix.LiveLen() || seg.Tombstones() != ix.Tombstones() {
+		t.Fatalf("migrated %d/%d/%d, want %d/%d/%d",
+			seg.Len(), seg.LiveLen(), seg.Tombstones(), ix.Len(), ix.LiveLen(), ix.Tombstones())
+	}
+	if st := seg.SegmentStats(); st.Segments != 1 || st.MemtableDocs != 0 {
+		t.Fatalf("migration should adopt one sealed segment: %+v", st)
+	}
+	q := "bloccare la carta di credito"
+	a := ix.SearchText(q, 10, TextOptions{})
+	b := seg.SearchText(q, 10, TextOptions{})
+	if len(a) != len(b) {
+		t.Fatalf("%d hits after migration, want %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Score != b[i].Score {
+			t.Fatalf("migrated hit %d = {%s %v}, want {%s %v}", i, b[i].ID, b[i].Score, a[i].ID, a[i].Score)
+		}
+	}
+	// The migrated store keeps the snapshot's schema for future memtables.
+	if err := seg.Add(Document{ID: "post#0", ParentID: "post", Fields: map[string]string{"title": "dopo la migrazione"}}); err != nil {
+		t.Fatal(err)
+	}
+	if hits := seg.SearchText("dopo la migrazione", 5, TextOptions{}); len(hits) == 0 || hits[0].ID != "post#0" {
+		t.Fatalf("post-migration write not searchable: %v", hits)
+	}
+}
+
+// TestSegmentedReadRejectsSharded refuses a sharded container with the
+// pointed sentinel, and Read refuses a segmented container likewise.
+func TestSegmentedReadRejectsWrongContainer(t *testing.T) {
+	if _, err := ReadSegmented(bytes.NewReader([]byte(ShardedSnapshotMagic+"garbage")), Config{}, SegmentConfig{}); err != ErrShardedSnapshot {
+		t.Fatalf("sharded stream: err = %v, want ErrShardedSnapshot", err)
+	}
+	seg := segStore(t)
+	var buf bytes.Buffer
+	if err := seg.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes()), Config{}); err != ErrSegmentedSnapshot {
+		t.Fatalf("segmented stream into Read: err = %v, want ErrSegmentedSnapshot", err)
+	}
+}
+
+// TestSegmentedPersistTruncated verifies every truncation point of a valid
+// container comes back as an error — never a panic, never a silent partial
+// load.
+func TestSegmentedPersistTruncated(t *testing.T) {
+	seg := segStore(t)
+	var buf bytes.Buffer
+	if err := seg.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, n := range []int{len(SegmentedSnapshotMagic) + 3, len(SegmentedSnapshotMagic) + 9, len(full) / 2, len(full) - 1} {
+		if n >= len(full) {
+			continue
+		}
+		if _, err := ReadSegmented(bytes.NewReader(full[:n]), Config{}, SegmentConfig{}); err == nil {
+			t.Fatalf("truncation at %d bytes accepted", n)
+		}
+	}
+}
+
+// FuzzSegmentedManifest fuzzes the container decode path with arbitrary
+// bytes after the magic: corrupt manifests, hostile section lengths and
+// truncated segment streams must all error out without panicking or
+// allocating unboundedly. Wired into `make fuzz-short`.
+func FuzzSegmentedManifest(f *testing.F) {
+	// Seed with a valid container, a truncation of it, and hand-built junk.
+	seg := NewSegmented(Config{}, SegmentConfig{MemtableMaxDocs: 2, CompactionFanIn: -1})
+	if err := seg.AddBulk(segCorpus(5)); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := seg.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/3])
+	f.Add([]byte(SegmentedSnapshotMagic))
+	f.Add([]byte(SegmentedSnapshotMagic + "\x00\x00\x00\x00\x00\x00\x00\x08garbage!"))
+	f.Add([]byte(SegmentedSnapshotMagic + "\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Add([]byte("not a container at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadSegmented(bytes.NewReader(data), Config{}, SegmentConfig{})
+		if err != nil {
+			return
+		}
+		// A stream that decodes must yield a usable store.
+		s.LiveLen()
+		s.SearchText("conto", 5, TextOptions{})
+	})
+}

@@ -43,6 +43,8 @@ type Metrics struct {
 	degradedQueries    int
 	degradedParts      map[string]int
 	shardSource        func() []ShardGauge
+	segmentSource      func() []SegmentGauge
+	cacheSource        func() (CacheGauge, bool)
 
 	stageMu sync.Mutex
 	stages  map[string]*stageAgg
@@ -125,6 +127,55 @@ func (m *Metrics) SetShardSource(fn func() []ShardGauge) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.shardSource = fn
+}
+
+// SegmentGauge is one segmented store's dashboard row: how much live
+// ingestion sits unpublished in the memtable, how many immutable segments
+// back queries, and how far the background compactor has to go.
+type SegmentGauge struct {
+	// Shard is the owning shard number (0 on a monolithic engine).
+	Shard int
+	// MemtableDocs is the number of chunks absorbed but not yet sealed.
+	MemtableDocs int
+	// Segments is the current sealed-segment count; Backlog is how many of
+	// them exceed the compaction fan-in (0 = compactor keeping up).
+	Segments int
+	Backlog  int
+	// Seals and Compactions count lifetime memtable seals and completed
+	// background merges.
+	Seals       uint64
+	Compactions uint64
+	// StatsKey is the store's current published-stats snapshot key; it only
+	// moves when a publication changed global BM25 statistics.
+	StatsKey uint64
+}
+
+// SetSegmentSource installs a provider polled at Snapshot time for
+// per-store segment gauges. The server wires the engine's SegmentStats
+// here.
+func (m *Metrics) SetSegmentSource(fn func() []SegmentGauge) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.segmentSource = fn
+}
+
+// CacheGauge is the query cache's dashboard row. HitRate is the headline
+// number for live-ingestion health: with snapshot-keyed invalidation it
+// should stay high while writes land on other shards' memtables.
+type CacheGauge struct {
+	Hits            uint64
+	Misses          uint64
+	HitRate         float64
+	Entries         int
+	DeleteEvictions uint64
+}
+
+// SetCacheSource installs a provider polled at Snapshot time for the query
+// cache gauge; ok=false (caching disabled) leaves the dashboard row empty.
+func (m *Metrics) SetCacheSource(fn func() (CacheGauge, bool)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cacheSource = fn
 }
 
 // RecordQuery logs one user query: who asked, how long the request took,
@@ -234,18 +285,36 @@ type Dashboard struct {
 	BreakerTransitions map[string]int
 	// Shards holds per-shard index gauges (nil on a monolithic index).
 	Shards []ShardGauge
+	// Segments holds per-store segmented-index gauges (one row per shard,
+	// one total on a monolithic engine).
+	Segments []SegmentGauge
+	// Cache holds the query-cache gauge; HasCache is false when caching is
+	// disabled or never wired.
+	Cache    CacheGauge
+	HasCache bool
 }
 
 // Snapshot reads the current dashboard.
 func (m *Metrics) Snapshot() Dashboard {
 	m.mu.Lock()
 	src := m.shardSource
+	segSrc := m.segmentSource
+	cacheSrc := m.cacheSource
 	m.mu.Unlock()
 	var shards []ShardGauge
 	if src != nil {
 		// Poll outside the registry lock: the source reads the shards' own
 		// locks and must not nest under m.mu.
 		shards = src()
+	}
+	var segments []SegmentGauge
+	if segSrc != nil {
+		segments = segSrc()
+	}
+	var cache CacheGauge
+	var hasCache bool
+	if cacheSrc != nil {
+		cache, hasCache = cacheSrc()
 	}
 	stages := m.stageStats() // under stageMu only, never nested in m.mu
 	m.mu.Lock()
@@ -287,6 +356,8 @@ func (m *Metrics) Snapshot() Dashboard {
 		return d.Stages[i].Stage < d.Stages[j].Stage
 	})
 	d.Shards = shards
+	d.Segments = segments
+	d.Cache, d.HasCache = cache, hasCache
 	return d
 }
 
@@ -366,6 +437,17 @@ func (d Dashboard) String() string {
 			fmt.Fprintf(&b, "    shard %-6d %8d  %8d  %10d  %8d  %10v\n",
 				s.Shard, s.Docs, s.Live, s.Postings, s.Queries, s.AvgQueryLatency.Round(time.Microsecond))
 		}
+	}
+	if len(d.Segments) > 0 {
+		fmt.Fprintf(&b, "  index segments:        (memtable / segments / backlog / seals / compactions)\n")
+		for _, s := range d.Segments {
+			fmt.Fprintf(&b, "    shard %-6d %8d  %8d  %7d  %6d  %11d\n",
+				s.Shard, s.MemtableDocs, s.Segments, s.Backlog, s.Seals, s.Compactions)
+		}
+	}
+	if d.HasCache {
+		fmt.Fprintf(&b, "  query cache:           %.0f%% hit rate (%d hits / %d misses, %d entries, %d delete evictions)\n",
+			d.Cache.HitRate*100, d.Cache.Hits, d.Cache.Misses, d.Cache.Entries, d.Cache.DeleteEvictions)
 	}
 	b.WriteString(d.StagesString())
 	return b.String()

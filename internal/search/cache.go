@@ -2,38 +2,52 @@ package search
 
 // Query-result cache: pilot traffic and load tests hammer a small set of
 // recurring questions (§8), so the searcher memoizes full retrieval results
-// in an LRU keyed on (query, options). Entries carry the index mutation
-// epoch they were computed at and are invalidated lazily when the epoch
-// moves — the 15-minute ingestion poller bumping the index flushes exactly
-// the stale answers, with no TTL guesswork. Concurrent identical queries
+// in an LRU keyed on (query, options). Entries carry the BM25 stats
+// snapshot key (index.Queryable.StatsKey) they were scored under and are
+// invalidated lazily when the key rotates. Concurrent identical queries
 // collapse into one execution (singleflight): the first caller computes,
 // the rest wait and share the result.
 //
-// Sharded indexes invalidate conservatively, on purpose. The facade's epoch
-// is the sum of its shard epochs, so a write to ANY shard invalidates EVERY
-// cached entry, including queries whose result documents all live on other
-// shards. A per-shard scheme — remember which shards contributed to a cached
-// ranking, keep the entry while those shards are unchanged — would be
-// unsound: BM25 idf is computed from global corpus statistics, so adding a
-// document to one shard shifts the scores (and potentially the order) of
-// matches living entirely on other shards, and a newly added document can
-// enter any query's top-k regardless of which shard it landed on.
-// TestCacheShardedEpochConservatism demonstrates the ranking flip that the
-// conservative purge protects against.
+// Two invalidation channels replace the old whole-epoch flush:
+//
+//   - Stats rotation. BM25 idf is computed from global corpus statistics,
+//     so once a write is *published* — a segmented store sealing a non-empty
+//     memtable, a compaction dropping tombstones, any Add on a plain
+//     mutable index — every cached ranking is potentially reordered (adding
+//     one document can shift the scores of matches living entirely on other
+//     shards; TestCacheStatsRotationRecomputes demonstrates the flip) and
+//     entries keyed on the old snapshot lapse. Writes a segmented store has
+//     absorbed but not yet published do not rotate the key, which is what
+//     lets entries survive live ingestion: a write to shard A no longer
+//     evicts results scored only against shard B's sealed segments.
+//   - The delete journal. Tombstoning a chunk changes no statistic (the
+//     chunk keeps counting toward N, average length and DF), so instead of
+//     rotating the key, SyncDeletes drains the store's journal and evicts
+//     exactly the entries whose results name a deleted chunk. A cached
+//     top-k without the chunk is still byte-exact and survives.
+//
+// Unpublished writes are still searchable immediately — uncached queries
+// always score against live statistics. What the cache trades is
+// recency-under-repetition: a repeated query can replay a pre-write ranking
+// until the next publication (the ingestion layer publishes at the end of
+// every bulk load and poll cycle), the near-real-time semantics of a
+// Lucene/Elasticsearch refresh interval.
 
 import (
 	"container/list"
 	"strconv"
 	"strings"
 	"sync"
+
+	"uniask/internal/index"
 )
 
 // DefaultQueryCacheCapacity is the entry budget used when NewQueryCache is
 // given a non-positive capacity.
 const DefaultQueryCacheCapacity = 512
 
-// QueryCache is an epoch-invalidated LRU of search results with in-flight
-// deduplication. Safe for concurrent use.
+// QueryCache is a snapshot-keyed LRU of search results with in-flight
+// deduplication and precise delete eviction. Safe for concurrent use.
 type QueryCache struct {
 	mu      sync.Mutex
 	cap     int
@@ -42,20 +56,25 @@ type QueryCache struct {
 	flights map[flightKey]*flight
 	hits    uint64
 	misses  uint64
+
+	// delCursor is the cache's position in the store's delete journal;
+	// delEvictions counts entries evicted because a result was deleted.
+	delCursor    uint64
+	delEvictions uint64
 }
 
 type cacheEntry struct {
 	key     string
-	epoch   uint64
+	snap    uint64 // stats snapshot key the results were scored under
 	results []Result
 	deg     Degradation
 }
 
-// flightKey includes the epoch so a flight started against a stale index
-// never absorbs callers that already observed a newer epoch.
+// flightKey includes the stats snapshot key so a flight started against a
+// stale snapshot never absorbs callers that already observed a newer one.
 type flightKey struct {
-	key   string
-	epoch uint64
+	key  string
+	snap uint64
 }
 
 // flight is one in-progress computation; results/deg/err are published
@@ -81,10 +100,10 @@ func NewQueryCache(capacity int) *QueryCache {
 	}
 }
 
-// lookup returns a copy of the results cached under key at the given epoch,
-// with the degradation they were computed under. A key cached at any other
-// epoch counts as a miss and is evicted.
-func (c *QueryCache) lookup(key string, epoch uint64) ([]Result, Degradation, bool) {
+// lookup returns a copy of the results cached under key at the given stats
+// snapshot, with the degradation they were computed under. A key cached at
+// any other snapshot counts as a miss and is evicted.
+func (c *QueryCache) lookup(key string, snap uint64) ([]Result, Degradation, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
@@ -93,7 +112,7 @@ func (c *QueryCache) lookup(key string, epoch uint64) ([]Result, Degradation, bo
 		return nil, Degradation{}, false
 	}
 	e := el.Value.(*cacheEntry)
-	if e.epoch != epoch {
+	if e.snap != snap {
 		c.lru.Remove(el)
 		delete(c.entries, key)
 		c.misses++
@@ -104,13 +123,51 @@ func (c *QueryCache) lookup(key string, epoch uint64) ([]Result, Degradation, bo
 	return copyResults(e.results), e.deg, true
 }
 
-// join registers interest in (key, epoch): the first caller becomes the
-// leader (leader=true) and must call complete; later callers receive the
-// same flight and wait on its done channel.
-func (c *QueryCache) join(key string, epoch uint64) (f *flight, leader bool) {
+// SyncDeletes advances the cache's cursor through the store's delete
+// journal and evicts exactly the entries whose cached results name a
+// deleted chunk — the precise counterpart of the stats-snapshot check:
+// deletes change no statistic, so every other entry remains byte-exact.
+// When the bounded journal has wrapped past the cursor the cache has missed
+// deletes and the only sound move is a full purge.
+func (c *QueryCache) SyncDeletes(q index.Queryable) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	fk := flightKey{key: key, epoch: epoch}
+	ids, next, ok := q.DeletesSince(c.delCursor)
+	c.delCursor = next
+	if !ok {
+		c.lru.Init()
+		c.entries = make(map[string]*list.Element)
+		return
+	}
+	if len(ids) == 0 {
+		return
+	}
+	deleted := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		deleted[id] = true
+	}
+	var nextEl *list.Element
+	for el := c.lru.Front(); el != nil; el = nextEl {
+		nextEl = el.Next()
+		e := el.Value.(*cacheEntry)
+		for _, r := range e.results {
+			if deleted[r.ChunkID] {
+				c.lru.Remove(el)
+				delete(c.entries, e.key)
+				c.delEvictions++
+				break
+			}
+		}
+	}
+}
+
+// join registers interest in (key, snap): the first caller becomes the
+// leader (leader=true) and must call complete; later callers receive the
+// same flight and wait on its done channel.
+func (c *QueryCache) join(key string, snap uint64) (f *flight, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fk := flightKey{key: key, snap: snap}
 	if f, ok := c.flights[fk]; ok {
 		return f, false
 	}
@@ -120,13 +177,13 @@ func (c *QueryCache) join(key string, epoch uint64) (f *flight, leader bool) {
 }
 
 // complete publishes the leader's outcome to waiters and, when store is
-// true (the caller decided the result is cacheable: success, still-current
-// epoch, not degraded), stores it in the LRU.
-func (c *QueryCache) complete(key string, epoch uint64, f *flight, results []Result, deg Degradation, err error, store bool) {
+// true (the caller decided the result is cacheable: success, snapshot and
+// delete journal still current, not degraded), stores it in the LRU.
+func (c *QueryCache) complete(key string, snap uint64, f *flight, results []Result, deg Degradation, err error, store bool) {
 	c.mu.Lock()
-	delete(c.flights, flightKey{key: key, epoch: epoch})
+	delete(c.flights, flightKey{key: key, snap: snap})
 	if err == nil && store {
-		c.storeLocked(key, epoch, copyResults(results), deg)
+		c.storeLocked(key, snap, copyResults(results), deg)
 	}
 	c.mu.Unlock()
 	f.results, f.deg, f.err = results, deg, err
@@ -134,14 +191,14 @@ func (c *QueryCache) complete(key string, epoch uint64, f *flight, results []Res
 }
 
 // storeLocked inserts or refreshes an entry; the caller holds c.mu.
-func (c *QueryCache) storeLocked(key string, epoch uint64, results []Result, deg Degradation) {
+func (c *QueryCache) storeLocked(key string, snap uint64, results []Result, deg Degradation) {
 	if el, ok := c.entries[key]; ok {
 		e := el.Value.(*cacheEntry)
-		e.epoch, e.results, e.deg = epoch, results, deg
+		e.snap, e.results, e.deg = snap, results, deg
 		c.lru.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, epoch: epoch, results: results, deg: deg})
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, snap: snap, results: results, deg: deg})
 	for c.lru.Len() > c.cap {
 		back := c.lru.Back()
 		c.lru.Remove(back)
@@ -149,13 +206,15 @@ func (c *QueryCache) storeLocked(key string, epoch uint64, results []Result, deg
 	}
 }
 
-// Purge drops every cached entry (used when the backing index object is
-// swapped wholesale, e.g. LoadIndex, where epochs restart from zero).
+// Purge drops every cached entry and resets the delete-journal cursor
+// (used when the backing index object is swapped wholesale, e.g. LoadIndex,
+// where snapshot keys and journals restart from zero).
 func (c *QueryCache) Purge() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.lru.Init()
 	c.entries = make(map[string]*list.Element)
+	c.delCursor = 0
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.
@@ -163,13 +222,24 @@ type CacheStats struct {
 	Hits    uint64
 	Misses  uint64
 	Entries int
+	// DeleteEvictions counts entries evicted by SyncDeletes because one of
+	// their results had been deleted — the precise-invalidation channel.
+	DeleteEvictions uint64
+}
+
+// HitRate is hits over lookups (0 when the cache has never been consulted).
+func (s CacheStats) HitRate() float64 {
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
 }
 
 // Stats reports hit/miss counters and the current entry count.
 func (c *QueryCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.lru.Len()}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.lru.Len(), DeleteEvictions: c.delEvictions}
 }
 
 // copyResults returns a defensive copy so cached slices are never aliased

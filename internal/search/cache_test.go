@@ -67,8 +67,11 @@ func TestCacheServesRepeatedQuery(t *testing.T) {
 	}
 }
 
-// TestCacheEpochInvalidation verifies a mutation between two identical
-// queries forces a recompute that sees the new document.
+// TestCacheEpochInvalidation verifies both invalidation channels on a plain
+// mutable index: an Add rotates the stats snapshot key (every write to a
+// plain index is immediately "published"), and a Delete flows through the
+// journal to evict exactly the entry naming the chunk — either way the
+// repeat query recomputes and sees the change.
 func TestCacheEpochInvalidation(t *testing.T) {
 	s, ce := cachedSearcher(t, 0)
 	ctx := context.Background()
@@ -257,27 +260,19 @@ func TestCachePurge(t *testing.T) {
 	}
 }
 
-// TestCacheShardedEpochConservatism documents why the cache invalidates
-// every entry when ANY shard of a sharded index changes: BM25 idf is global,
-// so a write to one shard can flip the relative ranking of documents that
-// live entirely on other shards. The test caches a query whose two matches
-// sit away from the mutated shard, floods a different shard with documents
-// carrying one of the query terms, and asserts (a) the facade's summed epoch
-// forced a recompute and (b) the recomputed ranking genuinely changed — a
-// per-shard "skip unchanged shards" scheme would have served the stale
-// order.
-func TestCacheShardedEpochConservatism(t *testing.T) {
+// shardedCacheFixture builds a 4-shard facade behind a cached searcher and
+// seeds the two-document idf setup shared by the survival and rotation
+// tests: docA matches both query terms; docB matches "carta" with higher
+// tf. While "rossa" is rare its idf dominates and A outranks B; once other
+// shards fill with "rossa" documents the term is devalued and B wins.
+func shardedCacheFixture(t *testing.T) (*shard.Sharded, *Searcher, func(id, content string)) {
+	t.Helper()
 	facade := shard.New(shard.Config{Shards: 4})
 	s := &Searcher{
 		Index:    facade,
 		Embedder: embedding.NewSynth(16, nil),
 		Cache:    NewQueryCache(0),
 	}
-	opts := Options{Mode: TextOnly, DisableSemanticRerank: true}
-
-	// A matches both query terms; B matches "carta" with higher tf. While
-	// "rossa" is rare its idf dominates and A outranks B; once another shard
-	// fills with "rossa" documents the term is devalued and B wins.
 	add := func(id, content string) {
 		t.Helper()
 		err := facade.Add(index.Document{
@@ -290,9 +285,42 @@ func TestCacheShardedEpochConservatism(t *testing.T) {
 	}
 	add("docA#0", "carta rossa")
 	add("docB#0", "carta carta carta carta")
-	homeA, homeB := facade.ShardFor("docA#0"), facade.ShardFor("docB#0")
+	return facade, s, add
+}
 
+// addFillers places n "rossa" documents on shards other than docA's and
+// docB's home shards — unpublished memtable writes that shift global idf
+// once they are published.
+func addFillers(t *testing.T, facade *shard.Sharded, add func(id, content string), n int) {
+	t.Helper()
+	homeA, homeB := facade.ShardFor("docA#0"), facade.ShardFor("docB#0")
+	fillers := 0
+	for i := 0; fillers < n && i < 1000; i++ {
+		id := fmt.Sprintf("fill%03d#0", i)
+		if sh := facade.ShardFor(id); sh == homeA || sh == homeB {
+			continue
+		}
+		add(id, "rossa")
+		fillers++
+	}
+	if fillers != n {
+		t.Fatalf("placed %d fillers off-shard, want %d", fillers, n)
+	}
+}
+
+// TestCacheSurvivesUnpublishedShardWrites is the counterpart of the old
+// TestCacheShardedEpochConservatism: with snapshot-keyed invalidation, a
+// write absorbed by shard A's memtable but not yet published no longer
+// evicts an entry whose results were scored only against shard B's
+// segments. The test caches a query, floods other shards with term-bearing
+// documents WITHOUT publishing, and asserts the repeat is a byte-identical
+// hit with zero delete evictions — while a differently-keyed fresh query
+// proves the unpublished writes are already searchable.
+func TestCacheSurvivesUnpublishedShardWrites(t *testing.T) {
+	facade, s, add := shardedCacheFixture(t)
+	opts := Options{Mode: TextOnly, DisableSemanticRerank: true}
 	ctx := context.Background()
+
 	first, err := s.Search(ctx, "carta rossa", opts)
 	if err != nil {
 		t.Fatal(err)
@@ -301,19 +329,70 @@ func TestCacheShardedEpochConservatism(t *testing.T) {
 		t.Fatalf("initial ranking = %+v, want docA#0 first", first)
 	}
 
-	// Flood shards other than A's and B's with "rossa" documents.
-	fillers := 0
-	for i := 0; fillers < 8 && i < 1000; i++ {
-		id := fmt.Sprintf("fill%03d#0", i)
-		if sh := facade.ShardFor(id); sh == homeA || sh == homeB {
-			continue
+	addFillers(t, facade, add, 8)
+
+	before := s.Cache.Stats()
+	second, err := s.Search(ctx, "carta rossa", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := s.Cache.Stats()
+	if after.Hits != before.Hits+1 || after.Misses != before.Misses {
+		t.Fatalf("unpublished writes evicted the entry: before=%+v after=%+v", before, after)
+	}
+	if after.DeleteEvictions != 0 {
+		t.Fatalf("delete evictions = %d, want 0 (nothing was deleted)", after.DeleteEvictions)
+	}
+	if after.HitRate() <= 0 {
+		t.Fatalf("hit rate gauge = %v, want > 0", after.HitRate())
+	}
+	if len(second) != len(first) {
+		t.Fatalf("cached result length %d != original %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("cached result[%d] = %+v, original %+v", i, second[i], first[i])
 		}
-		add(id, "rossa")
-		fillers++
 	}
-	if fillers != 8 {
-		t.Fatalf("placed %d fillers off-shard, want 8", fillers)
+
+	// The unpublished writes are still searchable right now: a fresh query
+	// (different cache key) finds a filler immediately.
+	fresh, err := s.Search(ctx, "rossa", Options{Mode: TextOnly, DisableSemanticRerank: true, FinalN: 12})
+	if err != nil {
+		t.Fatal(err)
 	}
+	foundFiller := false
+	for _, r := range fresh {
+		if r.ChunkID != "docA#0" && r.ChunkID != "docB#0" {
+			foundFiller = true
+		}
+	}
+	if !foundFiller {
+		t.Fatalf("fresh query %+v misses the unpublished fillers", fresh)
+	}
+}
+
+// TestCacheStatsRotationRecomputes shows why publication must rotate the
+// snapshot key: BM25 idf is global, so publishing writes on one shard can
+// flip the relative ranking of documents living entirely on other shards.
+// After Publish seals the filler memtables, the cached entry lapses and the
+// recomputed ranking genuinely changes — a per-shard "skip unchanged
+// shards" scheme would have served the stale order forever.
+func TestCacheStatsRotationRecomputes(t *testing.T) {
+	facade, s, add := shardedCacheFixture(t)
+	opts := Options{Mode: TextOnly, DisableSemanticRerank: true}
+	ctx := context.Background()
+
+	first, err := s.Search(ctx, "carta rossa", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) < 2 || first[0].ChunkID != "docA#0" {
+		t.Fatalf("initial ranking = %+v, want docA#0 first", first)
+	}
+
+	addFillers(t, facade, add, 8)
+	facade.Publish()
 
 	before := s.Cache.Stats()
 	second, err := s.Search(ctx, "carta rossa", opts)
@@ -322,9 +401,59 @@ func TestCacheShardedEpochConservatism(t *testing.T) {
 	}
 	after := s.Cache.Stats()
 	if after.Misses != before.Misses+1 || after.Hits != before.Hits {
-		t.Fatalf("epoch change did not force a recompute: before=%+v after=%+v", before, after)
+		t.Fatalf("publication did not force a recompute: before=%+v after=%+v", before, after)
 	}
 	if len(second) < 2 || second[0].ChunkID != "docB#0" {
-		t.Fatalf("post-mutation ranking = %+v, want docB#0 first (global idf shifted)", second)
+		t.Fatalf("post-publication ranking = %+v, want docB#0 first (global idf shifted)", second)
+	}
+}
+
+// TestCacheDeleteJournalPreciseEviction verifies the delete journal evicts
+// exactly the entries whose results name a deleted chunk: the entry holding
+// the victim recomputes, an unrelated entry keeps hitting, and no stats
+// rotation occurs (deletes change no BM25 statistic).
+func TestCacheDeleteJournalPreciseEviction(t *testing.T) {
+	facade, s, add := shardedCacheFixture(t)
+	opts := Options{Mode: TextOnly, DisableSemanticRerank: true}
+	ctx := context.Background()
+	add("docC#0", "prestito auto")
+
+	if _, err := s.Search(ctx, "carta rossa", opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Search(ctx, "prestito auto", opts); err != nil {
+		t.Fatal(err)
+	}
+
+	if !facade.Delete("docC#0") {
+		t.Fatal("delete failed")
+	}
+
+	// The unrelated entry survives and hits.
+	before := s.Cache.Stats()
+	if _, err := s.Search(ctx, "carta rossa", opts); err != nil {
+		t.Fatal(err)
+	}
+	mid := s.Cache.Stats()
+	if mid.Hits != before.Hits+1 {
+		t.Fatalf("unrelated entry did not hit after delete: before=%+v after=%+v", before, mid)
+	}
+	if mid.DeleteEvictions != 1 {
+		t.Fatalf("delete evictions = %d, want 1 (only the victim's entry)", mid.DeleteEvictions)
+	}
+
+	// The victim's entry was evicted and recomputes without the chunk.
+	res, err := s.Search(ctx, "prestito auto", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := s.Cache.Stats()
+	if after.Misses != mid.Misses+1 {
+		t.Fatalf("victim entry was not evicted: mid=%+v after=%+v", mid, after)
+	}
+	for _, r := range res {
+		if r.ChunkID == "docC#0" {
+			t.Fatalf("recomputed results %+v still contain the deleted chunk", res)
+		}
 	}
 }

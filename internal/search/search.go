@@ -175,11 +175,12 @@ type Result struct {
 
 // Searcher executes queries against an index.
 type Searcher struct {
-	// Index is the chunk index to search: a monolithic *index.Index or the
-	// sharded facade (internal/shard) — the Searcher is agnostic, it only
-	// needs the Queryable surface. Epoch() keys the query cache either way:
-	// the facade's epoch is the sum of its shard epochs, which changes
-	// whenever any shard changes.
+	// Index is the chunk index to search: a plain *index.Index, the
+	// segmented store, or the sharded facade (internal/shard) — the
+	// Searcher is agnostic, it only needs the Queryable surface. StatsKey()
+	// keys the query cache either way: it rotates exactly when the store
+	// publishes new BM25 statistics, and the delete journal (DeletesSince)
+	// carries tombstoned chunk ids for precise eviction in between.
 	Index index.Queryable
 	// Embedder produces query embeddings for vector search.
 	Embedder embedding.Embedder
@@ -192,9 +193,9 @@ type Searcher struct {
 	Observer pipeline.Observer
 	// Workers bounds the retrieval fan-out (0 = pipeline.DefaultWorkers).
 	Workers int
-	// Cache memoizes results per (query, options) at a given index epoch,
-	// with singleflight dedup of concurrent identical queries (nil = no
-	// caching).
+	// Cache memoizes results per (query, options) at a given stats
+	// snapshot, with singleflight dedup of concurrent identical queries and
+	// precise eviction of deleted chunks (nil = no caching).
 	Cache *QueryCache
 }
 
@@ -224,19 +225,27 @@ func (s *Searcher) SearchDegraded(ctx context.Context, query string, opts Option
 	if s.Cache == nil {
 		return s.run(ctx, query, opts)
 	}
-	epoch := s.Index.Epoch()
+	// Drain the delete journal first so a tombstoned chunk is never served
+	// from cache, then key the lookup on the published stats snapshot.
+	s.Cache.SyncDeletes(s.Index)
+	snap := s.Index.StatsKey()
+	_, delMark, _ := s.Index.DeletesSince(^uint64(0))
 	key := cacheKey(query, opts)
-	if res, deg, ok := s.Cache.lookup(key, epoch); ok {
+	if res, deg, ok := s.Cache.lookup(key, snap); ok {
 		return res, deg, nil
 	}
-	f, leader := s.Cache.join(key, epoch)
+	f, leader := s.Cache.join(key, snap)
 	if leader {
 		res, deg, err := s.run(ctx, query, opts)
-		// Re-check the epoch at store time: a write racing with this query
-		// must not leave a stale entry behind. Degraded results are not
-		// cached either: the dependency may already be healthy again, and a
-		// cache must not pin reduced fidelity for a whole epoch.
-		s.Cache.complete(key, epoch, f, res, deg, err, err == nil && !deg.Degraded() && s.Index.Epoch() == epoch)
+		// Re-check at store time: a stats publication racing this query must
+		// not leave a stale entry behind, and a delete racing it must not
+		// leave an entry the already-advanced journal cursor would never
+		// evict. Degraded results are not cached either: the dependency may
+		// already be healthy again, and a cache must not pin reduced
+		// fidelity for a whole snapshot.
+		_, delNow, _ := s.Index.DeletesSince(^uint64(0))
+		s.Cache.complete(key, snap, f, res, deg, err,
+			err == nil && !deg.Degraded() && s.Index.StatsKey() == snap && delNow == delMark)
 		return res, deg, err
 	}
 	select {

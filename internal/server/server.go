@@ -135,6 +135,29 @@ func New(engine *core.Engine) *Server {
 			return out
 		})
 	}
+	s.Metrics.SetSegmentSource(func() []monitor.SegmentGauge {
+		stats := engine.SegmentStats()
+		out := make([]monitor.SegmentGauge, len(stats))
+		for i, st := range stats {
+			out[i] = monitor.SegmentGauge{
+				Shard: i, MemtableDocs: st.MemtableDocs,
+				Segments: st.Segments, Backlog: st.Backlog,
+				Seals: st.Seals, Compactions: st.Compactions,
+				StatsKey: st.StatsKey,
+			}
+		}
+		return out
+	})
+	s.Metrics.SetCacheSource(func() (monitor.CacheGauge, bool) {
+		cs, ok := engine.CacheStats()
+		if !ok {
+			return monitor.CacheGauge{}, false
+		}
+		return monitor.CacheGauge{
+			Hits: cs.Hits, Misses: cs.Misses, HitRate: cs.HitRate(),
+			Entries: cs.Entries, DeleteEvictions: cs.DeleteEvictions,
+		}, true
+	})
 	return s
 }
 

@@ -122,6 +122,167 @@ func parityVariants() []struct {
 	}
 }
 
+// TestShardParitySegmentedLifecycle extends the parity criterion across the
+// segmented store's whole lifecycle: shards run with a tiny memtable so the
+// corpus shatters into many sealed segments plus live memtables, and the
+// facade must still rank byte-identically to the monolithic index — first
+// with unpublished writes and tombstones in place, then again after every
+// shard has fully compacted (compared against the compacted monolithic
+// index, which holds the same statistics once all tombstones are dropped).
+func TestShardParitySegmentedLifecycle(t *testing.T) {
+	const seed = 7
+	corpus := kb.Generate(kb.GenConfig{Docs: parityCorpusDocs, Seed: seed})
+	docs := extractCorpus(t, corpus)
+	emb := embedding.NewSynth(64, corpus.Lexicon())
+	client := llm.NewSim(llm.DefaultBehavior())
+	queries := parityQueries(corpus, seed)
+	variants := parityVariants()
+
+	// Parents deleted mid-lifecycle, spread across the corpus.
+	var victims []string
+	for i := 0; i < len(corpus.Docs); i += 9 {
+		victims = append(victims, corpus.Docs[i].ID)
+	}
+
+	monoIx := index.New(exhaustiveConfig())
+	mono := buildSearcher(t, monoIx, docs, emb, client)
+	for _, p := range victims {
+		monoIx.DeleteParent(p)
+	}
+	type key struct{ variant, query int }
+	wantLive := make(map[key]string)
+	for vi, v := range variants {
+		for qi, q := range queries {
+			res, err := mono.Search(context.Background(), q, v.opts)
+			if err != nil {
+				t.Fatalf("monolithic %s %q: %v", v.name, q, err)
+			}
+			wantLive[key{vi, qi}] = fmt.Sprintf("%#v", res)
+		}
+	}
+
+	monoLive := monoIx.LiveLen()
+
+	// Sentinel documents covering every FNV residue mod 8 (and therefore
+	// every shard at each tested count): added after the deletes, they leave
+	// every shard's memtable non-empty so the final publication seals one
+	// more segment per shard and the compactor's last merge reclaims every
+	// tombstone deterministically.
+	probe := shard.New(shard.Config{Shards: 8, Index: exhaustiveConfig()})
+	sentinels := make([]index.Document, 0, 8)
+	covered := make(map[int]bool)
+	for i := 0; len(covered) < 8 && i < 1000; i++ {
+		id := fmt.Sprintf("pad%03d#0", i)
+		res := probe.ShardFor(id)
+		if covered[res] {
+			continue
+		}
+		covered[res] = true
+		title := fmt.Sprintf("Nota operativa %d", i)
+		content := fmt.Sprintf("Aggiornamento %d della nota operativa sul conto.", i)
+		sentinels = append(sentinels, index.Document{
+			ID: id, ParentID: fmt.Sprintf("pad%03d", i),
+			Fields: map[string]string{"title": title, "content": content},
+			Vectors: map[string]vector.Vector{
+				"titleVector":   emb.Embed(title),
+				"contentVector": emb.Embed(content),
+			},
+		})
+	}
+	if len(sentinels) != 8 {
+		t.Fatalf("found %d sentinel residues, want 8", len(sentinels))
+	}
+	for _, d := range sentinels {
+		if err := monoIx.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compactedIx, err := monoIx.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compacted := &search.Searcher{Index: compactedIx, Embedder: emb, Reranker: rerank.New(), LLM: client, Workers: 4}
+	wantCompacted := make(map[key]string)
+	for vi, v := range variants {
+		for qi, q := range queries {
+			res, err := compacted.Search(context.Background(), q, v.opts)
+			if err != nil {
+				t.Fatalf("compacted monolithic %s %q: %v", v.name, q, err)
+			}
+			wantCompacted[key{vi, qi}] = fmt.Sprintf("%#v", res)
+		}
+	}
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			facade := shard.New(shard.Config{
+				Shards: shards,
+				Index:  exhaustiveConfig(),
+				// Memtable of 8 shatters every shard into many segments;
+				// fan-in 2 lets the background compactor merge all the way
+				// down once the deletes are published.
+				Segment: index.SegmentConfig{MemtableMaxDocs: 8, CompactionFanIn: 2},
+			})
+			s := buildSearcher(t, facade, docs, emb, client)
+			// Quiesce the build-time compactor before deleting so both sides
+			// hold exactly the same tombstones during the live phase.
+			facade.WaitCompaction()
+			for _, p := range victims {
+				facade.DeleteParent(p)
+			}
+			if got := facade.LiveLen(); got != monoLive {
+				t.Fatalf("facade holds %d live chunks, monolithic %d", got, monoLive)
+			}
+			sealed := 0
+			for _, st := range facade.SegmentStats() {
+				sealed += st.Segments
+			}
+			if sealed < shards {
+				t.Fatalf("fixture produced only %d sealed segments across %d shards", sealed, shards)
+			}
+			for vi, v := range variants {
+				for qi, q := range queries {
+					res, err := s.Search(context.Background(), q, v.opts)
+					if err != nil {
+						t.Fatalf("live %s %q: %v", v.name, q, err)
+					}
+					if got := fmt.Sprintf("%#v", res); got != wantLive[key{vi, qi}] {
+						t.Errorf("live %s %q: segmented ranking diverged from monolithic\nmono:  %s\nshard: %s",
+							v.name, q, wantLive[key{vi, qi}], got)
+					}
+				}
+			}
+
+			// Publish the tombstoned state and let every shard compact to a
+			// single tombstone-free segment: the sentinels guarantee one
+			// fresh seal per shard, so every shard has at least two sealed
+			// segments and the drain merges all of them.
+			for _, d := range sentinels {
+				if err := facade.Add(d); err != nil {
+					t.Fatal(err)
+				}
+			}
+			facade.Publish()
+			facade.WaitCompaction()
+			if got := facade.Tombstones(); got != 0 {
+				t.Fatalf("compaction left %d tombstones (fixture must give every shard >= 2 segments)", got)
+			}
+			for vi, v := range variants {
+				for qi, q := range queries {
+					res, err := s.Search(context.Background(), q, v.opts)
+					if err != nil {
+						t.Fatalf("compacted %s %q: %v", v.name, q, err)
+					}
+					if got := fmt.Sprintf("%#v", res); got != wantCompacted[key{vi, qi}] {
+						t.Errorf("compacted %s %q: segmented ranking diverged from compacted monolithic\nmono:  %s\nshard: %s",
+							v.name, q, wantCompacted[key{vi, qi}], got)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestShardParityMatchesMonolithic is the cross-check: one monolithic index
 // and one facade per shard count, fed identically, must return identical
 // []search.Result for every query of every variant.

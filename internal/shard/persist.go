@@ -19,14 +19,17 @@ import (
 //
 //	"uniask-sharded-snapshot/"            (index.ShardedSnapshotMagic)
 //	u64 big-endian manifest length, manifest gob
-//	per shard: u64 big-endian length, index snapshot (index.Save format)
+//	per shard: u64 big-endian length, segmented snapshot (Segmented.Save)
 //
 // The magic is what lets index.Read reject a sharded stream with a
 // descriptive error, and what lets Load accept a legacy single-file
 // snapshot: a stream that does not start with the magic is decoded as a
 // monolithic snapshot and its live documents are redistributed across the
 // configured shards (the migration path). A container whose manifest shard
-// count differs from the configured one migrates the same way.
+// count differs from the configured one migrates the same way. Per-shard
+// sections are themselves format-sniffed on load, so PR-4 era containers
+// whose sections are plain single-index snapshots still restore (each one
+// is adopted as a single sealed segment).
 type manifest struct {
 	// Version of the container layout.
 	Version int
@@ -149,10 +152,11 @@ func Load(r io.Reader, cfg Config) (*Sharded, error) {
 	}
 
 	loaded := &Sharded{
-		cfg:     Config{Shards: m.Shards, Index: cfg.Index, Workers: cfg.Workers},
-		shards:  make([]*index.Index, m.Shards),
+		cfg:     Config{Shards: m.Shards, Index: cfg.Index, Segment: cfg.Segment, Workers: cfg.Workers},
+		shards:  make([]*index.Segmented, m.Shards),
 		seq:     m.Seq,
 		nextSeq: m.NextSeq,
+		journal: index.NewDeleteJournal(),
 		stats:   make([]queryStat, m.Shards),
 	}
 	if loaded.seq == nil {
@@ -163,7 +167,11 @@ func Load(r io.Reader, cfg Config) (*Sharded, error) {
 		if err != nil {
 			return nil, fmt.Errorf("shard: read shard %d: %w", i, err)
 		}
-		ix, err := index.Read(sec, cfg.Index)
+		// Each per-shard section is sniffed by format: new containers hold
+		// one segmented snapshot per shard, PR-4 era containers hold plain
+		// single-index snapshots, which ReadSegmented adopts as one sealed
+		// segment apiece (no re-analysis).
+		ix, err := index.ReadSegmented(sec, cfg.Index, cfg.Segment)
 		if err != nil {
 			return nil, fmt.Errorf("shard: restore shard %d: %w", i, err)
 		}

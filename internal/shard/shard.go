@@ -46,6 +46,9 @@ type Config struct {
 	// Index configures each shard identically (schema, analyzer, BM25
 	// params, vector-index constructor).
 	Index index.Config
+	// Segment tunes each shard's segmented write path (memtable bound,
+	// compaction fan-in).
+	Segment index.SegmentConfig
 	// Workers bounds the query fan-out concurrency; 0 means one worker per
 	// CPU (pipeline.DefaultWorkers).
 	Workers int
@@ -67,7 +70,7 @@ type queryStat struct {
 // the global sequence map.
 type Sharded struct {
 	cfg    Config
-	shards []*index.Index
+	shards []*index.Segmented
 
 	// seqMu guards seq/nextSeq. seq maps a chunk id to its global arrival
 	// sequence — the cross-shard equivalent of the monolithic insertion
@@ -76,6 +79,10 @@ type Sharded struct {
 	seqMu   sync.RWMutex
 	seq     map[string]uint64
 	nextSeq uint64
+
+	// journal aggregates the shards' deletes into one stream so the query
+	// cache keeps a single cursor against the facade (see index.Queryable).
+	journal *index.DeleteJournal
 
 	stats []queryStat
 }
@@ -86,25 +93,30 @@ func New(cfg Config) *Sharded {
 		cfg.Shards = 1
 	}
 	s := &Sharded{
-		cfg:    cfg,
-		shards: make([]*index.Index, cfg.Shards),
-		seq:    make(map[string]uint64),
-		stats:  make([]queryStat, cfg.Shards),
+		cfg:     cfg,
+		shards:  make([]*index.Segmented, cfg.Shards),
+		seq:     make(map[string]uint64),
+		journal: index.NewDeleteJournal(),
+		stats:   make([]queryStat, cfg.Shards),
 	}
 	for i := range s.shards {
-		s.shards[i] = index.New(cfg.Index)
+		s.shards[i] = index.NewSegmented(cfg.Index, cfg.Segment)
 	}
 	return s
 }
 
-// Compile-time check: the facade is a drop-in index.Repository.
-var _ index.Repository = (*Sharded)(nil)
+// Compile-time checks: the facade is a drop-in index.Repository with a
+// publication point.
+var (
+	_ index.Repository = (*Sharded)(nil)
+	_ index.Publisher  = (*Sharded)(nil)
+)
 
 // NumShards reports the shard count.
 func (s *Sharded) NumShards() int { return len(s.shards) }
 
 // Shard exposes one shard (diagnostics and tests).
-func (s *Sharded) Shard(i int) *index.Index { return s.shards[i] }
+func (s *Sharded) Shard(i int) *index.Segmented { return s.shards[i] }
 
 // ShardFor returns the shard index owning a chunk id: FNV-1a 64 of the id
 // modulo the shard count. The hash is stable across processes and
@@ -155,18 +167,31 @@ func (s *Sharded) AddBulk(docs []index.Document) error {
 	return err
 }
 
-// Delete tombstones a chunk on its owning shard.
+// Delete tombstones a chunk on its owning shard and journals the id for
+// precise cache eviction.
 func (s *Sharded) Delete(chunkID string) bool {
-	return s.shards[s.ShardFor(chunkID)].Delete(chunkID)
+	if !s.shards[s.ShardFor(chunkID)].Delete(chunkID) {
+		return false
+	}
+	s.journal.Record(chunkID)
+	return true
 }
 
 // DeleteParent tombstones every chunk of a KB document. Chunks of one
 // parent hash by their own chunk ids and may live on any shard, so the
-// delete fans out to all of them.
+// delete fans out to all of them; every removed chunk id lands in the
+// facade journal.
 func (s *Sharded) DeleteParent(parentID string) int {
 	n := 0
 	for _, sh := range s.shards {
+		ids := sh.ParentChunkIDs(parentID)
+		if len(ids) == 0 {
+			continue
+		}
 		n += sh.DeleteParent(parentID)
+		for _, id := range ids {
+			s.journal.Record(id)
+		}
 	}
 	return n
 }
@@ -193,6 +218,51 @@ func (s *Sharded) Epoch() uint64 {
 		e += sh.Epoch()
 	}
 	return e
+}
+
+// StatsKey returns the sum of the shard stats snapshot keys. Each shard's
+// key is non-decreasing and rotates only when that shard publishes new BM25
+// statistics (memtable seal, tombstone-dropping compaction), so the sum
+// changes exactly when some shard's published statistics change — writes
+// absorbed by a memtable but not yet sealed leave it untouched, which is
+// what lets cache entries survive unrelated-shard writes.
+func (s *Sharded) StatsKey() uint64 {
+	var k uint64
+	for _, sh := range s.shards {
+		k += sh.StatsKey()
+	}
+	return k
+}
+
+// DeletesSince drains the facade's delete journal from cursor (see
+// index.Queryable).
+func (s *Sharded) DeletesSince(cursor uint64) (ids []string, next uint64, ok bool) {
+	return s.journal.Since(cursor)
+}
+
+// Publish seals every shard's memtable and schedules their background
+// compactions — the facade-wide publication point the ingestion layer
+// calls after each bulk load or poll cycle.
+func (s *Sharded) Publish() {
+	for _, sh := range s.shards {
+		sh.Publish()
+	}
+}
+
+// WaitCompaction blocks until every shard's background compactor is idle.
+func (s *Sharded) WaitCompaction() {
+	for _, sh := range s.shards {
+		sh.WaitCompaction()
+	}
+}
+
+// SegmentStats returns one segmented-store gauge snapshot per shard.
+func (s *Sharded) SegmentStats() []index.SegmentStats {
+	out := make([]index.SegmentStats, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.SegmentStats()
+	}
+	return out
 }
 
 // Len counts chunks ever inserted across shards, including tombstones.

@@ -71,6 +71,14 @@ type Config struct {
 	// monolithic index would return (see docs/OPERATIONS.md). 0 or 1 keeps
 	// the single monolithic index.
 	ShardCount int
+	// MemtableMaxDocs seals a store's mutable memtable into an immutable
+	// sealed segment once it holds this many chunks (0 = 1024; negative
+	// disables auto-sealing so only end-of-ingestion publication seals).
+	// See docs/OPERATIONS.md for sizing guidance.
+	MemtableMaxDocs int
+	// CompactionFanIn is how many adjacent sealed segments one background
+	// compaction merges (0 = 4; negative disables background compaction).
+	CompactionFanIn int
 	// Observer receives per-stage pipeline reports for every query
 	// (latency, sizes, errors). NewServer overrides it with the server's
 	// metrics registry; set it here for custom instrumentation.
@@ -121,6 +129,8 @@ func New(cfg Config) *System {
 		Observer:           cfg.Observer,
 		SearchWorkers:      cfg.SearchWorkers,
 		ShardCount:         cfg.ShardCount,
+		MemtableMaxDocs:    cfg.MemtableMaxDocs,
+		CompactionFanIn:    cfg.CompactionFanIn,
 		TraceCapacity:      cfg.TraceCapacity,
 		TraceSampleRate:    cfg.TraceSampleRate,
 		TraceSlowThreshold: cfg.TraceSlowThreshold,
@@ -164,8 +174,11 @@ func (s *System) IndexHTML(ctx context.Context, id, html string) error {
 	}
 	q.Close()
 	in := indexer.New(s.engine.Index, s.engine.Embedder, s.engine.Client, indexer.Config{})
-	_, err := in.Run(ctx, q)
-	return err
+	if _, err := in.Run(ctx, q); err != nil {
+		return err
+	}
+	s.engine.Publish()
+	return nil
 }
 
 // Ask runs the full RAG query flow: content filter, hybrid retrieval with
@@ -205,10 +218,12 @@ func (s *System) SaveIndex(w io.Writer) error {
 
 // LoadIndex replaces the system's index with one previously written by
 // SaveIndex. The embedder configuration must match the one used when the
-// index was built. A system configured with ShardCount > 1 also accepts
-// snapshots written before sharding (or at a different shard count),
-// migrating them by re-routing every document; a monolithic system rejects
-// sharded snapshots with a descriptive error.
+// index was built. Segmented containers, PR-4 era sharded containers and
+// legacy single-file snapshots all load: a system configured with
+// ShardCount > 1 accepts snapshots written before sharding (or at a
+// different shard count), migrating them by re-routing every document; a
+// monolithic system adopts a legacy single-file snapshot as one sealed
+// segment and rejects sharded snapshots with a descriptive error.
 func (s *System) LoadIndex(r io.Reader) error {
 	return s.engine.LoadIndex(r)
 }
