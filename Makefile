@@ -73,7 +73,9 @@ fuzz-short:
 bench:
 	$(GO) test -bench 'BenchmarkSearchText|BenchmarkSearchVector|BenchmarkFilterSet|BenchmarkQueryCache|BenchmarkTrace|BenchmarkIngest' \
 		-benchmem -run '^$$' ./internal/index/ ./internal/search/ ./internal/shard/ ./internal/trace/ \
-		| $(GO) run ./cmd/benchjson -baseline BENCH_query_baseline.json > BENCH_query.json
+		| $(GO) run ./cmd/benchjson -baseline BENCH_query_baseline.json \
+			-note "SearchVector* run the int8 quantized arena: traversal orders candidates by int8 dot products, then every surviving candidate (<= ef) is rescored with exact float32 dots before final ranking, so reported latencies include the rescoring pass and scores match the *Float32 control benchmarks exactly." \
+			> BENCH_query.json
 	@echo "wrote BENCH_query.json"
 
 # Paper-scale end-to-end benchmark (Tables 1-3 reproduction).

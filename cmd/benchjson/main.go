@@ -46,6 +46,8 @@ var metricPair = regexp.MustCompile(`([\d.eE+-]+) (\S+)`)
 func main() {
 	baselinePath := flag.String("baseline", "",
 		"JSON file with pre-change numbers to embed under \"baseline\" (skipped when absent)")
+	note := flag.String("note", "",
+		"free-text annotation embedded under \"note\" (methodology caveats, measurement context)")
 	flag.Parse()
 
 	var results []Result
@@ -90,6 +92,9 @@ func main() {
 		os.Exit(1)
 	}
 	out := map[string]any{"benchmarks": results}
+	if *note != "" {
+		out["note"] = *note
+	}
 	if *baselinePath != "" {
 		if raw, err := os.ReadFile(*baselinePath); err == nil {
 			var baseline any

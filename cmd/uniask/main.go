@@ -36,6 +36,7 @@ func main() {
 		traceCap  = flag.Int("trace-capacity", 0, "trace store size (0 = 2048 retained traces, negative disables tracing)")
 		traceRate = flag.Float64("trace-sample", 0, "head-sampling rate in (0,1] (0 = trace every request)")
 		traceSlow = flag.Duration("trace-slow", 0, "always-retain latency threshold (0 = 250ms)")
+		noQuant   = flag.Bool("no-vector-quantization", false, "ANN search over full float32 vectors instead of the int8 quantized arena (recall debugging)")
 	)
 	flag.Parse()
 
@@ -43,14 +44,15 @@ func main() {
 	start := time.Now()
 	corpus := uniask.SyntheticCorpus(*docs, *seed)
 	sys, err := uniask.NewFromCorpus(context.Background(), corpus, uniask.Config{
-		EnrichSummary:      true,
-		SearchWorkers:      *workers,
-		ShardCount:         *shards,
-		MemtableMaxDocs:    *memtable,
-		CompactionFanIn:    *fanIn,
-		TraceCapacity:      *traceCap,
-		TraceSampleRate:    *traceRate,
-		TraceSlowThreshold: *traceSlow,
+		EnrichSummary:             true,
+		SearchWorkers:             *workers,
+		ShardCount:                *shards,
+		MemtableMaxDocs:           *memtable,
+		CompactionFanIn:           *fanIn,
+		TraceCapacity:             *traceCap,
+		TraceSampleRate:           *traceRate,
+		TraceSlowThreshold:        *traceSlow,
+		DisableVectorQuantization: *noQuant,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "setup failed:", err)

@@ -97,6 +97,11 @@ type Config struct {
 	// QueryCacheCapacity sizes the snapshot-keyed query-result cache
 	// (0 = search.DefaultQueryCacheCapacity; negative disables caching).
 	QueryCacheCapacity int
+	// DisableVectorQuantization makes ANN search traverse full float32
+	// vectors instead of the int8 quantized arena — exact traversal
+	// distances at ~4× the memory bandwidth. The default (quantized) is
+	// the right call everywhere except recall debugging.
+	DisableVectorQuantization bool
 	// Resilience configures retries and circuit breakers around the LLM and
 	// embedding dependencies (zero value = enabled with defaults).
 	Resilience ResilienceConfig
@@ -174,15 +179,19 @@ func New(cfg Config) *Engine {
 		CompactionFanIn: cfg.CompactionFanIn,
 	}
 	var ix index.Repository
+	ixCfg := index.Config{
+		Schema:                    indexer.Schema(),
+		DisableVectorQuantization: cfg.DisableVectorQuantization,
+	}
 	if cfg.ShardCount > 1 {
 		ix = shard.New(shard.Config{
 			Shards:  cfg.ShardCount,
-			Index:   index.Config{Schema: indexer.Schema()},
+			Index:   ixCfg,
 			Segment: segCfg,
 			Workers: cfg.SearchWorkers,
 		})
 	} else {
-		ix = index.NewSegmented(index.Config{Schema: indexer.Schema()}, segCfg)
+		ix = index.NewSegmented(ixCfg, segCfg)
 	}
 	eng := &Engine{
 		cfg:      cfg,
@@ -346,15 +355,20 @@ func (e *Engine) LoadIndex(r io.Reader) error {
 		MemtableMaxDocs: e.cfg.MemtableMaxDocs,
 		CompactionFanIn: e.cfg.CompactionFanIn,
 	}
+	ixCfg := index.Config{
+		Schema:                    indexer.Schema(),
+		DisableVectorQuantization: e.cfg.DisableVectorQuantization,
+	}
 	if e.cfg.ShardCount > 1 {
 		ix, err = shard.Load(r, shard.Config{
 			Shards:  e.cfg.ShardCount,
-			Index:   index.Config{Schema: indexer.Schema()},
+			Index:   ixCfg,
 			Segment: segCfg,
 			Workers: e.cfg.SearchWorkers,
 		})
 	} else {
-		ix, err = index.ReadSegmented(r, index.Config{}, segCfg)
+		ixCfg.Schema = nil
+		ix, err = index.ReadSegmented(r, ixCfg, segCfg)
 	}
 	if err != nil {
 		return err

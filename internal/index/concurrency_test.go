@@ -347,11 +347,42 @@ func TestSearchTextAllocsSegmented(t *testing.T) {
 	}
 }
 
-// TestSearchVectorGrowsFetchUnderSelectiveFilter pins the satellite fix for
-// the fixed k*4 over-fetch: with a filter matching few documents, the ANN
-// fetch must keep growing until k survivors are found instead of silently
-// under-filling the result.
-func TestSearchVectorGrowsFetchUnderSelectiveFilter(t *testing.T) {
+// TestSearchVectorAllocs extends the allocation guard to the ANN leg: the
+// pooled search state makes the walk itself allocation-free, leaving only
+// the normalized query copy, the result slices and (when filtering) the
+// accept closure. Budget 16 per the PR-7 acceptance bar; measured ~3.
+func TestSearchVectorAllocs(t *testing.T) {
+	ix, q := smallIndex(t, 500)
+	// Warm the pooled search state.
+	ix.SearchVector("contentVector", q, 15, nil)
+	allocs := testing.AllocsPerRun(50, func() {
+		ix.SearchVector("contentVector", q, 15, nil)
+	})
+	if allocs > 16 {
+		t.Fatalf("SearchVector allocated %.0f times per run, want <= 16", allocs)
+	}
+}
+
+// TestSearchVectorFilteredAllocs is the same guard with a filter pushed
+// into the graph walk (measured ~4: + the accept closure).
+func TestSearchVectorFilteredAllocs(t *testing.T) {
+	ix, q := smallIndex(t, 500)
+	filters := []Filter{{Field: "domain", Value: "pagamenti"}}
+	ix.SearchVector("contentVector", q, 15, filters) // warm pool + filter bitset cache
+	allocs := testing.AllocsPerRun(50, func() {
+		ix.SearchVector("contentVector", q, 15, filters)
+	})
+	if allocs > 16 {
+		t.Fatalf("filtered SearchVector allocated %.0f times per run, want <= 16", allocs)
+	}
+}
+
+// TestSearchVectorFillsKUnderSelectiveFilter pins the filter-pushdown
+// guarantee: with a filter matching few documents, the graph walk keeps
+// traversing rejected nodes for connectivity until k accepted survivors are
+// found, instead of silently under-filling the result (the failure mode of
+// the fixed k*4 over-fetch this replaced).
+func TestSearchVectorFillsKUnderSelectiveFilter(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	ix := New(Config{})
 	dim := 16
@@ -379,10 +410,10 @@ func TestSearchVectorGrowsFetchUnderSelectiveFilter(t *testing.T) {
 	for j := range q {
 		q[j] = float32(rng.NormFloat64())
 	}
-	k := 10 // k*4 = 40 fetched, but only ~12/400 docs pass the filter
+	k := 10 // only ~12/400 docs pass the filter, so the walk must flood far
 	hits := ix.SearchVector("contentVector", q, k, []Filter{{Field: "domain", Value: "raro"}})
 	if len(hits) != k {
-		t.Fatalf("got %d hits, want %d (fetch must grow past the k*4 floor)", len(hits), k)
+		t.Fatalf("got %d hits, want %d (filtered walk must keep traversing until k survivors)", len(hits), k)
 	}
 	for _, h := range hits {
 		if got := ix.Doc(h.Ord).Fields["domain"]; got != "raro" {

@@ -24,6 +24,10 @@ type Searcher interface {
 	SearchTextGlobal(query string, n int, opts TextOptions, stats *CorpusStats) []Hit
 	CollectStats(fields, terms []string) CorpusStats
 	SearchVector(field string, q vector.Vector, k int, filters []Filter) []Hit
+	// SearchVectorUnit is SearchVector for a query the caller already
+	// normalized to unit length — the facade normalizes once per request
+	// and fans the same unit vector out to every shard.
+	SearchVectorUnit(field string, q vector.Vector, k int, filters []Filter) []Hit
 	VectorFields() []string
 	SearchableFields() []string
 	DocByID(id string) (Document, bool)

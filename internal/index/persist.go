@@ -158,11 +158,15 @@ func Read(r io.Reader, cfg Config) (*Index, error) {
 	for name := range ix.vecs {
 		if data, ok := snap.Vectors[name]; ok {
 			h, err := vector.ReadHNSW(bytes.NewReader(data))
-			if err != nil {
+			if err == nil {
+				ix.vecs[name] = h
+				continue
+			}
+			// A pre-arena graph snapshot cannot be adopted in place, but the
+			// documents still carry their vectors — fall through and rebuild.
+			if !errors.Is(err, vector.ErrLegacyHNSWSnapshot) {
 				return nil, fmt.Errorf("index: vector field %q: %w", name, err)
 			}
-			ix.vecs[name] = h
-			continue
 		}
 		// No serialized graph: rebuild from stored document vectors.
 		for i, d := range ix.docs {

@@ -2,7 +2,6 @@ package index
 
 import (
 	"math"
-	"math/bits"
 	"sort"
 
 	"uniask/internal/vector"
@@ -311,11 +310,20 @@ func SortHits(hits []Hit) {
 }
 
 // SearchVector returns the k nearest chunks to q in the given vector field,
-// optionally post-filtered. When filters or tombstones can disqualify
-// neighbors, the ANN fetch starts at 4k and grows geometrically until k
-// survivors are found or the graph is exhausted, so heavy filtering never
-// silently under-fills the result.
+// optionally filtered. Tombstones and filter bitsets are pushed into the
+// graph walk as an Accept predicate — disqualified chunks are traversed for
+// connectivity but never occupy result slots — so heavy filtering fills k
+// survivors in one walk instead of the old geometric over-fetch-and-
+// re-search loop.
 func (ix *Index) SearchVector(field string, q vector.Vector, k int, filters []Filter) []Hit {
+	qn := vector.Normalize(append(vector.Vector(nil), q...))
+	return ix.SearchVectorUnit(field, qn, k, filters)
+}
+
+// SearchVectorUnit is SearchVector for callers that already normalized the
+// query once per request (the segmented store and the shard facade fan one
+// unit query out to every part). q must be unit length and is not modified.
+func (ix *Index) SearchVectorUnit(field string, q vector.Vector, k int, filters []Filter) []Hit {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	vx, ok := ix.vecs[field]
@@ -323,55 +331,21 @@ func (ix *Index) SearchVector(field string, q vector.Vector, k int, filters []Fi
 		return nil
 	}
 	allowed, filtered := ix.filterBits(filters)
-	noDeletes := len(ix.deleted) == 0
-	total := vx.Len()
-	hits := make([]Hit, 0, k)
-	fetch := k
-	if filtered || !noDeletes {
-		// Estimate how many graph entries can survive and size the first
-		// fetch for ~2x the needed survivor rate (never below the 4k
-		// floor), so the geometric growth below rarely has to re-search.
-		avail := total - len(ix.deleted)
-		if filtered {
-			pc := 0
-			for _, w := range allowed {
-				pc += bits.OnesCount64(w)
+	var accept vector.Accept
+	if deleted := ix.deleted; filtered || len(deleted) > 0 {
+		accept = func(id int32) bool {
+			if len(deleted) > 0 && deleted[id] {
+				return false
 			}
-			if pc < avail {
-				avail = pc
-			}
-		}
-		if avail <= 0 {
-			return hits
-		}
-		fetch = k * 4
-		if est := 2 * k * total / avail; est > fetch {
-			fetch = est
-		}
-		if fetch > total {
-			fetch = total
+			return !filtered || bitTest(allowed, id)
 		}
 	}
-	for {
-		res := vx.Search(q, fetch)
-		hits = hits[:0]
-		for _, r := range res {
-			if !noDeletes && ix.deleted[int32(r.ID)] {
-				continue
-			}
-			if filtered && !bitTest(allowed, int32(r.ID)) {
-				continue
-			}
-			hits = append(hits, Hit{Ord: r.ID, ID: ix.docs[r.ID].ID, Score: 1 - float64(r.Distance)})
-			if len(hits) == k {
-				return hits
-			}
-		}
-		if len(res) >= total || fetch >= total {
-			return hits
-		}
-		fetch *= 2
+	res := vx.SearchUnit(q, k, accept)
+	hits := make([]Hit, 0, len(res))
+	for _, r := range res {
+		hits = append(hits, Hit{Ord: r.ID, ID: ix.docs[r.ID].ID, Score: 1 - float64(r.Distance)})
 	}
+	return hits
 }
 
 // VectorFields lists the vector fields present in the schema, sorted. The

@@ -619,18 +619,25 @@ func searchPartsGlobal(parts []*Index, query string, n int, opts TextOptions, st
 // candidates into the global top-k, breaking score ties by arrival
 // sequence then id — reproducing the insertion-ordinal tiebreak of a
 // monolithic exhaustive index, exactly like the shard facade does across
-// shards.
+// shards. The query is normalized once here, not once per part.
 func (s *Segmented) SearchVector(field string, q vector.Vector, k int, filters []Filter) []Hit {
+	qn := vector.Normalize(append(vector.Vector(nil), q...))
+	return s.SearchVectorUnit(field, qn, k, filters)
+}
+
+// SearchVectorUnit is SearchVector for an already unit-length query (the
+// shard facade normalizes once per request before fanning out).
+func (s *Segmented) SearchVectorUnit(field string, q vector.Vector, k int, filters []Filter) []Hit {
 	parts := s.parts()
 	if len(parts) == 1 {
-		return parts[0].SearchVector(field, q, k, filters)
+		return parts[0].SearchVectorUnit(field, q, k, filters)
 	}
 	if k <= 0 {
 		return nil
 	}
 	var merged []Hit
 	for _, part := range parts {
-		merged = append(merged, part.SearchVector(field, q, k, filters)...)
+		merged = append(merged, part.SearchVectorUnit(field, q, k, filters)...)
 	}
 	seqs := make([]uint64, len(merged))
 	s.seqMu.RLock()

@@ -2,7 +2,10 @@ package index
 
 import (
 	"bytes"
+	"math/rand"
 	"testing"
+
+	"uniask/internal/vector"
 )
 
 // segStore builds a segmented store with sealed segments, a live memtable
@@ -64,6 +67,47 @@ func TestSegmentedPersistRoundTrip(t *testing.T) {
 	restored.WaitCompaction()
 	if restored.StatsKey() == before {
 		t.Fatal("restored store did not rotate on publish")
+	}
+}
+
+// TestSegmentedPersistQuantizedVectorRoundTrip pins the quantized ANN path
+// across the segmented container: the int8 arena travels inside each
+// part's HNSW stream, so a restored store must reproduce vector rankings
+// (ids, scores, order) exactly — sealed segments, live memtable and
+// tombstones included — without requantizing or rebuilding any graph.
+func TestSegmentedPersistQuantizedVectorRoundTrip(t *testing.T) {
+	seg := segStore(t)
+	rng := rand.New(rand.NewSource(29))
+	queries := make([]vector.Vector, 10)
+	for i := range queries {
+		q := make(vector.Vector, 16)
+		for j := range q {
+			q[j] = float32(rng.NormFloat64())
+		}
+		queries[i] = q
+	}
+	var buf bytes.Buffer
+	if err := seg.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSegmented(&buf, Config{}, SegmentConfig{MemtableMaxDocs: 8, CompactionFanIn: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filters := [][]Filter{nil, {{Field: "domain", Value: "pagamenti"}}}
+	for qi, q := range queries {
+		for fi, f := range filters {
+			a := seg.SearchVector("contentVector", q, 10, f)
+			b := restored.SearchVector("contentVector", q, 10, f)
+			if len(a) != len(b) {
+				t.Fatalf("query %d filter %d: %d hits restored, want %d", qi, fi, len(b), len(a))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("query %d filter %d rank %d: restored %+v, want %+v", qi, fi, i, b[i], a[i])
+				}
+			}
+		}
 	}
 }
 

@@ -13,8 +13,10 @@ package shard_test
 // comparison meaningful.
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"strings"
 	"testing"
 
 	"uniask/internal/embedding"
@@ -328,6 +330,83 @@ func TestShardParityMatchesMonolithic(t *testing.T) {
 							v.name, q, want[key{vi, qi}], got)
 					}
 				}
+			}
+		})
+	}
+}
+
+// TestShardParityQuantizedReplay extends the byte-parity harness to the
+// quantized vector path. Cross-topology parity (above) runs the exhaustive
+// backend because per-shard HNSW graphs are legitimately different graphs;
+// the quantized guarantee is *replay* parity: a facade running the default
+// int8-quantized HNSW must, after a save/load round trip of its
+// sharded-segmented container, reproduce every vector ranking — ids,
+// scores, order — exactly, at every shard count, with sealed segments,
+// live memtables and tombstones all in play. That holds only if the
+// quantized arena survives the snapshot bit-for-bit (a requantized or
+// rebuilt graph would walk different beams).
+func TestShardParityQuantizedReplay(t *testing.T) {
+	emb := embedding.NewSynth(32, nil)
+	domains := []string{"prodotti", "pagamenti", "errori"}
+	queryTexts := []string{
+		"carta istruzioni operative",
+		"procedura per la verifica",
+		"contenuto della carta numero 7",
+	}
+	fingerprint := func(q index.Queryable) string {
+		var b strings.Builder
+		for _, text := range queryTexts {
+			qv := emb.Embed(text)
+			for _, f := range [][]index.Filter{nil, {{Field: "domain", Value: "pagamenti"}}} {
+				for _, h := range q.SearchVector("contentVector", qv, 12, f) {
+					fmt.Fprintf(&b, "%s=%v;", h.ID, h.Score)
+				}
+				b.WriteString("|")
+			}
+		}
+		return b.String()
+	}
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			cfg := shard.Config{
+				Shards:  shards,
+				Segment: index.SegmentConfig{MemtableMaxDocs: 16, CompactionFanIn: -1},
+			}
+			s := shard.New(cfg)
+			add := func(i int) {
+				title := fmt.Sprintf("titolo procedura %d", i)
+				content := fmt.Sprintf("contenuto della carta numero %d con istruzioni operative", i)
+				err := s.Add(index.Document{
+					ID:       fmt.Sprintf("q%03d#0", i),
+					ParentID: fmt.Sprintf("q%03d", i),
+					Fields:   map[string]string{"title": title, "content": content, "domain": domains[i%3]},
+					Vectors:  map[string]vector.Vector{"contentVector": emb.Embed(content)},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 70; i++ {
+				add(i)
+			}
+			s.Publish() // seal: the arena now lives in sealed segments
+			for i := 70; i < 90; i++ {
+				add(i) // and in live memtables
+			}
+			s.Delete("q004#0")
+			s.DeleteParent("q010")
+
+			want := fingerprint(s)
+			var buf bytes.Buffer
+			if err := s.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := shard.Load(&buf, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fingerprint(loaded); got != want {
+				t.Fatalf("replayed quantized rankings diverged\nwant: %s\ngot:  %s", want, got)
 			}
 		})
 	}

@@ -431,11 +431,14 @@ func (s *Sharded) SearchVector(field string, q vector.Vector, k int, filters []i
 // SearchVectorCtx is SearchVector with context propagation: each shard's ANN
 // probe becomes a child "shard.search" span on a traced request.
 func (s *Sharded) SearchVectorCtx(ctx context.Context, field string, q vector.Vector, k int, filters []index.Filter) []index.Hit {
+	// Normalize once per request; every shard (and every segment part below
+	// it) receives the same unit query instead of re-normalizing its own copy.
+	qn := vector.Normalize(append(vector.Vector(nil), q...))
 	if len(s.shards) == 1 {
 		_, sp := trace.Start(ctx, "shard.search", trace.A("shard", "0"), trace.A("leg", "vector:"+field))
 		start := time.Now()
 		defer func() { s.record(0, start); sp.End() }()
-		return s.shards[0].SearchVector(field, q, k, filters)
+		return s.shards[0].SearchVectorUnit(field, qn, k, filters)
 	}
 	if k <= 0 {
 		return nil
@@ -445,7 +448,7 @@ func (s *Sharded) SearchVectorCtx(ctx context.Context, field string, q vector.Ve
 			_, sp := trace.Start(ctx, "shard.search", trace.A("shard", strconv.Itoa(i)), trace.A("leg", "vector:"+field))
 			start := time.Now()
 			defer func() { s.record(i, start); sp.End() }()
-			return s.shards[i].SearchVector(field, q, k, filters), nil
+			return s.shards[i].SearchVectorUnit(field, qn, k, filters), nil
 		})
 	if err != nil {
 		return nil

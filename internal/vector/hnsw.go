@@ -1,10 +1,10 @@
 package vector
 
 import (
-	"container/heap"
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // HNSWConfig holds the construction parameters of an HNSW graph.
@@ -21,6 +21,11 @@ type HNSWConfig struct {
 	// Seed drives the level generator so index construction is
 	// deterministic.
 	Seed int64
+	// DisableQuantization makes search traverse the float32 arena instead
+	// of the int8 quantized one. Traversal distances are then exact, at
+	// ~4× the memory bandwidth; the rescoring pass still runs so results
+	// are identical in format and tie order.
+	DisableQuantization bool
 }
 
 func (c HNSWConfig) withDefaults() HNSWConfig {
@@ -36,25 +41,66 @@ func (c HNSWConfig) withDefaults() HNSWConfig {
 	return c
 }
 
-type hnswNode struct {
-	id    int
-	vec   Vector
-	level int
-	// links[l] is the adjacency list at layer l (internal node indexes).
-	links [][]int32
-}
-
 // HNSW is a Hierarchical Navigable Small World graph for approximate
 // nearest-neighbor search under cosine distance.
+//
+// The graph is stored flat, hnswlib-style, with no per-node heap objects:
+//
+//   - vecs is one contiguous float32 arena (node n's unit vector occupies
+//     vecs[n*dim : (n+1)*dim]); qvecs is its int8 scalar-quantized shadow
+//     (see quantize.go).
+//   - Layer-0 adjacency is a fixed-stride arena: node n owns the 2M-slot
+//     block links0[n*2M : (n+1)*2M], of which the first cnt0[n] are live.
+//   - Upper-layer adjacency is allocated per node on insert: a node of
+//     level L owns L consecutive slots starting at upOff[n] (one per layer
+//     1..L), each slot being M int32 neighbor entries in upNbrs with its
+//     live count in upCnt. Level-0 nodes store upOff[n] = -1.
+//
+// Writes (Add) are not safe concurrently with anything; searches are safe
+// concurrently with each other. The index layer above serializes Add under
+// its write lock.
 type HNSW struct {
 	cfg    HNSWConfig
-	nodes  []hnswNode
-	byID   map[int]int32 // external id -> node index
-	entry  int32         // entry point node index (-1 when empty)
+	byID   map[int]int32 // external id -> node ordinal
+	entry  int32         // entry point ordinal (-1 when empty)
 	maxLvl int
 	rng    *rand.Rand
 	levelM float64 // 1/ln(M): the level-assignment normalizer from the paper
 	dim    int
+	m0     int // 2*M, the layer-0 block stride
+
+	ids    []int32 // node ordinal -> external id
+	levels []int32
+	vecs   []float32
+	qvecs  []int8
+	qscale float32 // 127/maxAbs; 0 until a nonzero vector is stored
+	maxAbs float32
+
+	links0 []int32
+	cnt0   []int32
+	upOff  []int32
+	upNbrs []int32
+	upCnt  []int32
+
+	// Construction scratch (Add is externally serialized, so these are
+	// plain fields rather than pooled).
+	cst       searchState
+	eps       []int32
+	layerBuf  []int32
+	nbrSel    []int32
+	linkBuf   []int32
+	shrinkSel []int32
+	cds       []candDist
+	disc      []int32
+
+	statePool sync.Pool
+}
+
+// candDist pairs a candidate ordinal with its distance during neighbor
+// selection.
+type candDist struct {
+	node int32
+	dist float32
 }
 
 // NewHNSW creates an empty HNSW index with the given configuration.
@@ -66,11 +112,77 @@ func NewHNSW(cfg HNSWConfig) *HNSW {
 		entry:  -1,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		levelM: 1 / math.Log(float64(cfg.M)),
+		m0:     2 * cfg.M,
 	}
 }
 
 // Len implements Index.
-func (h *HNSW) Len() int { return len(h.nodes) }
+func (h *HNSW) Len() int { return len(h.ids) }
+
+// Arena views.
+func (h *HNSW) vec(n int32) []float32 {
+	s := int(n) * h.dim
+	return h.vecs[s : s+h.dim]
+}
+
+func (h *HNSW) qvec(n int32) []int8 {
+	s := int(n) * h.dim
+	return h.qvecs[s : s+h.dim]
+}
+
+func (h *HNSW) neighbors0(n int32) []int32 {
+	s := int(n) * h.m0
+	return h.links0[s : s+int(h.cnt0[n])]
+}
+
+func (h *HNSW) neighborsUp(n int32, l int) []int32 {
+	slot := int(h.upOff[n]) + l - 1
+	s := slot * h.cfg.M
+	return h.upNbrs[s : s+int(h.upCnt[slot])]
+}
+
+func (h *HNSW) layerNeighbors(n int32, l int) []int32 {
+	if l == 0 {
+		return h.neighbors0(n)
+	}
+	return h.neighborsUp(n, l)
+}
+
+// setLinks overwrites node n's neighbor list at layer l.
+func (h *HNSW) setLinks(n int32, l int, nbrs []int32) {
+	if l == 0 {
+		copy(h.links0[int(n)*h.m0:], nbrs)
+		h.cnt0[n] = int32(len(nbrs))
+		return
+	}
+	slot := int(h.upOff[n]) + l - 1
+	copy(h.upNbrs[slot*h.cfg.M:], nbrs)
+	h.upCnt[slot] = int32(len(nbrs))
+}
+
+// addLink appends nb to node n's neighbors at layer l, re-selecting the
+// best maxM links with the insertion heuristic when the block is full.
+func (h *HNSW) addLink(n int32, l int, nb int32) {
+	maxM := h.maxM(l)
+	if l == 0 {
+		if cnt := int(h.cnt0[n]); cnt < maxM {
+			h.links0[int(n)*h.m0+cnt] = nb
+			h.cnt0[n]++
+			return
+		}
+	} else {
+		slot := int(h.upOff[n]) + l - 1
+		if cnt := int(h.upCnt[slot]); cnt < maxM {
+			h.upNbrs[slot*h.cfg.M+cnt] = nb
+			h.upCnt[slot]++
+			return
+		}
+	}
+	h.linkBuf = append(h.linkBuf[:0], h.layerNeighbors(n, l)...)
+	h.linkBuf = append(h.linkBuf, nb)
+	h.shrinkSel = h.selectHeuristicInto(h.shrinkSel[:0], h.vec(n), h.linkBuf, maxM)
+	h.setLinks(n, l, h.shrinkSel)
+}
 
 // randomLevel draws a node level from the exponential distribution of the
 // HNSW paper: floor(-ln(U) * mL).
@@ -82,10 +194,15 @@ func (h *HNSW) randomLevel() int {
 	return int(-math.Log(u) * h.levelM)
 }
 
-// Add implements Index. The vector is copied and normalized on insertion:
-// cosine distance is invariant to scaling, and unit-length storage turns
-// every distance evaluation into a single dot product.
+// Add implements Index. The vector is copied into the arena and normalized
+// on insertion: cosine distance is invariant to scaling, and unit-length
+// storage turns every distance evaluation into a single dot product.
+// Construction walks the float32 arena (exact distances, off the query hot
+// path); only searches use the quantized shadow.
 func (h *HNSW) Add(id int, v Vector) error {
+	if int64(id) != int64(int32(id)) {
+		return ErrIDOutOfRange
+	}
 	if _, dup := h.byID[id]; dup {
 		return ErrDuplicateID
 	}
@@ -94,11 +211,43 @@ func (h *HNSW) Add(id int, v Vector) error {
 	} else if len(v) != h.dim {
 		return ErrDimensionMismatch
 	}
-	v = Normalize(append(Vector(nil), v...))
 	level := h.randomLevel()
-	node := hnswNode{id: id, vec: v, level: level, links: make([][]int32, level+1)}
-	idx := int32(len(h.nodes))
-	h.nodes = append(h.nodes, node)
+	idx := int32(len(h.ids))
+
+	start := len(h.vecs)
+	h.vecs = append(h.vecs, v...)
+	nv := h.vecs[start:]
+	normalizeF(nv)
+	if m := maxAbsF(nv); m > h.maxAbs {
+		// A new largest component: requantize the arena under the new
+		// scale so the quantized shadow stays a pure function of the
+		// stored vector set (insertion-order independent).
+		h.maxAbs = m
+		h.qscale = quantMax / m
+		h.qvecs = h.qvecs[:0]
+		for i := 0; i < len(h.ids); i++ {
+			h.qvecs = quantizeInto(h.qvecs, h.vec(int32(i)), h.qscale)
+		}
+	}
+	h.qvecs = quantizeInto(h.qvecs, nv, h.qscale)
+
+	h.ids = append(h.ids, int32(id))
+	h.levels = append(h.levels, int32(level))
+	for i := 0; i < h.m0; i++ {
+		h.links0 = append(h.links0, 0)
+	}
+	h.cnt0 = append(h.cnt0, 0)
+	if level > 0 {
+		h.upOff = append(h.upOff, int32(len(h.upCnt)))
+		for i := 0; i < level; i++ {
+			h.upCnt = append(h.upCnt, 0)
+			for j := 0; j < h.cfg.M; j++ {
+				h.upNbrs = append(h.upNbrs, 0)
+			}
+		}
+	} else {
+		h.upOff = append(h.upOff, -1)
+	}
 	h.byID[id] = idx
 
 	if h.entry < 0 {
@@ -107,28 +256,26 @@ func (h *HNSW) Add(id int, v Vector) error {
 		return nil
 	}
 
+	q := h.vec(idx)
 	ep := h.entry
 	// Greedy descent through layers above the new node's level.
 	for l := h.maxLvl; l > level; l-- {
-		ep = h.greedyClosest(v, ep, l)
+		ep = h.greedyF(q, ep, l)
 	}
 	// Insert with neighbor selection from min(level, maxLvl) down to 0.
 	top := level
 	if top > h.maxLvl {
 		top = h.maxLvl
 	}
-	eps := []int32{ep}
+	h.eps = append(h.eps[:0], ep)
 	for l := top; l >= 0; l-- {
-		cand := h.searchLayer(v, eps, h.cfg.EfConstruction, l)
-		neighbors := h.selectHeuristic(v, cand, h.maxM(l))
-		h.nodes[idx].links[l] = neighbors
-		for _, n := range neighbors {
-			h.nodes[n].links[l] = append(h.nodes[n].links[l], idx)
-			if len(h.nodes[n].links[l]) > h.maxM(l) {
-				h.shrink(n, l)
-			}
+		cand := h.searchLayerF(q, h.eps, h.cfg.EfConstruction, l)
+		h.nbrSel = h.selectHeuristicInto(h.nbrSel[:0], q, cand, h.maxM(l))
+		h.setLinks(idx, l, h.nbrSel)
+		for _, n := range h.nbrSel {
+			h.addLink(n, l, idx)
 		}
-		eps = cand
+		h.eps = append(h.eps[:0], cand...)
 	}
 	if level > h.maxLvl {
 		h.maxLvl = level
@@ -139,26 +286,20 @@ func (h *HNSW) Add(id int, v Vector) error {
 
 func (h *HNSW) maxM(layer int) int {
 	if layer == 0 {
-		return 2 * h.cfg.M
+		return h.m0
 	}
 	return h.cfg.M
 }
 
-// shrink re-selects the best maxM neighbors of node n at layer l using the
-// same heuristic used at insertion.
-func (h *HNSW) shrink(n int32, l int) {
-	h.nodes[n].links[l] = h.selectHeuristic(h.nodes[n].vec, h.nodes[n].links[l], h.maxM(l))
-}
-
-// greedyClosest walks layer l greedily from ep toward q and returns the
-// local minimum.
-func (h *HNSW) greedyClosest(q Vector, ep int32, l int) int32 {
+// greedyF walks layer l greedily from ep toward q over the float32 arena
+// and returns the local minimum.
+func (h *HNSW) greedyF(q []float32, ep int32, l int) int32 {
 	best := ep
-	bestD := unitDistance(q, h.nodes[ep].vec)
+	bestD := 1 - dotF(q, h.vec(ep))
 	for {
 		improved := false
-		for _, n := range h.nodes[best].links[l] {
-			if d := unitDistance(q, h.nodes[n].vec); d < bestD {
+		for _, n := range h.layerNeighbors(best, l) {
+			if d := 1 - dotF(q, h.vec(n)); d < bestD {
 				best, bestD = n, d
 				improved = true
 			}
@@ -169,115 +310,95 @@ func (h *HNSW) greedyClosest(q Vector, ep int32, l int) int32 {
 	}
 }
 
-// distHeap is a heap of (node, distance) pairs; min or max order by sign.
-type distItem struct {
-	node int32
-	dist float32
+// greedyQ is greedyF over the quantized arena (int32 keys, no float
+// conversion needed for a strict descent).
+func (h *HNSW) greedyQ(qq []int8, ep int32, l int) int32 {
+	best := ep
+	bestD := -dotQ(qq, h.qvec(ep))
+	for {
+		improved := false
+		for _, n := range h.layerNeighbors(best, l) {
+			if d := -dotQ(qq, h.qvec(n)); d < bestD {
+				best, bestD = n, d
+				improved = true
+			}
+		}
+		if !improved {
+			return best
+		}
+	}
 }
 
-type minHeap []distItem
-
-func (h minHeap) Len() int            { return len(h) }
-func (h minHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
-func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
-func (h *minHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
-
-type maxHeap []distItem
-
-func (h maxHeap) Len() int            { return len(h) }
-func (h maxHeap) Less(i, j int) bool  { return h[i].dist > h[j].dist }
-func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
-func (h *maxHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
-
-// searchLayer is Algorithm 2 of the HNSW paper: beam search with candidate
-// list size ef at layer l, starting from entry points eps. It returns up to
-// ef node indexes ordered from closest to farthest.
-func (h *HNSW) searchLayer(q Vector, eps []int32, ef, l int) []int32 {
-	visited := make(map[int32]bool, ef*4)
-	var candidates minHeap // frontier, closest first
-	var results maxHeap    // best ef found, farthest on top
-
+// searchLayerF is Algorithm 2 of the HNSW paper over the float32 arena:
+// beam search with candidate list size ef at layer l, starting from entry
+// points eps. It returns up to ef node ordinals ordered from closest to
+// farthest, valid until the next construction call (shared scratch).
+func (h *HNSW) searchLayerF(q []float32, eps []int32, ef, l int) []int32 {
+	st := &h.cst
+	st.begin(len(h.ids))
 	for _, ep := range eps {
-		if visited[ep] {
+		if st.seen(ep) {
 			continue
 		}
-		visited[ep] = true
-		d := unitDistance(q, h.nodes[ep].vec)
-		heap.Push(&candidates, distItem{ep, d})
-		heap.Push(&results, distItem{ep, d})
+		st.mark(ep)
+		d := 1 - dotF(q, h.vec(ep))
+		pushMin(&st.cand, qItem{ep, d})
+		pushMax(&st.res, qItem{ep, d})
 	}
-	for candidates.Len() > 0 {
-		c := heap.Pop(&candidates).(distItem)
-		if results.Len() >= ef && c.dist > results[0].dist {
+	for len(st.cand) > 0 {
+		c := popMin(&st.cand)
+		if len(st.res) >= ef && c.key > st.res[0].key {
 			break
 		}
-		for _, n := range h.nodes[c.node].links[l] {
-			if visited[n] {
+		for _, n := range h.layerNeighbors(c.node, l) {
+			if st.seen(n) {
 				continue
 			}
-			visited[n] = true
-			d := unitDistance(q, h.nodes[n].vec)
-			if results.Len() < ef || d < results[0].dist {
-				heap.Push(&candidates, distItem{n, d})
-				heap.Push(&results, distItem{n, d})
-				if results.Len() > ef {
-					heap.Pop(&results)
+			st.mark(n)
+			d := 1 - dotF(q, h.vec(n))
+			if len(st.res) < ef || d < st.res[0].key {
+				pushMin(&st.cand, qItem{n, d})
+				pushMax(&st.res, qItem{n, d})
+				if len(st.res) > ef {
+					popMax(&st.res)
 				}
 			}
 		}
 	}
-	out := make([]int32, results.Len())
-	dists := make([]float32, results.Len())
-	for i := results.Len() - 1; i >= 0; i-- {
-		it := heap.Pop(&results).(distItem)
-		out[i] = it.node
-		dists[i] = it.dist
+	n := len(st.res)
+	if cap(h.layerBuf) < n {
+		h.layerBuf = make([]int32, n, n+n/2+8)
 	}
-	return out
+	h.layerBuf = h.layerBuf[:n]
+	for i := n - 1; i >= 0; i-- {
+		h.layerBuf[i] = popMax(&st.res).node
+	}
+	return h.layerBuf
 }
 
-// selectHeuristic is Algorithm 4 (select-neighbors-heuristic): it keeps a
-// candidate only if it is closer to q than to every already-selected
-// neighbor, producing diverse links that preserve graph navigability.
-func (h *HNSW) selectHeuristic(q Vector, cand []int32, m int) []int32 {
+// selectHeuristicInto is Algorithm 4 (select-neighbors-heuristic): it keeps
+// a candidate only if it is closer to q than to every already-selected
+// neighbor, producing diverse links that preserve graph navigability. The
+// selection is appended to dst (typically a reused scratch slice).
+func (h *HNSW) selectHeuristicInto(dst []int32, q []float32, cand []int32, m int) []int32 {
 	if len(cand) <= m {
-		out := make([]int32, len(cand))
-		copy(out, cand)
-		return out
+		return append(dst, cand...)
 	}
-	type cd struct {
-		node int32
-		dist float32
+	h.cds = h.cds[:0]
+	for _, c := range cand {
+		h.cds = append(h.cds, candDist{c, 1 - dotF(q, h.vec(c))})
 	}
-	cds := make([]cd, len(cand))
-	for i, c := range cand {
-		cds[i] = cd{c, unitDistance(q, h.nodes[c].vec)}
-	}
-	sort.Slice(cds, func(i, j int) bool { return cds[i].dist < cds[j].dist })
+	sort.Slice(h.cds, func(i, j int) bool { return h.cds[i].dist < h.cds[j].dist })
 
-	var selected []int32
-	var discarded []cd
-	for _, c := range cds {
+	selected := dst
+	h.disc = h.disc[:0]
+	for _, c := range h.cds {
 		if len(selected) >= m {
 			break
 		}
 		good := true
 		for _, s := range selected {
-			if unitDistance(h.nodes[c.node].vec, h.nodes[s].vec) < c.dist {
+			if 1-dotF(h.vec(c.node), h.vec(s)) < c.dist {
 				good = false
 				break
 			}
@@ -285,17 +406,27 @@ func (h *HNSW) selectHeuristic(q Vector, cand []int32, m int) []int32 {
 		if good {
 			selected = append(selected, c.node)
 		} else {
-			discarded = append(discarded, c)
+			h.disc = append(h.disc, c.node)
 		}
 	}
 	// keepPruned: fill remaining slots with the closest discarded nodes.
-	for _, c := range discarded {
+	for _, c := range h.disc {
 		if len(selected) >= m {
 			break
 		}
-		selected = append(selected, c.node)
+		selected = append(selected, c)
 	}
 	return selected
+}
+
+// getState checks a pooled search state out for one query.
+func (h *HNSW) getState() *searchState {
+	st, _ := h.statePool.Get().(*searchState)
+	if st == nil {
+		st = &searchState{}
+	}
+	st.begin(len(h.ids))
+	return st
 }
 
 // Search implements Index: beam search from the top layer down.
@@ -304,23 +435,118 @@ func (h *HNSW) Search(q Vector, k int) []Result {
 		return nil
 	}
 	q = Normalize(append(Vector(nil), q...))
-	ep := h.entry
-	for l := h.maxLvl; l > 0; l-- {
-		ep = h.greedyClosest(q, ep, l)
+	return h.SearchUnit(q, k, nil)
+}
+
+// SearchUnit implements Index. The quantized path descends the upper
+// layers and runs the layer-0 beam over int8 dot products, then rescores
+// every surviving candidate (at most ef) against the float32 arena and
+// returns the top k under exact (distance, id) order — so quantization can
+// only cost recall at the beam edge, never final-ranking precision among
+// the survivors. Nodes rejected by accept still feed the frontier (the
+// graph stays navigable through them) but never enter the result heap.
+func (h *HNSW) SearchUnit(q Vector, k int, accept Accept) []Result {
+	if k <= 0 || h.entry < 0 {
+		return nil
 	}
+	st := h.getState()
 	ef := h.cfg.EfSearch
 	if ef < k {
 		ef = k
 	}
-	nodes := h.searchLayer(q, []int32{ep}, ef, 0)
-	if k > len(nodes) {
-		k = len(nodes)
+	if h.cfg.DisableQuantization {
+		ep := h.entry
+		for l := h.maxLvl; l > 0; l-- {
+			ep = h.greedyF(q, ep, l)
+		}
+		h.beamF(st, q, ep, ef, accept)
+	} else {
+		st.qq = quantizeInto(st.qq[:0], q, h.qscale)
+		ep := h.entry
+		for l := h.maxLvl; l > 0; l-- {
+			ep = h.greedyQ(st.qq, ep, l)
+		}
+		h.beamQ(st, ep, ef, accept)
+	}
+	// Rescore the survivors with exact float32 distances.
+	for _, it := range st.res {
+		n := it.node
+		st.rescore = append(st.rescore, Result{ID: int(h.ids[n]), Distance: 1 - dotF(q, h.vec(n))})
+	}
+	sortResultsInPlace(st.rescore)
+	if k > len(st.rescore) {
+		k = len(st.rescore)
 	}
 	out := make([]Result, k)
-	for i := 0; i < k; i++ {
-		out[i] = Result{ID: h.nodes[nodes[i]].id, Distance: unitDistance(q, h.nodes[nodes[i]].vec)}
-	}
+	copy(out, st.rescore[:k])
+	h.statePool.Put(st)
 	return out
+}
+
+// beamQ runs the layer-0 beam over the quantized arena. The result heap
+// keys are negated int8 dot products widened to float32 (exact for any
+// realistic dimension, see qItem).
+func (h *HNSW) beamQ(st *searchState, ep int32, ef int, accept Accept) {
+	st.mark(ep)
+	d := float32(-dotQ(st.qq, h.qvec(ep)))
+	pushMin(&st.cand, qItem{ep, d})
+	if accept == nil || accept(h.ids[ep]) {
+		pushMax(&st.res, qItem{ep, d})
+	}
+	for len(st.cand) > 0 {
+		c := popMin(&st.cand)
+		if len(st.res) >= ef && c.key > st.res[0].key {
+			break
+		}
+		for _, n := range h.neighbors0(c.node) {
+			if st.seen(n) {
+				continue
+			}
+			st.mark(n)
+			d := float32(-dotQ(st.qq, h.qvec(n)))
+			if len(st.res) < ef || d < st.res[0].key {
+				pushMin(&st.cand, qItem{n, d})
+				if accept == nil || accept(h.ids[n]) {
+					pushMax(&st.res, qItem{n, d})
+					if len(st.res) > ef {
+						popMax(&st.res)
+					}
+				}
+			}
+		}
+	}
+}
+
+// beamF is beamQ over the float32 arena (exact traversal distances).
+func (h *HNSW) beamF(st *searchState, q Vector, ep int32, ef int, accept Accept) {
+	st.mark(ep)
+	d := 1 - dotF(q, h.vec(ep))
+	pushMin(&st.cand, qItem{ep, d})
+	if accept == nil || accept(h.ids[ep]) {
+		pushMax(&st.res, qItem{ep, d})
+	}
+	for len(st.cand) > 0 {
+		c := popMin(&st.cand)
+		if len(st.res) >= ef && c.key > st.res[0].key {
+			break
+		}
+		for _, n := range h.neighbors0(c.node) {
+			if st.seen(n) {
+				continue
+			}
+			st.mark(n)
+			d := 1 - dotF(q, h.vec(n))
+			if len(st.res) < ef || d < st.res[0].key {
+				pushMin(&st.cand, qItem{n, d})
+				if accept == nil || accept(h.ids[n]) {
+					pushMax(&st.res, qItem{n, d})
+					if len(st.res) > ef {
+						popMax(&st.res)
+					}
+				}
+			}
+		}
+	}
 }
 
 // MaxLevel reports the current top layer of the graph (diagnostics).
@@ -328,17 +554,12 @@ func (h *HNSW) MaxLevel() int { return h.maxLvl }
 
 // AvgDegree reports the mean layer-0 out-degree (diagnostics).
 func (h *HNSW) AvgDegree() float64 {
-	if len(h.nodes) == 0 {
+	if len(h.ids) == 0 {
 		return 0
 	}
 	total := 0
-	for _, n := range h.nodes {
-		total += len(n.links[0])
+	for _, c := range h.cnt0 {
+		total += int(c)
 	}
-	return float64(total) / float64(len(h.nodes))
+	return float64(total) / float64(len(h.ids))
 }
-
-// unitDistance is the cosine distance between unit-length vectors: a
-// single dot product. Both the stored vectors and the search query are
-// normalized before use.
-func unitDistance(a, b Vector) float32 { return 1 - Dot(a, b) }

@@ -2,34 +2,69 @@ package vector
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 )
 
-// hnswNodeSnapshot is the gob-serializable form of one graph node.
-type hnswNodeSnapshot struct {
-	ID    int
-	Vec   Vector
-	Level int
-	Links [][]int32
-}
+// Persistence of the flat HNSW: the arenas serialize as-is (bulk slice
+// copies, no per-node structures), so Save/ReadHNSW cost is dominated by
+// raw byte I/O rather than graph reconstruction.
 
-// hnswSnapshot is the gob-serializable form of the whole graph.
+// hnswSnapshotVersion identifies the arena snapshot layout. Version 2 is
+// the first flat-arena format; version 1 (implicit, no Version field) was
+// the per-node format, which ReadHNSW refuses with ErrLegacyHNSWSnapshot
+// so callers can fall back to rebuilding from source vectors instead of
+// silently loading an empty graph.
+const hnswSnapshotVersion = 2
+
+// ErrLegacyHNSWSnapshot is returned by ReadHNSW for pre-arena snapshots.
+// Callers that still hold the original vectors (the index layer does)
+// should rebuild the graph from them.
+var ErrLegacyHNSWSnapshot = errors.New(
+	"vector: legacy per-node hnsw snapshot; rebuild the graph from source vectors")
+
+// hnswSnapshot is the gob-serializable image of the flat graph.
 type hnswSnapshot struct {
-	Cfg    HNSWConfig
-	Nodes  []hnswNodeSnapshot
-	Entry  int32
-	MaxLvl int
-	Dim    int
+	Version int
+	Cfg     HNSWConfig
+	Dim     int
+	Entry   int32
+	MaxLvl  int
+	IDs     []int32
+	Levels  []int32
+	Vecs    []float32
+	QVecs   []int8
+	QScale  float32
+	MaxAbs  float32
+	Links0  []int32
+	Cnt0    []int32
+	UpOff   []int32
+	UpNbrs  []int32
+	UpCnt   []int32
 }
 
-// Save serializes the graph, including its adjacency structure, so that
-// loading skips reconstruction.
+// Save serializes the graph, including its adjacency structure and the
+// quantized arena, so that loading skips both reconstruction and
+// requantization.
 func (h *HNSW) Save(w io.Writer) error {
-	snap := hnswSnapshot{Cfg: h.cfg, Entry: h.entry, MaxLvl: h.maxLvl, Dim: h.dim}
-	snap.Nodes = make([]hnswNodeSnapshot, len(h.nodes))
-	for i, n := range h.nodes {
-		snap.Nodes[i] = hnswNodeSnapshot{ID: n.id, Vec: n.vec, Level: n.level, Links: n.links}
+	snap := hnswSnapshot{
+		Version: hnswSnapshotVersion,
+		Cfg:     h.cfg,
+		Dim:     h.dim,
+		Entry:   h.entry,
+		MaxLvl:  h.maxLvl,
+		IDs:     h.ids,
+		Levels:  h.levels,
+		Vecs:    h.vecs,
+		QVecs:   h.qvecs,
+		QScale:  h.qscale,
+		MaxAbs:  h.maxAbs,
+		Links0:  h.links0,
+		Cnt0:    h.cnt0,
+		UpOff:   h.upOff,
+		UpNbrs:  h.upNbrs,
+		UpCnt:   h.upCnt,
 	}
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("vector: encode hnsw: %w", err)
@@ -37,20 +72,108 @@ func (h *HNSW) Save(w io.Writer) error {
 	return nil
 }
 
-// ReadHNSW deserializes a graph written by Save.
+// ReadHNSW deserializes a graph written by Save, validating the arena
+// invariants so corrupted bytes surface as errors rather than panics on
+// the first search.
 func ReadHNSW(r io.Reader) (*HNSW, error) {
 	var snap hnswSnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("vector: decode hnsw: %w", err)
 	}
+	if snap.Version != hnswSnapshotVersion {
+		return nil, ErrLegacyHNSWSnapshot
+	}
 	h := NewHNSW(snap.Cfg)
+	h.dim = snap.Dim
 	h.entry = snap.Entry
 	h.maxLvl = snap.MaxLvl
-	h.dim = snap.Dim
-	h.nodes = make([]hnswNode, len(snap.Nodes))
-	for i, n := range snap.Nodes {
-		h.nodes[i] = hnswNode{id: n.ID, vec: n.Vec, level: n.Level, links: n.Links}
-		h.byID[n.ID] = int32(i)
+	h.ids = snap.IDs
+	h.levels = snap.Levels
+	h.vecs = snap.Vecs
+	h.qvecs = snap.QVecs
+	h.qscale = snap.QScale
+	h.maxAbs = snap.MaxAbs
+	h.links0 = snap.Links0
+	h.cnt0 = snap.Cnt0
+	h.upOff = snap.UpOff
+	h.upNbrs = snap.UpNbrs
+	h.upCnt = snap.UpCnt
+	if err := h.validate(); err != nil {
+		return nil, fmt.Errorf("vector: hnsw snapshot: %w", err)
+	}
+	for i, id := range h.ids {
+		h.byID[int(id)] = int32(i)
 	}
 	return h, nil
+}
+
+// validate checks the structural invariants of the loaded arenas.
+func (h *HNSW) validate() error {
+	n := len(h.ids)
+	if h.dim < 0 || (n > 0 && h.dim == 0) {
+		return fmt.Errorf("bad dimension %d for %d nodes", h.dim, n)
+	}
+	if len(h.levels) != n || len(h.cnt0) != n || len(h.upOff) != n {
+		return fmt.Errorf("arena lengths disagree: %d ids, %d levels, %d cnt0, %d upOff",
+			n, len(h.levels), len(h.cnt0), len(h.upOff))
+	}
+	if len(h.vecs) != n*h.dim || len(h.qvecs) != n*h.dim {
+		return fmt.Errorf("vector arenas sized %d/%d, want %d", len(h.vecs), len(h.qvecs), n*h.dim)
+	}
+	if len(h.links0) != n*h.m0 {
+		return fmt.Errorf("layer-0 arena sized %d, want %d", len(h.links0), n*h.m0)
+	}
+	if n == 0 {
+		if h.entry != -1 {
+			return fmt.Errorf("entry %d in empty graph", h.entry)
+		}
+		return nil
+	}
+	if h.entry < 0 || int(h.entry) >= n {
+		return fmt.Errorf("entry %d out of range [0,%d)", h.entry, n)
+	}
+	upSlots := 0
+	for i := 0; i < n; i++ {
+		lvl := int(h.levels[i])
+		if lvl < 0 || lvl > h.maxLvl {
+			return fmt.Errorf("node %d level %d outside [0,%d]", i, lvl, h.maxLvl)
+		}
+		if c := h.cnt0[i]; c < 0 || int(c) > h.m0 {
+			return fmt.Errorf("node %d layer-0 degree %d outside [0,%d]", i, c, h.m0)
+		}
+		if lvl == 0 {
+			if h.upOff[i] != -1 {
+				return fmt.Errorf("level-0 node %d has upper offset %d", i, h.upOff[i])
+			}
+		} else {
+			if int(h.upOff[i]) != upSlots {
+				return fmt.Errorf("node %d upper offset %d, want %d", i, h.upOff[i], upSlots)
+			}
+			upSlots += lvl
+		}
+	}
+	if len(h.upCnt) != upSlots || len(h.upNbrs) != upSlots*h.cfg.M {
+		return fmt.Errorf("upper arenas sized %d/%d, want %d/%d",
+			len(h.upCnt), len(h.upNbrs), upSlots, upSlots*h.cfg.M)
+	}
+	for i, c := range h.upCnt {
+		if c < 0 || int(c) > h.cfg.M {
+			return fmt.Errorf("upper slot %d degree %d outside [0,%d]", i, c, h.cfg.M)
+		}
+	}
+	for i, t := range h.links0 {
+		if t < 0 || int(t) >= n {
+			if i%h.m0 < int(h.cnt0[i/h.m0]) { // only live slots matter
+				return fmt.Errorf("layer-0 link %d targets %d outside [0,%d)", i, t, n)
+			}
+		}
+	}
+	for i, t := range h.upNbrs {
+		if t < 0 || int(t) >= n {
+			if i%h.cfg.M < int(h.upCnt[i/h.cfg.M]) {
+				return fmt.Errorf("upper link %d targets %d outside [0,%d)", i, t, n)
+			}
+		}
+	}
+	return nil
 }

@@ -1,0 +1,71 @@
+package vector
+
+import "math"
+
+// int8 scalar quantization (the RAGdb recipe): every stored unit vector is
+// mapped component-wise to q = round(clamp(v*scale, ±127)) with one
+// symmetric per-index scale = 127/maxAbs, where maxAbs is the largest
+// absolute component seen across the stored set. Graph traversal then runs
+// int8 dot products over a 4×-smaller arena; the float32 originals are kept
+// for the rescoring pass over the surviving candidates.
+//
+// The scale is maintained online: whenever an insert raises maxAbs, every
+// stored vector is requantized under the new scale. Requantization is a
+// pure function of (vector, scale), so the final quantized arena depends
+// only on the stored vector set — not on insertion order — which is what
+// makes sealed-segment snapshots and their replayed rebuilds byte-identical.
+
+// quantMax is the symmetric int8 range limit.
+const quantMax = 127
+
+// maxAbsF returns the largest absolute component of v.
+func maxAbsF(v []float32) float32 {
+	var m float32
+	for _, x := range v {
+		if x < 0 {
+			x = -x
+		}
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// quantizeInto appends the quantization of v under scale to dst. A zero
+// scale (empty or all-zero corpus) quantizes everything to zero.
+func quantizeInto(dst []int8, v []float32, scale float32) []int8 {
+	for _, x := range v {
+		q := float64(x * scale)
+		if q > quantMax {
+			q = quantMax
+		} else if q < -quantMax {
+			q = -quantMax
+		}
+		dst = append(dst, int8(math.Round(q)))
+	}
+	return dst
+}
+
+// dotQ returns the int8 inner product as an int32 (no overflow for
+// dimensions up to 2^15 at the ±127 range).
+// dotQ is 4-way unrolled: integer addition is associative, so splitting the
+// accumulator breaks the loop-carried dependency chain without changing the
+// result, and the explicit reslice of b lifts its bounds checks out of the
+// loop. This is the innermost traversal operation — every candidate
+// expansion pays one dotQ per neighbor.
+func dotQ(a, b []int8) int32 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 int32
+	i := 0
+	for ; i+3 < len(a); i += 4 {
+		s0 += int32(a[i]) * int32(b[i])
+		s1 += int32(a[i+1]) * int32(b[i+1])
+		s2 += int32(a[i+2]) * int32(b[i+2])
+		s3 += int32(a[i+3]) * int32(b[i+3])
+	}
+	for ; i < len(a); i++ {
+		s0 += int32(a[i]) * int32(b[i])
+	}
+	return s0 + s1 + s2 + s3
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package vector
+
+const raceEnabled = false

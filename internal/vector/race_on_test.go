@@ -1,0 +1,7 @@
+//go:build race
+
+package vector
+
+// raceEnabled reports whether the race detector is on; its instrumentation
+// allocates, so the tight allocation pins skip under -race.
+const raceEnabled = true

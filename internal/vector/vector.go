@@ -4,12 +4,17 @@
 // plus an exhaustive k-NN scanner used as the exactness baseline. The paper
 // reports HNSW and exhaustive search yield similar retrieval performance;
 // the tests here verify that recall parity on synthetic workloads.
+//
+// Both indexes store vectors in one contiguous float32 arena (the HNSW
+// additionally keeps an int8 scalar-quantized copy it traverses, rescoring
+// the survivors in float32), and both accept an optional per-id Accept
+// predicate so callers can push tombstone/filter checks into the scan
+// instead of over-fetching and re-filtering.
 package vector
 
 import (
 	"errors"
 	"math"
-	"sort"
 )
 
 // Vector is a dense embedding.
@@ -17,6 +22,15 @@ type Vector []float32
 
 // Dot returns the inner product of a and b.
 func Dot(a, b Vector) float32 {
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// dotF is Dot over raw float32 slices (arena views).
+func dotF(a, b []float32) float32 {
 	var s float32
 	for i := range a {
 		s += a[i] * b[i]
@@ -65,12 +79,24 @@ type Result struct {
 	Distance float32
 }
 
+// Accept filters candidates during search: a vector whose id it rejects is
+// still traversed for graph connectivity but never enters the result set.
+// A nil Accept admits everything.
+type Accept func(id int32) bool
+
 // Index is the interface shared by the exhaustive scanner and HNSW.
 type Index interface {
 	// Add inserts a vector under id. Adding an existing id is an error.
 	Add(id int, v Vector) error
-	// Search returns the k nearest neighbors of q, closest first.
+	// Search returns the k nearest neighbors of q, closest first. q is
+	// copied and normalized internally.
 	Search(q Vector, k int) []Result
+	// SearchUnit is Search for callers that already hold a unit-length
+	// query: q must be normalized, is never modified, and an optional
+	// accept predicate restricts which ids may appear in the results.
+	// Ties are broken by ascending id, so the result order is a pure
+	// function of the stored vector set.
+	SearchUnit(q Vector, k int, accept Accept) []Result
 	// Len reports the number of indexed vectors.
 	Len() int
 }
@@ -82,23 +108,32 @@ var ErrDuplicateID = errors.New("vector: duplicate id")
 // from the first inserted vector's.
 var ErrDimensionMismatch = errors.New("vector: dimension mismatch")
 
-// Exhaustive is a brute-force exact k-NN index.
+// ErrIDOutOfRange is returned when Add is called with an id outside the
+// int32 range the arena-backed indexes (and the Accept predicate) use.
+var ErrIDOutOfRange = errors.New("vector: id outside int32 range")
+
+// Exhaustive is a brute-force exact k-NN index. Vectors live in one
+// contiguous arena and search keeps a bounded top-k heap, so a query costs
+// one allocation (the result slice) regardless of corpus size.
 type Exhaustive struct {
-	ids  []int
-	vecs []Vector
-	seen map[int]bool
+	ids  []int32
+	vecs []float32 // len(ids) * dim, unit-normalized
+	seen map[int32]bool
 	dim  int
 }
 
 // NewExhaustive returns an empty exact index.
 func NewExhaustive() *Exhaustive {
-	return &Exhaustive{seen: make(map[int]bool)}
+	return &Exhaustive{seen: make(map[int32]bool)}
 }
 
-// Add implements Index. The vector is copied and normalized so that every
-// distance evaluation during search is a single dot product.
+// Add implements Index. The vector is copied into the arena and normalized
+// so that every distance evaluation during search is a single dot product.
 func (e *Exhaustive) Add(id int, v Vector) error {
-	if e.seen[id] {
+	if int64(id) != int64(int32(id)) {
+		return ErrIDOutOfRange
+	}
+	if e.seen[int32(id)] {
 		return ErrDuplicateID
 	}
 	if e.dim == 0 {
@@ -106,10 +141,24 @@ func (e *Exhaustive) Add(id int, v Vector) error {
 	} else if len(v) != e.dim {
 		return ErrDimensionMismatch
 	}
-	e.seen[id] = true
-	e.ids = append(e.ids, id)
-	e.vecs = append(e.vecs, Normalize(append(Vector(nil), v...)))
+	e.seen[int32(id)] = true
+	e.ids = append(e.ids, int32(id))
+	start := len(e.vecs)
+	e.vecs = append(e.vecs, v...)
+	normalizeF(e.vecs[start:])
 	return nil
+}
+
+// normalizeF scales an arena view to unit length in place (zero stays zero).
+func normalizeF(v []float32) {
+	n := float32(math.Sqrt(float64(dotF(v, v))))
+	if n == 0 {
+		return
+	}
+	inv := 1 / n
+	for i := range v {
+		v[i] *= inv
+	}
 }
 
 // Search implements Index with a full scan.
@@ -118,21 +167,84 @@ func (e *Exhaustive) Search(q Vector, k int) []Result {
 		return nil
 	}
 	q = Normalize(append(Vector(nil), q...))
-	res := make([]Result, len(e.ids))
-	for i, v := range e.vecs {
-		res[i] = Result{ID: e.ids[i], Distance: 1 - Dot(q, v)}
+	return e.SearchUnit(q, k, nil)
+}
+
+// SearchUnit implements Index: a full scan feeding a bounded top-k heap
+// ordered by (distance, id), the same total order the previous full-sort
+// implementation produced.
+func (e *Exhaustive) SearchUnit(q Vector, k int, accept Accept) []Result {
+	if k <= 0 || len(e.ids) == 0 {
+		return nil
 	}
-	sort.Slice(res, func(i, j int) bool {
-		if res[i].Distance != res[j].Distance {
-			return res[i].Distance < res[j].Distance
+	out := make([]Result, 0, min(k, len(e.ids)))
+	for i, id := range e.ids {
+		if accept != nil && !accept(id) {
+			continue
 		}
-		return res[i].ID < res[j].ID
-	})
-	if k > len(res) {
-		k = len(res)
+		r := Result{ID: int(id), Distance: 1 - dotF(q, e.vecs[i*e.dim:(i+1)*e.dim])}
+		if len(out) < k {
+			out = append(out, r)
+			siftUpWorst(out, len(out)-1)
+		} else if resultBefore(r, out[0]) {
+			out[0] = r
+			siftDownWorst(out, 0)
+		}
 	}
-	return res[:k]
+	// Heap-sort in place: repeatedly swap the worst survivor to the tail.
+	for n := len(out) - 1; n > 0; n-- {
+		out[0], out[n] = out[n], out[0]
+		siftDownWorst(out[:n], 0)
+	}
+	return out
+}
+
+// resultBefore is the canonical result order: distance ascending, id
+// ascending on ties.
+func resultBefore(a, b Result) bool {
+	if a.Distance != b.Distance {
+		return a.Distance < b.Distance
+	}
+	return a.ID < b.ID
+}
+
+// siftUpWorst/siftDownWorst maintain a max-heap under resultBefore (the
+// worst kept result sits at the root, ready for eviction).
+func siftUpWorst(h []Result, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !resultBefore(h[p], h[i]) {
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func siftDownWorst(h []Result, i int) {
+	n := len(h)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && resultBefore(h[worst], h[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && resultBefore(h[worst], h[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
 }
 
 // Len implements Index.
 func (e *Exhaustive) Len() int { return len(e.ids) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -79,6 +79,10 @@ type Config struct {
 	// CompactionFanIn is how many adjacent sealed segments one background
 	// compaction merges (0 = 4; negative disables background compaction).
 	CompactionFanIn int
+	// DisableVectorQuantization makes ANN search traverse full float32
+	// vectors instead of the int8 quantized arena (exact traversal, ~4×
+	// the memory bandwidth). See docs/OPERATIONS.md.
+	DisableVectorQuantization bool
 	// Observer receives per-stage pipeline reports for every query
 	// (latency, sizes, errors). NewServer overrides it with the server's
 	// metrics registry; set it here for custom instrumentation.
@@ -123,17 +127,18 @@ func New(cfg Config) *System {
 			ChunkTokens:   cfg.ChunkTokens,
 			EnrichSummary: cfg.EnrichSummary,
 		},
-		Guardrails:         guardrails.Config{RougeThreshold: cfg.RougeThreshold},
-		M:                  cfg.M,
-		SearchOptions:      cfg.SearchOptions,
-		Observer:           cfg.Observer,
-		SearchWorkers:      cfg.SearchWorkers,
-		ShardCount:         cfg.ShardCount,
-		MemtableMaxDocs:    cfg.MemtableMaxDocs,
-		CompactionFanIn:    cfg.CompactionFanIn,
-		TraceCapacity:      cfg.TraceCapacity,
-		TraceSampleRate:    cfg.TraceSampleRate,
-		TraceSlowThreshold: cfg.TraceSlowThreshold,
+		Guardrails:                guardrails.Config{RougeThreshold: cfg.RougeThreshold},
+		M:                         cfg.M,
+		SearchOptions:             cfg.SearchOptions,
+		Observer:                  cfg.Observer,
+		SearchWorkers:             cfg.SearchWorkers,
+		ShardCount:                cfg.ShardCount,
+		MemtableMaxDocs:           cfg.MemtableMaxDocs,
+		CompactionFanIn:           cfg.CompactionFanIn,
+		DisableVectorQuantization: cfg.DisableVectorQuantization,
+		TraceCapacity:             cfg.TraceCapacity,
+		TraceSampleRate:           cfg.TraceSampleRate,
+		TraceSlowThreshold:        cfg.TraceSlowThreshold,
 	})}
 }
 
