@@ -31,9 +31,12 @@ check: vet build race shardparity doccheck fuzz-short
 
 # Cross-check the sharded facade against the monolithic index: byte-identical
 # rankings for the Tables 1-3 query sets at every shard count, raced because
-# the fan-out is concurrent.
+# the fan-out is concurrent. Includes the three-way remote harness
+# (TestShardParityRemoteThreeWay): remote == in-process == monolithic over
+# loopback shard servers at replication 2, through the full
+# memtable/tombstone/compaction lifecycle — hence the raised timeout.
 shardparity:
-	$(GO) test -race -count=1 -run TestShardParity ./internal/shard/
+	$(GO) test -race -count=1 -timeout 20m -run TestShardParity ./internal/shard/
 
 # Every internal package must carry a package doc comment ("// Package <name>
 # ..."), so godoc renders an operator-readable overview of each subsystem.
@@ -57,8 +60,9 @@ chaos:
 # Short fuzzing pass over the parsers that consume untrusted / fault-injected
 # bytes: the tokenizer+analyzer (arbitrary document text), the citation
 # parser (raw LLM output), the TraceQL-lite query parser (the
-# /api/traces?q= input) and the segment-container snapshot decoder (bytes
-# read back from disk). Seeds include the checked-in crasher corpora.
+# /api/traces?q= input), the segment-container snapshot decoder (bytes
+# read back from disk) and the remote-shard wire frame/envelope decoders
+# (bytes read off the network). Seeds include the checked-in crasher corpora.
 FUZZTIME ?= 5s
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzTokenize -fuzztime $(FUZZTIME) ./internal/textproc/
@@ -66,6 +70,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzExtractCitationKeys -fuzztime $(FUZZTIME) ./internal/generation/
 	$(GO) test -run '^$$' -fuzz FuzzTraceQL -fuzztime $(FUZZTIME) ./internal/trace/
 	$(GO) test -run '^$$' -fuzz FuzzSegmentedManifest -fuzztime $(FUZZTIME) ./internal/index/
+	$(GO) test -run '^$$' -fuzz FuzzRemoteWire -fuzztime $(FUZZTIME) ./internal/remote/
 
 # Query hot-path micro-benchmarks (BM25, ANN, filter bitsets, query cache,
 # shard-count scaling, tracing overhead, ingest-while-query steady state)

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"uniask"
@@ -31,6 +32,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "corpus generation seed")
 		workers   = flag.Int("workers", 0, "retrieval fan-out width (0 = one per CPU, 1 = sequential)")
 		shards    = flag.Int("shards", 1, "index shard count (1 = monolithic index)")
+		endpoints = flag.String("shard-endpoints", "", "comma-separated uniask-shard server addresses; when set, shards live on those servers (remote scatter-gather)")
+		replicas  = flag.Int("shard-replication", 2, "endpoints hosting each remote shard (with -shard-endpoints)")
 		memtable  = flag.Int("memtable-max-docs", 0, "chunks per memtable before auto-seal (0 = 1024, negative disables auto-seal)")
 		fanIn     = flag.Int("compaction-fanin", 0, "sealed segments merged per compaction (0 = 4, negative disables compaction)")
 		traceCap  = flag.Int("trace-capacity", 0, "trace store size (0 = 2048 retained traces, negative disables tracing)")
@@ -42,11 +45,21 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "generating and indexing %d documents...\n", *docs)
 	start := time.Now()
+	var remoteShards []string
+	if *endpoints != "" {
+		for _, ep := range strings.Split(*endpoints, ",") {
+			if ep = strings.TrimSpace(ep); ep != "" {
+				remoteShards = append(remoteShards, ep)
+			}
+		}
+	}
 	corpus := uniask.SyntheticCorpus(*docs, *seed)
 	sys, err := uniask.NewFromCorpus(context.Background(), corpus, uniask.Config{
 		EnrichSummary:             true,
 		SearchWorkers:             *workers,
 		ShardCount:                *shards,
+		RemoteShards:              remoteShards,
+		RemoteReplication:         *replicas,
 		MemtableMaxDocs:           *memtable,
 		CompactionFanIn:           *fanIn,
 		TraceCapacity:             *traceCap,

@@ -29,6 +29,7 @@ import (
 	"uniask/internal/llm"
 	"uniask/internal/pipeline"
 	"uniask/internal/queue"
+	"uniask/internal/remote"
 	"uniask/internal/rerank"
 	"uniask/internal/resilience"
 	"uniask/internal/search"
@@ -85,6 +86,22 @@ type Config struct {
 	// keeps the monolithic index — exactly today's behavior, no facade in
 	// the path.
 	ShardCount int
+	// RemoteShards lists shard-server endpoints (host:port, see
+	// cmd/uniask-shard). When non-empty the facade's shards live on those
+	// servers instead of in-process: each of the ShardCount logical shards
+	// is placed on RemoteReplication distinct endpoints by consistent
+	// hashing, reads hedge across replicas, and every endpoint is guarded
+	// by a circuit breaker surfaced through Breakers(). Rankings stay
+	// byte-identical to the in-process (and monolithic) topology. The shard
+	// servers must run the same schema/analyzer configuration. With
+	// RemoteShards set, ShardCount defaults to len(RemoteShards).
+	RemoteShards []string
+	// RemoteReplication is how many endpoints host each shard (default 2,
+	// clamped to len(RemoteShards)).
+	RemoteReplication int
+	// RemoteHedgeDelay tunes the replica groups' latency hedge (0 =
+	// remote.DefaultHedgeDelay).
+	RemoteHedgeDelay time.Duration
 	// MemtableMaxDocs seals a store's mutable memtable into an immutable
 	// segment once it holds this many chunks (0 =
 	// index.DefaultMemtableMaxDocs; negative disables auto-sealing, so only
@@ -183,7 +200,29 @@ func New(cfg Config) *Engine {
 		Schema:                    indexer.Schema(),
 		DisableVectorQuantization: cfg.DisableVectorQuantization,
 	}
-	if cfg.ShardCount > 1 {
+	eng := &Engine{
+		cfg:      cfg,
+		Embedder: emb,
+	}
+	if len(cfg.RemoteShards) > 0 {
+		shards := cfg.ShardCount
+		if shards < 1 {
+			shards = len(cfg.RemoteShards)
+		}
+		backends := remote.Topology{
+			Endpoints:       cfg.RemoteShards,
+			Shards:          shards,
+			Replication:     cfg.RemoteReplication,
+			HedgeDelay:      cfg.RemoteHedgeDelay,
+			OnBreakerChange: eng.fireBreakerNotify,
+		}.Backends()
+		ix = shard.NewWithBackends(shard.Config{
+			Shards:  shards,
+			Index:   ixCfg,
+			Segment: segCfg,
+			Workers: cfg.SearchWorkers,
+		}, backends)
+	} else if cfg.ShardCount > 1 {
 		ix = shard.New(shard.Config{
 			Shards:  cfg.ShardCount,
 			Index:   ixCfg,
@@ -193,11 +232,7 @@ func New(cfg Config) *Engine {
 	} else {
 		ix = index.NewSegmented(ixCfg, segCfg)
 	}
-	eng := &Engine{
-		cfg:      cfg,
-		Index:    ix,
-		Embedder: emb,
-	}
+	eng.Index = ix
 	if cfg.TraceCapacity >= 0 {
 		eng.Tracer = trace.New(trace.Config{
 			Capacity:      cfg.TraceCapacity,
@@ -285,14 +320,18 @@ func (e *Engine) SetBreakerNotify(fn func(name, from, to string)) {
 	e.notifyMu.Unlock()
 }
 
-// Breakers snapshots the engine's circuit breakers for health reporting
-// (empty when resilience is disabled).
+// Breakers snapshots the engine's circuit breakers for health reporting:
+// the LLM and embedding breakers (absent when resilience is disabled) plus
+// one breaker per remote shard endpoint (absent for local topologies).
 func (e *Engine) Breakers() []resilience.BreakerStatus {
 	var out []resilience.BreakerStatus
 	for _, b := range []*resilience.Breaker{e.LLMBreaker, e.EmbedBreaker} {
 		if b != nil {
 			out = append(out, b.Status())
 		}
+	}
+	if s := e.Sharded(); s != nil {
+		out = append(out, s.Breakers()...)
 	}
 	return out
 }
@@ -347,6 +386,11 @@ func (e *Engine) CacheStats() (search.CacheStats, bool) {
 // purged — the fresh index restarts its epoch at zero, so stale entries
 // could otherwise look current.
 func (e *Engine) LoadIndex(r io.Reader) error {
+	if len(e.cfg.RemoteShards) > 0 {
+		// Remote shards own their data; restore them with uniask-shard
+		// -snapshot on each server instead of through the facade.
+		return fmt.Errorf("core: LoadIndex is unsupported with remote shards (restore each shard server from its own snapshot)")
+	}
 	var (
 		ix  index.Repository
 		err error

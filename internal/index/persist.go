@@ -104,16 +104,36 @@ var ErrShardedSnapshot = errors.New(
 	"index: stream is a sharded snapshot container, not a single-index snapshot; " +
 		"load it with shard.Load or an engine configured with ShardCount > 1")
 
+// streamName names a snapshot source in wrong-container errors: the file
+// path when the reader carries one (*os.File does), "stream" otherwise.
+func streamName(r io.Reader) string {
+	if n, ok := r.(interface{ Name() string }); ok {
+		if name := n.Name(); name != "" {
+			return name
+		}
+	}
+	return "stream"
+}
+
+// wrongContainer builds the refusal error for a recognizably wrong snapshot
+// container: it names the source and the detected format and wraps the
+// sentinel, so callers branch with errors.Is while the operator reading the
+// log sees which file was pointed at the wrong loader and what it actually
+// holds.
+func wrongContainer(r io.Reader, format string, sentinel error) error {
+	return fmt.Errorf("index: %s: detected a %s container: %w", streamName(r), format, sentinel)
+}
+
 // Read restores an index written by Save. The provided Config supplies
 // the non-serializable parts (analyzer, vector-index constructor); its
 // Schema and BM25 params are overridden by the snapshot's.
 func Read(r io.Reader, cfg Config) (*Index, error) {
 	br := bufio.NewReader(r)
 	if peek, err := br.Peek(len(ShardedSnapshotMagic)); err == nil && string(peek) == ShardedSnapshotMagic {
-		return nil, ErrShardedSnapshot
+		return nil, wrongContainer(r, "sharded snapshot", ErrShardedSnapshot)
 	}
 	if peek, err := br.Peek(len(SegmentedSnapshotMagic)); err == nil && string(peek) == SegmentedSnapshotMagic {
-		return nil, ErrSegmentedSnapshot
+		return nil, wrongContainer(r, "segmented snapshot", ErrSegmentedSnapshot)
 	}
 	var snap indexSnapshot
 	if err := gob.NewDecoder(br).Decode(&snap); err != nil {

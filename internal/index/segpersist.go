@@ -161,7 +161,7 @@ func (s *Segmented) Save(w io.Writer) error {
 func ReadSegmented(r io.Reader, cfg Config, scfg SegmentConfig) (*Segmented, error) {
 	br := bufio.NewReader(r)
 	if peek, err := br.Peek(len(ShardedSnapshotMagic)); err == nil && string(peek) == ShardedSnapshotMagic {
-		return nil, ErrShardedSnapshot
+		return nil, wrongContainer(r, "sharded snapshot", ErrShardedSnapshot)
 	}
 	if peek, err := br.Peek(len(SegmentedSnapshotMagic)); err != nil || string(peek) != SegmentedSnapshotMagic {
 		// Legacy single-file snapshot: adopt it as one sealed segment.

@@ -2,7 +2,12 @@ package index
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"uniask/internal/vector"
@@ -152,19 +157,107 @@ func TestSegmentedPersistLegacyMigration(t *testing.T) {
 	}
 }
 
-// TestSegmentedReadRejectsSharded refuses a sharded container with the
-// pointed sentinel, and Read refuses a segmented container likewise.
+// TestSegmentedReadRejectsWrongContainer pins the wrong-container refusals
+// of Read and ReadSegmented: the sentinel must survive errors.Is for
+// programmatic branching, and the message must name the source (the file
+// path when one is available, "stream" otherwise) and the detected format so
+// the operator reading the log knows which file went to the wrong loader.
 func TestSegmentedReadRejectsWrongContainer(t *testing.T) {
-	if _, err := ReadSegmented(bytes.NewReader([]byte(ShardedSnapshotMagic+"garbage")), Config{}, SegmentConfig{}); err != ErrShardedSnapshot {
-		t.Fatalf("sharded stream: err = %v, want ErrShardedSnapshot", err)
-	}
 	seg := segStore(t)
-	var buf bytes.Buffer
-	if err := seg.Save(&buf); err != nil {
+	var segStream bytes.Buffer
+	if err := seg.Save(&segStream); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Read(bytes.NewReader(buf.Bytes()), Config{}); err != ErrSegmentedSnapshot {
-		t.Fatalf("segmented stream into Read: err = %v, want ErrSegmentedSnapshot", err)
+	shardedStream := []byte(ShardedSnapshotMagic + "garbage")
+
+	// A file-backed source must be named by path in the error.
+	shardedPath := filepath.Join(t.TempDir(), "cluster.snap")
+	if err := os.WriteFile(shardedPath, shardedStream, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	segmentedPath := filepath.Join(t.TempDir(), "store.snap")
+	if err := os.WriteFile(segmentedPath, segStream.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	openFile := func(path string) io.Reader {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { f.Close() })
+		return f
+	}
+
+	tests := []struct {
+		name     string
+		read     func(io.Reader) error
+		src      io.Reader
+		sentinel error
+		wantName string
+		wantKind string
+	}{
+		{
+			name:     "Read refuses a sharded stream",
+			read:     func(r io.Reader) error { _, err := Read(r, Config{}); return err },
+			src:      bytes.NewReader(shardedStream),
+			sentinel: ErrShardedSnapshot,
+			wantName: "stream",
+			wantKind: "sharded snapshot",
+		},
+		{
+			name:     "Read refuses a segmented stream",
+			read:     func(r io.Reader) error { _, err := Read(r, Config{}); return err },
+			src:      bytes.NewReader(segStream.Bytes()),
+			sentinel: ErrSegmentedSnapshot,
+			wantName: "stream",
+			wantKind: "segmented snapshot",
+		},
+		{
+			name:     "Read refuses a sharded file by path",
+			read:     func(r io.Reader) error { _, err := Read(r, Config{}); return err },
+			src:      openFile(shardedPath),
+			sentinel: ErrShardedSnapshot,
+			wantName: shardedPath,
+			wantKind: "sharded snapshot",
+		},
+		{
+			name:     "Read refuses a segmented file by path",
+			read:     func(r io.Reader) error { _, err := Read(r, Config{}); return err },
+			src:      openFile(segmentedPath),
+			sentinel: ErrSegmentedSnapshot,
+			wantName: segmentedPath,
+			wantKind: "segmented snapshot",
+		},
+		{
+			name:     "ReadSegmented refuses a sharded stream",
+			read:     func(r io.Reader) error { _, err := ReadSegmented(r, Config{}, SegmentConfig{}); return err },
+			src:      bytes.NewReader(shardedStream),
+			sentinel: ErrShardedSnapshot,
+			wantName: "stream",
+			wantKind: "sharded snapshot",
+		},
+		{
+			name:     "ReadSegmented refuses a sharded file by path",
+			read:     func(r io.Reader) error { _, err := ReadSegmented(r, Config{}, SegmentConfig{}); return err },
+			src:      openFile(shardedPath),
+			sentinel: ErrShardedSnapshot,
+			wantName: shardedPath,
+			wantKind: "sharded snapshot",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.read(tc.src)
+			if !errors.Is(err, tc.sentinel) {
+				t.Fatalf("err = %v, want errors.Is(%v)", err, tc.sentinel)
+			}
+			if !strings.Contains(err.Error(), tc.wantName) {
+				t.Errorf("error %q does not name the source %q", err, tc.wantName)
+			}
+			if !strings.Contains(err.Error(), "detected a "+tc.wantKind) {
+				t.Errorf("error %q does not name the detected format %q", err, tc.wantKind)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,98 @@
+package remote
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// vnodesPerEndpoint is how many virtual nodes each endpoint contributes to
+// the placement ring. More vnodes smooth the shard distribution; 64 keeps
+// the ring cheap to build while bounding per-endpoint skew to a few
+// percent.
+const vnodesPerEndpoint = 64
+
+// ringPoint is one virtual node on the placement ring.
+type ringPoint struct {
+	hash     uint64
+	endpoint string
+}
+
+// buildRing hashes every endpoint's vnodes onto the ring.
+func buildRing(endpoints []string) []ringPoint {
+	ring := make([]ringPoint, 0, len(endpoints)*vnodesPerEndpoint)
+	for _, ep := range endpoints {
+		for v := 0; v < vnodesPerEndpoint; v++ {
+			ring = append(ring, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", ep, v)), endpoint: ep})
+		}
+	}
+	sort.Slice(ring, func(i, j int) bool {
+		if ring[i].hash != ring[j].hash {
+			return ring[i].hash < ring[j].hash
+		}
+		return ring[i].endpoint < ring[j].endpoint
+	})
+	return ring
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is a 64-bit avalanche finalizer (the murmur3 fmix64 constants).
+// Raw FNV-1a of short, nearly identical keys ("shard-0", "shard-1",
+// "host:9001#3") differs only in its low bits, which clusters every vnode
+// of an endpoint into one arc of the ring and defeats the placement;
+// avalanching scatters them uniformly.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Placement assigns each of shards logical shards to rf distinct endpoints
+// by consistent hashing: hash the shard's name onto the ring and walk
+// clockwise collecting distinct endpoints. Adding or removing one endpoint
+// therefore moves only ~1/len(endpoints) of the replica assignments —
+// replacing a shard server does not reshuffle the whole cluster (see
+// docs/OPERATIONS.md).
+//
+// rf is clamped to [1, len(endpoints)]; fewer endpoints than the requested
+// replication factor degrades gracefully to all of them. The result is
+// deterministic for a given (endpoints, shards, rf), so every facade
+// derives the identical placement without coordination.
+func Placement(endpoints []string, shards, rf int) [][]string {
+	if len(endpoints) == 0 || shards <= 0 {
+		return nil
+	}
+	if rf < 1 {
+		rf = 1
+	}
+	if rf > len(endpoints) {
+		rf = len(endpoints)
+	}
+	ring := buildRing(endpoints)
+	out := make([][]string, shards)
+	for s := 0; s < shards; s++ {
+		h := hash64(fmt.Sprintf("shard-%d", s))
+		// First ring point at or after the shard's hash, wrapping.
+		start := sort.Search(len(ring), func(i int) bool { return ring[i].hash >= h })
+		replicas := make([]string, 0, rf)
+		seen := make(map[string]bool, rf)
+		for i := 0; i < len(ring) && len(replicas) < rf; i++ {
+			ep := ring[(start+i)%len(ring)].endpoint
+			if seen[ep] {
+				continue
+			}
+			seen[ep] = true
+			replicas = append(replicas, ep)
+		}
+		out[s] = replicas
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"uniask/internal/index"
+)
+
+// Wire format. A connection opens with a fixed handshake line in each
+// direction, then carries length-prefixed frames:
+//
+//	"uniask-remote/1\n"                  (client → server, echoed back)
+//	frame := u32 big-endian payload length | payload
+//	payload := gob(request) or gob(response)
+//
+// Each payload is a self-contained gob stream (encoder state never spans
+// frames), so a connection returned to the pool mid-conversation can never
+// desynchronize the codec. The decoder enforces a frame-length cap BEFORE
+// allocating: an adversarial or corrupt length prefix is refused with
+// ErrFrameTooLarge and at most 4 header bytes read, never a giant
+// allocation or a panic (FuzzRemoteWire pins this).
+
+// Handshake is the connection-opening protocol banner; the version digit
+// bumps on any incompatible wire change.
+const Handshake = "uniask-remote/1\n"
+
+// DefaultMaxFrame bounds a frame payload (64 MiB): far above any query or
+// stats frame, sized for bulk-ingest batches and snapshot transfers.
+const DefaultMaxFrame = 64 << 20
+
+// ErrFrameTooLarge is returned by ReadFrame when the length prefix exceeds
+// the configured cap. The stream position is poisoned (the oversized
+// payload was not consumed), so the connection must be closed.
+var ErrFrameTooLarge = errors.New("remote: frame length exceeds cap")
+
+// ErrBadHandshake is returned when the peer does not speak the protocol
+// (wrong banner or wrong version).
+var ErrBadHandshake = errors.New("remote: bad protocol handshake")
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, refusing payloads above max (0 means
+// DefaultMaxFrame) before any payload allocation happens.
+func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if int64(n) > int64(max) {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, max)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// op identifies one RPC.
+type op uint8
+
+// RPC operations. The numeric values are part of the wire format; append
+// only.
+const (
+	opPing op = iota + 1
+	opCollectStats
+	opSearchText
+	opSearchTextGlobal
+	opSearchVector
+	opAdd
+	opAddBulk
+	opDelete
+	opDeleteParent
+	opParentChunkIDs
+	opHasParent
+	opDocByID
+	opDoc
+	opLiveDocs
+	opStatus
+	opPublish
+	opWaitCompaction
+	opSnapshot
+)
+
+func (o op) String() string {
+	switch o {
+	case opPing:
+		return "ping"
+	case opCollectStats:
+		return "collectStats"
+	case opSearchText:
+		return "searchText"
+	case opSearchTextGlobal:
+		return "searchTextGlobal"
+	case opSearchVector:
+		return "searchVector"
+	case opAdd:
+		return "add"
+	case opAddBulk:
+		return "addBulk"
+	case opDelete:
+		return "delete"
+	case opDeleteParent:
+		return "deleteParent"
+	case opParentChunkIDs:
+		return "parentChunkIDs"
+	case opHasParent:
+		return "hasParent"
+	case opDocByID:
+		return "docByID"
+	case opDoc:
+		return "doc"
+	case opLiveDocs:
+		return "liveDocs"
+	case opStatus:
+		return "status"
+	case opPublish:
+		return "publish"
+	case opWaitCompaction:
+		return "waitCompaction"
+	case opSnapshot:
+		return "snapshot"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// request is the one envelope every RPC uses; unused fields stay zero and
+// cost almost nothing on the wire (gob omits them).
+type request struct {
+	Op    op
+	Shard int
+	// TraceID propagates the caller's trace across the process boundary:
+	// the shard server stamps it on its own request span, so client-side
+	// remote.rpc spans and server-side spans correlate by id.
+	TraceID string
+
+	Query   string
+	N       int
+	Opts    index.TextOptions
+	Stats   *index.CorpusStats
+	Fields  []string
+	Terms   []string
+	Field   string
+	Vector  []float32
+	K       int
+	Filters []index.Filter
+	Docs    []index.Document
+	ID      string
+	Ord     int
+}
+
+// shardStatus is the combined gauge/staleness snapshot of one hosted shard,
+// fetched in a single RPC.
+type shardStatus struct {
+	Epoch      uint64
+	StatsKey   uint64
+	Len        int
+	LiveLen    int
+	Tombstones int
+	Stats      index.Stats
+	Segments   index.SegmentStats
+}
+
+// response is the reply envelope. Err carries an application-level error
+// (duplicate id, bad snapshot, oversized request frame) as text; transport
+// health is judged only by the connection itself, so application errors
+// never trip the endpoint circuit breaker.
+type response struct {
+	Err string
+
+	Hits     []index.Hit
+	Stats    *index.CorpusStats
+	Docs     []index.Document
+	Doc      *index.Document
+	OK       bool
+	N        int
+	IDs      []string
+	Status   *shardStatus
+	Snapshot []byte
+}
+
+// encodeFrame gob-encodes v into a standalone frame payload.
+func encodeFrame(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeRequest decodes one request payload. It never panics on
+// adversarial bytes: gob decoding of a corrupt stream returns an error.
+func decodeRequest(payload []byte) (*request, error) {
+	var req request
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&req); err != nil {
+		return nil, fmt.Errorf("remote: decode request: %w", err)
+	}
+	return &req, nil
+}
+
+// decodeResponse decodes one response payload.
+func decodeResponse(payload []byte) (*response, error) {
+	var resp response
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("remote: decode response: %w", err)
+	}
+	return &resp, nil
+}

@@ -89,11 +89,11 @@ func TestComponentFailureShedsNotAborts(t *testing.T) {
 	s, _ := buildSearcher(t)
 	okRanking := fusion.Ranking{"d1#0", "d1#1"}
 	comps := []component{
-		{kind: "text", run: func(ctx context.Context) (fusion.Ranking, error) {
-			return okRanking, nil
+		{kind: "text", run: func(ctx context.Context) (fusion.Ranking, int, error) {
+			return okRanking, 0, nil
 		}},
-		{kind: "vector:contentVector", run: func(ctx context.Context) (fusion.Ranking, error) {
-			return nil, fmt.Errorf("shard unreachable")
+		{kind: "vector:contentVector", run: func(ctx context.Context) (fusion.Ranking, int, error) {
+			return nil, 0, fmt.Errorf("shard unreachable")
 		}},
 	}
 	rankings, deg, err := s.runComponents(context.Background(), comps)
@@ -114,10 +114,10 @@ func TestComponentFailureShedsNotAborts(t *testing.T) {
 func TestComponentPanicShedsNotCrashes(t *testing.T) {
 	s, _ := buildSearcher(t)
 	comps := []component{
-		{kind: "text", run: func(ctx context.Context) (fusion.Ranking, error) {
-			return fusion.Ranking{"d1#0"}, nil
+		{kind: "text", run: func(ctx context.Context) (fusion.Ranking, int, error) {
+			return fusion.Ranking{"d1#0"}, 0, nil
 		}},
-		{kind: "vector:poisoned", run: func(ctx context.Context) (fusion.Ranking, error) {
+		{kind: "vector:poisoned", run: func(ctx context.Context) (fusion.Ranking, int, error) {
 			panic("poisoned posting list")
 		}},
 	}
@@ -133,8 +133,8 @@ func TestComponentPanicShedsNotCrashes(t *testing.T) {
 func TestAllComponentsFailedErrors(t *testing.T) {
 	s, _ := buildSearcher(t)
 	comps := []component{
-		{kind: "text", run: func(ctx context.Context) (fusion.Ranking, error) {
-			return nil, fmt.Errorf("down")
+		{kind: "text", run: func(ctx context.Context) (fusion.Ranking, int, error) {
+			return nil, 0, fmt.Errorf("down")
 		}},
 	}
 	if _, _, err := s.runComponents(context.Background(), comps); err == nil {
@@ -146,12 +146,12 @@ func TestComponentRetrySucceeds(t *testing.T) {
 	s, _ := buildSearcher(t)
 	calls := 0
 	comps := []component{
-		{kind: "text", run: func(ctx context.Context) (fusion.Ranking, error) {
+		{kind: "text", run: func(ctx context.Context) (fusion.Ranking, int, error) {
 			calls++
 			if calls == 1 {
-				return nil, fmt.Errorf("transient")
+				return nil, 0, fmt.Errorf("transient")
 			}
-			return fusion.Ranking{"d1#0"}, nil
+			return fusion.Ranking{"d1#0"}, 0, nil
 		}},
 	}
 	rankings, deg, err := s.runComponents(context.Background(), comps)

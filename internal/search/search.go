@@ -50,11 +50,16 @@ type Degradation struct {
 	// ComponentsShed counts retrieval legs that failed and were dropped
 	// from fusion.
 	ComponentsShed int
+	// ShardsDown counts index shards that could not be reached (every
+	// replica of the shard unreachable): the ranking was computed over the
+	// surviving shards' documents only. Partial results, not an error —
+	// exactly like the other degradations.
+	ShardsDown int
 }
 
 // Degraded reports whether anything was shed.
 func (d Degradation) Degraded() bool {
-	return d.VectorSkipped || d.ExpansionSkipped || d.ComponentsShed > 0
+	return d.VectorSkipped || d.ExpansionSkipped || d.ComponentsShed > 0 || d.ShardsDown > 0
 }
 
 // Parts names the shed parts for logs, metrics and API responses.
@@ -69,6 +74,9 @@ func (d Degradation) Parts() []string {
 	if d.ComponentsShed > 0 {
 		out = append(out, "retrieval-components")
 	}
+	if d.ShardsDown > 0 {
+		out = append(out, "shards")
+	}
 	return out
 }
 
@@ -76,6 +84,11 @@ func (d *Degradation) merge(o Degradation) {
 	d.VectorSkipped = d.VectorSkipped || o.VectorSkipped
 	d.ExpansionSkipped = d.ExpansionSkipped || o.ExpansionSkipped
 	d.ComponentsShed += o.ComponentsShed
+	// Max, not sum: every retrieval leg fans out over the same shards, so
+	// the same dead shard would otherwise be double-counted per leg.
+	if o.ShardsDown > d.ShardsDown {
+		d.ShardsDown = o.ShardsDown
+	}
 }
 
 // Mode selects which retrieval components run.
@@ -337,22 +350,38 @@ type ctxQueryable interface {
 	SearchVectorCtx(ctx context.Context, field string, q vector.Vector, k int, filters []index.Filter) []index.Hit
 }
 
-// searchText routes one BM25 leg through the ctx-aware surface when the
-// index offers it.
-func (s *Searcher) searchText(ctx context.Context, query string, n int, opts index.TextOptions) []index.Hit {
-	if cq, ok := s.Index.(ctxQueryable); ok {
-		return cq.SearchTextCtx(ctx, query, n, opts)
-	}
-	return s.Index.SearchText(query, n, opts)
+// partialQueryable is the optional partial-result query surface. The
+// sharded facade implements it when shards can genuinely fail (remote
+// shards): the int reports how many shards were unreachable for the call,
+// which the searcher folds into Degradation.ShardsDown so callers see
+// partial results flagged as degraded rather than silently complete.
+type partialQueryable interface {
+	SearchTextPartial(ctx context.Context, query string, n int, opts index.TextOptions) ([]index.Hit, int)
+	SearchVectorPartial(ctx context.Context, field string, q vector.Vector, k int, filters []index.Filter) ([]index.Hit, int)
 }
 
-// searchVector routes one ANN leg through the ctx-aware surface when the
-// index offers it.
-func (s *Searcher) searchVector(ctx context.Context, field string, q vector.Vector, k int, filters []index.Filter) []index.Hit {
-	if cq, ok := s.Index.(ctxQueryable); ok {
-		return cq.SearchVectorCtx(ctx, field, q, k, filters)
+// searchText routes one BM25 leg through the richest surface the index
+// offers, reporting how many shards the leg lost (0 for local indexes,
+// which cannot lose any).
+func (s *Searcher) searchText(ctx context.Context, query string, n int, opts index.TextOptions) ([]index.Hit, int) {
+	if pq, ok := s.Index.(partialQueryable); ok {
+		return pq.SearchTextPartial(ctx, query, n, opts)
 	}
-	return s.Index.SearchVector(field, q, k, filters)
+	if cq, ok := s.Index.(ctxQueryable); ok {
+		return cq.SearchTextCtx(ctx, query, n, opts), 0
+	}
+	return s.Index.SearchText(query, n, opts), 0
+}
+
+// searchVector routes one ANN leg the same way.
+func (s *Searcher) searchVector(ctx context.Context, field string, q vector.Vector, k int, filters []index.Filter) ([]index.Hit, int) {
+	if pq, ok := s.Index.(partialQueryable); ok {
+		return pq.SearchVectorPartial(ctx, field, q, k, filters)
+	}
+	if cq, ok := s.Index.(ctxQueryable); ok {
+		return cq.SearchVectorCtx(ctx, field, q, k, filters), 0
+	}
+	return s.Index.SearchVector(field, q, k, filters), 0
 }
 
 // searchOnce runs one text+vector+RRF+rerank pass with the given query text
@@ -377,8 +406,9 @@ func (s *Searcher) searchOnce(ctx context.Context, query string, qvec vector.Vec
 type component struct {
 	// kind names the leg for degradation reports ("text", "vector:field").
 	kind string
-	// run executes the leg.
-	run func(ctx context.Context) (fusion.Ranking, error)
+	// run executes the leg, additionally reporting how many index shards
+	// the leg could not reach (partial coverage).
+	run func(ctx context.Context) (fusion.Ranking, int, error)
 }
 
 // componentPolicy is the per-leg retry budget: one immediate retry, no
@@ -401,15 +431,17 @@ func (s *Searcher) components(query string, qvec vector.Vector, opts Options) []
 		if opts.TitleBoost > 1 {
 			textOpts.FieldWeights = map[string]float64{"title": opts.TitleBoost}
 		}
-		comps = append(comps, component{kind: "text", run: func(ctx context.Context) (fusion.Ranking, error) {
-			return hitsToRanking(s.searchText(ctx, query, opts.TextN, textOpts)), nil
+		comps = append(comps, component{kind: "text", run: func(ctx context.Context) (fusion.Ranking, int, error) {
+			hits, down := s.searchText(ctx, query, opts.TextN, textOpts)
+			return hitsToRanking(hits), down, nil
 		}})
 	}
 	if opts.Mode != TextOnly && qvec != nil {
 		for _, field := range s.Index.VectorFields() {
 			field := field
-			comps = append(comps, component{kind: "vector:" + field, run: func(ctx context.Context) (fusion.Ranking, error) {
-				return hitsToRanking(s.searchVector(ctx, field, qvec, opts.VectorK, opts.Filters)), nil
+			comps = append(comps, component{kind: "vector:" + field, run: func(ctx context.Context) (fusion.Ranking, int, error) {
+				hits, down := s.searchVector(ctx, field, qvec, opts.VectorK, opts.Filters)
+				return hitsToRanking(hits), down, nil
 			}})
 		}
 	}
@@ -421,26 +453,38 @@ func (s *Searcher) components(query string, qvec vector.Vector, opts Options) []
 // the process. On a traced request the leg is a live "component" span: the
 // per-shard fan-out spans nest under it, and its retry attempts attach as
 // events.
-func runComponent(ctx context.Context, c component) (r fusion.Ranking, err error) {
+func runComponent(ctx context.Context, c component) (r fusion.Ranking, down int, err error) {
 	ctx, sp := trace.Start(ctx, "component", trace.A("kind", c.kind))
 	defer func() {
 		sp.SetError(err)
 		sp.End()
 	}()
-	return resilience.DoValue(ctx, componentPolicy, func(ctx context.Context) (_ fusion.Ranking, opErr error) {
+	// DoValue is single-valued; thread the shard-down count alongside the
+	// ranking through one carrier struct.
+	type legResult struct {
+		ranking fusion.Ranking
+		down    int
+	}
+	out, err := resilience.DoValue(ctx, componentPolicy, func(ctx context.Context) (_ legResult, opErr error) {
 		defer func() {
 			if p := recover(); p != nil {
 				opErr = fmt.Errorf("search: component %s panicked: %v", c.kind, p)
 			}
 		}()
-		return c.run(ctx)
+		r, down, err := c.run(ctx)
+		return legResult{ranking: r, down: down}, err
 	})
+	if out.down > 0 {
+		sp.SetAttr("shardsDown", strconv.Itoa(out.down))
+	}
+	return out.ranking, out.down, err
 }
 
 // compOutcome carries a leg's ranking or its failure through the fan-out
 // without aborting sibling legs.
 type compOutcome struct {
 	ranking fusion.Ranking
+	down    int
 	err     error
 }
 
@@ -461,8 +505,8 @@ func (s *Searcher) runComponents(ctx context.Context, comps []component) ([]fusi
 			if err := ctx.Err(); err != nil {
 				return compOutcome{}, err
 			}
-			r, err := runComponent(ctx, comps[i])
-			return compOutcome{ranking: r, err: err}, nil
+			r, down, err := runComponent(ctx, comps[i])
+			return compOutcome{ranking: r, down: down, err: err}, nil
 		})
 		if err != nil {
 			return 0, err
@@ -471,6 +515,11 @@ func (s *Searcher) runComponents(ctx context.Context, comps []component) ([]fusi
 		var firstErr error
 		failed := 0
 		for i, o := range outcomes {
+			// The same dead shards degrade every leg, so the report takes the
+			// worst leg's count rather than summing the fan-out.
+			if o.down > deg.ShardsDown {
+				deg.ShardsDown = o.down
+			}
 			if o.err != nil {
 				failed++
 				if firstErr == nil {

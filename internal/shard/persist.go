@@ -151,18 +151,8 @@ func Load(r io.Reader, cfg Config) (*Sharded, error) {
 		return nil, fmt.Errorf("shard: corrupt manifest: %d shards", m.Shards)
 	}
 
-	loaded := &Sharded{
-		cfg:     Config{Shards: m.Shards, Index: cfg.Index, Segment: cfg.Segment, Workers: cfg.Workers},
-		shards:  make([]*index.Segmented, m.Shards),
-		seq:     m.Seq,
-		nextSeq: m.NextSeq,
-		journal: index.NewDeleteJournal(),
-		stats:   make([]queryStat, m.Shards),
-	}
-	if loaded.seq == nil {
-		loaded.seq = make(map[string]uint64)
-	}
-	for i := range loaded.shards {
+	backends := make([]Backend, m.Shards)
+	for i := range backends {
 		sec, err := readSection(br)
 		if err != nil {
 			return nil, fmt.Errorf("shard: read shard %d: %w", i, err)
@@ -175,7 +165,12 @@ func Load(r io.Reader, cfg Config) (*Sharded, error) {
 		if err != nil {
 			return nil, fmt.Errorf("shard: restore shard %d: %w", i, err)
 		}
-		loaded.shards[i] = ix
+		backends[i] = NewLocal(ix)
+	}
+	loaded := NewWithBackends(Config{Shards: m.Shards, Index: cfg.Index, Segment: cfg.Segment, Workers: cfg.Workers}, backends)
+	loaded.nextSeq = m.NextSeq
+	if m.Seq != nil {
+		loaded.seq = m.Seq
 	}
 	if m.Shards == cfg.Shards {
 		return loaded, nil

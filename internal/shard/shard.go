@@ -18,6 +18,13 @@
 //     added chunk with a global arrival sequence number and merges vector
 //     candidates by (score desc, sequence asc).
 //
+// Shards are Backends: in-process segmented stores (Local) or network
+// endpoints speaking the remote wire protocol (internal/remote), mixed
+// freely behind the same facade. A remote shard can be down; the facade
+// then merges the surviving shards' results and reports the outage count,
+// which the search layer surfaces as a Degradation — partial results, not
+// an error.
+//
 // A facade with Shards == 1 delegates straight to its single shard and is
 // observationally identical to using *index.Index directly.
 package shard
@@ -34,6 +41,7 @@ import (
 
 	"uniask/internal/index"
 	"uniask/internal/pipeline"
+	"uniask/internal/resilience"
 	"uniask/internal/textproc"
 	"uniask/internal/trace"
 	"uniask/internal/vector"
@@ -58,6 +66,7 @@ type Config struct {
 type queryStat struct {
 	queries atomic.Uint64
 	nanos   atomic.Uint64
+	errors  atomic.Uint64
 }
 
 // Sharded is the N-way sharded index facade. It satisfies the same
@@ -65,12 +74,19 @@ type queryStat struct {
 // persistence layers run unchanged on top of it.
 //
 // Concurrency matches the monolithic index: any number of concurrent
-// readers racing a single live writer. Each shard has its own RWMutex, so
+// readers racing a single live writer. Each shard has its own lock domain
+// (an RWMutex for local shards, a connection pool for remote ones), so
 // readers of different shards never contend; the facade itself only guards
 // the global sequence map.
 type Sharded struct {
 	cfg    Config
-	shards []*index.Segmented
+	shards []Backend
+
+	// tmpl is an empty index built from cfg.Index whose only job is to
+	// answer schema/analyzer questions without a round trip: the schema and
+	// analyzer are configuration, identical on every shard by construction,
+	// so the facade answers locally even when every shard is remote.
+	tmpl *index.Index
 
 	// seqMu guards seq/nextSeq. seq maps a chunk id to its global arrival
 	// sequence — the cross-shard equivalent of the monolithic insertion
@@ -87,22 +103,34 @@ type Sharded struct {
 	stats []queryStat
 }
 
-// New creates an empty sharded facade.
+// New creates an empty sharded facade over in-process shards.
 func New(cfg Config) *Sharded {
 	if cfg.Shards < 1 {
 		cfg.Shards = 1
 	}
-	s := &Sharded{
+	backends := make([]Backend, cfg.Shards)
+	for i := range backends {
+		backends[i] = NewLocal(index.NewSegmented(cfg.Index, cfg.Segment))
+	}
+	return NewWithBackends(cfg, backends)
+}
+
+// NewWithBackends creates a facade over caller-supplied shard backends —
+// in-process stores, remote clients, replicated remote groups, or any mix.
+// len(backends) overrides cfg.Shards.
+func NewWithBackends(cfg Config, backends []Backend) *Sharded {
+	if len(backends) == 0 {
+		panic("shard: NewWithBackends needs at least one backend")
+	}
+	cfg.Shards = len(backends)
+	return &Sharded{
 		cfg:     cfg,
-		shards:  make([]*index.Segmented, cfg.Shards),
+		shards:  backends,
+		tmpl:    index.New(cfg.Index),
 		seq:     make(map[string]uint64),
 		journal: index.NewDeleteJournal(),
-		stats:   make([]queryStat, cfg.Shards),
+		stats:   make([]queryStat, len(backends)),
 	}
-	for i := range s.shards {
-		s.shards[i] = index.NewSegmented(cfg.Index, cfg.Segment)
-	}
-	return s
 }
 
 // Compile-time checks: the facade is a drop-in index.Repository with a
@@ -115,8 +143,53 @@ var (
 // NumShards reports the shard count.
 func (s *Sharded) NumShards() int { return len(s.shards) }
 
-// Shard exposes one shard (diagnostics and tests).
-func (s *Sharded) Shard(i int) *index.Segmented { return s.shards[i] }
+// Backend exposes one shard's backend (diagnostics and tests).
+func (s *Sharded) Backend(i int) Backend { return s.shards[i] }
+
+// Shard exposes one shard's in-process store, or nil when the shard is
+// remote (diagnostics and tests).
+func (s *Sharded) Shard(i int) *index.Segmented {
+	if l, ok := s.shards[i].(*Local); ok {
+		return l.Segmented
+	}
+	return nil
+}
+
+// Close releases every backend's resources (remote connection pools; local
+// shards are no-ops). The facade must not be queried after Close.
+func (s *Sharded) Close() error {
+	var first error
+	for _, sh := range s.shards {
+		if err := sh.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Breakers reports the circuit-breaker status of every remote endpoint
+// guarding a shard (empty for an all-local facade). The engine folds these
+// into its health report.
+func (s *Sharded) Breakers() []resilience.BreakerStatus {
+	var out []resilience.BreakerStatus
+	seen := make(map[string]bool)
+	for _, sh := range s.shards {
+		hr, ok := sh.(HealthReporter)
+		if !ok {
+			continue
+		}
+		// Endpoint breakers are shared across every shard placed on that
+		// endpoint; report each endpoint once.
+		for _, st := range hr.Breakers() {
+			if seen[st.Name] {
+				continue
+			}
+			seen[st.Name] = true
+			out = append(out, st)
+		}
+	}
+	return out
+}
 
 // ShardFor returns the shard index owning a chunk id: FNV-1a 64 of the id
 // modulo the shard count. The hash is stable across processes and
@@ -211,7 +284,9 @@ func (s *Sharded) HasParent(parentID string) bool {
 // one shard, each shard's epoch is non-decreasing, and reads are atomic, so
 // the sum is monotonic and changes whenever any shard changes — the same
 // staleness contract the search-layer query cache relies on with a
-// monolithic index (see search.QueryCache).
+// monolithic index (see search.QueryCache). Remote backends serve their
+// last-known epoch while unreachable, keeping the sum monotonic through an
+// outage.
 func (s *Sharded) Epoch() uint64 {
 	var e uint64
 	for _, sh := range s.shards {
@@ -313,16 +388,16 @@ func (s *Sharded) DocByID(id string) (index.Document, bool) {
 }
 
 // Schema returns the shared shard schema.
-func (s *Sharded) Schema() index.Schema { return s.shards[0].Schema() }
+func (s *Sharded) Schema() index.Schema { return s.tmpl.Schema() }
 
 // Analyzer returns the shared shard analyzer.
-func (s *Sharded) Analyzer() *textproc.Analyzer { return s.shards[0].Analyzer() }
+func (s *Sharded) Analyzer() *textproc.Analyzer { return s.tmpl.Analyzer() }
 
 // VectorFields lists the vector fields (shared, read-only).
-func (s *Sharded) VectorFields() []string { return s.shards[0].VectorFields() }
+func (s *Sharded) VectorFields() []string { return s.tmpl.VectorFields() }
 
 // SearchableFields lists the searchable fields (shared, read-only).
-func (s *Sharded) SearchableFields() []string { return s.shards[0].SearchableFields() }
+func (s *Sharded) SearchableFields() []string { return s.tmpl.SearchableFields() }
 
 // LiveDocs concatenates the shards' live documents in shard order.
 func (s *Sharded) LiveDocs() []index.Document {
@@ -334,9 +409,12 @@ func (s *Sharded) LiveDocs() []index.Document {
 }
 
 // record notes one shard query for the per-shard latency gauges.
-func (s *Sharded) record(shard int, start time.Time) {
+func (s *Sharded) record(shard int, start time.Time, err error) {
 	s.stats[shard].queries.Add(1)
 	s.stats[shard].nanos.Add(uint64(time.Since(start)))
+	if err != nil {
+		s.stats[shard].errors.Add(1)
+	}
 }
 
 // SearchText runs a BM25 query across all shards and merges the per-shard
@@ -357,47 +435,112 @@ func (s *Sharded) SearchText(query string, n int, opts index.TextOptions) []inde
 // shard id and the leg kind, so a fetched trace shows the fan-out shape and
 // which shard dominated the leg's latency.
 func (s *Sharded) SearchTextCtx(ctx context.Context, query string, n int, opts index.TextOptions) []index.Hit {
+	hits, _ := s.SearchTextPartial(ctx, query, n, opts)
+	return hits
+}
+
+// SearchTextPartial is SearchTextCtx plus the outage report: the second
+// return value counts shards that were unreachable and therefore absent
+// from the merged ranking. Zero means the ranking is complete (and
+// byte-identical to the monolithic index); a positive count means partial
+// results, which the search layer reports as a Degradation. A shard that
+// fails its statistics wave is excluded from the scoring wave too: scoring
+// a shard against global statistics missing its own contribution would
+// rank its documents on a different curve than its neighbors.
+func (s *Sharded) SearchTextPartial(ctx context.Context, query string, n int, opts index.TextOptions) ([]index.Hit, int) {
 	if len(s.shards) == 1 {
 		_, sp := trace.Start(ctx, "shard.search", trace.A("shard", "0"), trace.A("leg", "text"))
 		start := time.Now()
-		defer func() { s.record(0, start); sp.End() }()
-		return s.shards[0].SearchText(query, n, opts)
+		hits, err := s.shards[0].SearchText(ctx, query, n, opts)
+		s.record(0, start, err)
+		sp.SetError(err)
+		sp.End()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, 0
+			}
+			return nil, 1
+		}
+		return hits, 0
 	}
 	if n <= 0 {
-		return nil
+		return nil, 0
 	}
 	terms := s.Analyzer().AnalyzeTerms(query)
 	if len(terms) == 0 {
-		return nil
+		return nil, 0
 	}
 	fields := opts.Fields
 	if len(fields) == 0 {
 		fields = s.SearchableFields()
 	}
 
+	type statsOutcome struct {
+		cs  index.CorpusStats
+		err error
+	}
+	down := make([]bool, len(s.shards))
 	partials, err := pipeline.Map(ctx, s.cfg.Workers, len(s.shards),
-		func(_ context.Context, i int) (index.CorpusStats, error) {
-			return s.shards[i].CollectStats(fields, terms), nil
+		func(ctx context.Context, i int) (statsOutcome, error) {
+			cs, err := s.shards[i].CollectStats(ctx, fields, terms)
+			return statsOutcome{cs: cs, err: err}, nil
 		})
 	if err != nil {
-		return nil
+		return nil, 0 // the caller was cancelled, not a shard outage
 	}
 	var global index.CorpusStats
-	for _, p := range partials {
-		global.Merge(p)
+	for i, p := range partials {
+		if p.err != nil {
+			down[i] = true
+			continue
+		}
+		global.Merge(p.cs)
 	}
 
+	type hitsOutcome struct {
+		hits []index.Hit
+		err  error
+	}
 	perShard, err := pipeline.Map(ctx, s.cfg.Workers, len(s.shards),
-		func(ctx context.Context, i int) ([]index.Hit, error) {
+		func(ctx context.Context, i int) (hitsOutcome, error) {
+			if down[i] {
+				return hitsOutcome{}, nil
+			}
 			_, sp := trace.Start(ctx, "shard.search", trace.A("shard", strconv.Itoa(i)), trace.A("leg", "text"))
 			start := time.Now()
-			defer func() { s.record(i, start); sp.End() }()
-			return s.shards[i].SearchTextGlobal(query, n, opts, &global), nil
+			hits, err := s.shards[i].SearchTextGlobal(ctx, query, n, opts, &global)
+			s.record(i, start, err)
+			sp.SetError(err)
+			sp.End()
+			return hitsOutcome{hits: hits, err: err}, nil
 		})
 	if err != nil {
-		return nil
+		return nil, 0
 	}
-	return mergeText(perShard, n)
+	merged := make([][]index.Hit, 0, len(perShard))
+	for i, o := range perShard {
+		if down[i] {
+			continue
+		}
+		if o.err != nil {
+			down[i] = true
+			continue
+		}
+		merged = append(merged, o.hits)
+	}
+	outage := 0
+	for i, d := range down {
+		if d {
+			outage++
+			trace.AddEvent(ctx, "shard.down", trace.A("shard", strconv.Itoa(i)), trace.A("leg", "text"))
+		}
+	}
+	if ctx.Err() != nil {
+		// A cancelled fan-out reports transport errors on every leg it tore
+		// down; those are the caller's cancellation, not shard outages.
+		return nil, 0
+	}
+	return mergeText(merged, n), outage
 }
 
 // mergeText merges per-shard ranked hit lists into the global top-n under
@@ -431,35 +574,70 @@ func (s *Sharded) SearchVector(field string, q vector.Vector, k int, filters []i
 // SearchVectorCtx is SearchVector with context propagation: each shard's ANN
 // probe becomes a child "shard.search" span on a traced request.
 func (s *Sharded) SearchVectorCtx(ctx context.Context, field string, q vector.Vector, k int, filters []index.Filter) []index.Hit {
+	hits, _ := s.SearchVectorPartial(ctx, field, q, k, filters)
+	return hits
+}
+
+// SearchVectorPartial is SearchVectorCtx plus the outage report (see
+// SearchTextPartial).
+func (s *Sharded) SearchVectorPartial(ctx context.Context, field string, q vector.Vector, k int, filters []index.Filter) ([]index.Hit, int) {
 	// Normalize once per request; every shard (and every segment part below
 	// it) receives the same unit query instead of re-normalizing its own copy.
 	qn := vector.Normalize(append(vector.Vector(nil), q...))
 	if len(s.shards) == 1 {
 		_, sp := trace.Start(ctx, "shard.search", trace.A("shard", "0"), trace.A("leg", "vector:"+field))
 		start := time.Now()
-		defer func() { s.record(0, start); sp.End() }()
-		return s.shards[0].SearchVectorUnit(field, qn, k, filters)
+		hits, err := s.shards[0].SearchVectorUnit(ctx, field, qn, k, filters)
+		s.record(0, start, err)
+		sp.SetError(err)
+		sp.End()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, 0
+			}
+			return nil, 1
+		}
+		return hits, 0
 	}
 	if k <= 0 {
-		return nil
+		return nil, 0
+	}
+	type hitsOutcome struct {
+		hits []index.Hit
+		err  error
 	}
 	perShard, err := pipeline.Map(ctx, s.cfg.Workers, len(s.shards),
-		func(ctx context.Context, i int) ([]index.Hit, error) {
+		func(ctx context.Context, i int) (hitsOutcome, error) {
 			_, sp := trace.Start(ctx, "shard.search", trace.A("shard", strconv.Itoa(i)), trace.A("leg", "vector:"+field))
 			start := time.Now()
-			defer func() { s.record(i, start); sp.End() }()
-			return s.shards[i].SearchVectorUnit(field, qn, k, filters), nil
+			hits, err := s.shards[i].SearchVectorUnit(ctx, field, qn, k, filters)
+			s.record(i, start, err)
+			sp.SetError(err)
+			sp.End()
+			return hitsOutcome{hits: hits, err: err}, nil
 		})
 	if err != nil {
-		return nil
+		return nil, 0
 	}
+	outage := 0
 	total := 0
-	for _, hits := range perShard {
-		total += len(hits)
+	for i, o := range perShard {
+		if o.err != nil {
+			outage++
+			trace.AddEvent(ctx, "shard.down", trace.A("shard", strconv.Itoa(i)), trace.A("leg", "vector:"+field))
+			continue
+		}
+		total += len(o.hits)
+	}
+	if ctx.Err() != nil {
+		return nil, 0
 	}
 	merged := make([]index.Hit, 0, total)
-	for _, hits := range perShard {
-		merged = append(merged, hits...)
+	for _, o := range perShard {
+		if o.err != nil {
+			continue
+		}
+		merged = append(merged, o.hits...)
 	}
 	seqs := make([]uint64, len(merged))
 	s.seqMu.RLock()
@@ -471,7 +649,7 @@ func (s *Sharded) SearchVectorCtx(ctx context.Context, field string, q vector.Ve
 	if len(merged) > k {
 		merged = merged[:k]
 	}
-	return merged
+	return merged, outage
 }
 
 // bySeqTie orders hits by score descending with ties broken by global
@@ -507,6 +685,9 @@ type ShardStat struct {
 	index.Stats
 	// Queries counts per-shard search calls since process start.
 	Queries uint64
+	// Errors counts per-shard search calls that failed (remote shard
+	// unreachable; always 0 for local shards).
+	Errors uint64
 	// AvgQueryLatency is the mean per-shard search latency.
 	AvgQueryLatency time.Duration
 }
@@ -517,7 +698,7 @@ func (s *Sharded) ShardStats() []ShardStat {
 	for i, sh := range s.shards {
 		q := s.stats[i].queries.Load()
 		ns := s.stats[i].nanos.Load()
-		st := ShardStat{Shard: i, Stats: sh.Stats(), Queries: q}
+		st := ShardStat{Shard: i, Stats: sh.Stats(), Queries: q, Errors: s.stats[i].errors.Load()}
 		if q > 0 {
 			st.AvgQueryLatency = time.Duration(ns / q)
 		}

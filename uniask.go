@@ -71,6 +71,15 @@ type Config struct {
 	// monolithic index would return (see docs/OPERATIONS.md). 0 or 1 keeps
 	// the single monolithic index.
 	ShardCount int
+	// RemoteShards lists uniask-shard server endpoints (host:port). When
+	// non-empty the index shards live on those servers instead of
+	// in-process: each logical shard is replicated on RemoteReplication
+	// endpoints, reads hedge across replicas, and rankings stay
+	// byte-identical to the local topologies (see docs/OPERATIONS.md §
+	// remote shards). The servers must run the same schema configuration.
+	RemoteShards []string
+	// RemoteReplication is how many endpoints host each shard (default 2).
+	RemoteReplication int
 	// MemtableMaxDocs seals a store's mutable memtable into an immutable
 	// sealed segment once it holds this many chunks (0 = 1024; negative
 	// disables auto-sealing so only end-of-ingestion publication seals).
@@ -133,6 +142,8 @@ func New(cfg Config) *System {
 		Observer:                  cfg.Observer,
 		SearchWorkers:             cfg.SearchWorkers,
 		ShardCount:                cfg.ShardCount,
+		RemoteShards:              cfg.RemoteShards,
+		RemoteReplication:         cfg.RemoteReplication,
 		MemtableMaxDocs:           cfg.MemtableMaxDocs,
 		CompactionFanIn:           cfg.CompactionFanIn,
 		DisableVectorQuantization: cfg.DisableVectorQuantization,
