@@ -40,11 +40,15 @@ shardparity:
 
 # Every internal package must carry a package doc comment ("// Package <name>
 # ..."), so godoc renders an operator-readable overview of each subsystem.
+# Then cmd/doccheck walks README.md, DESIGN.md, OPERATIONS.md and docs/*.md
+# and fails on dead intra-repo links (files moved or renamed without their
+# references following).
 doccheck:
 	@set -e; for d in internal/*/; do \
 		pkg=$$(basename $$d); \
 		grep -l "^// Package $$pkg " $$d*.go >/dev/null || { echo "doccheck: package $$pkg lacks a '// Package $$pkg' doc comment"; exit 1; }; \
 	done; echo "doccheck: every internal package is documented"
+	$(GO) run ./cmd/doccheck README.md DESIGN.md docs/*.md
 
 # Run the chaos suite 20 times with rotating seeds; each seed draws a
 # different fault schedule and query sample, so a pass means the resilience
@@ -73,11 +77,12 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzRemoteWire -fuzztime $(FUZZTIME) ./internal/remote/
 
 # Query hot-path micro-benchmarks (BM25, ANN, filter bitsets, query cache,
-# shard-count scaling, tracing overhead, ingest-while-query steady state)
-# with allocation stats, recorded as BENCH_query.json via cmd/benchjson.
+# shard-count scaling, tracing overhead, ingest-while-query steady state,
+# admission-control overhead and the noisy-neighbor p99 delta) with
+# allocation stats, recorded as BENCH_query.json via cmd/benchjson.
 bench:
-	$(GO) test -bench 'BenchmarkSearchText|BenchmarkSearchVector|BenchmarkFilterSet|BenchmarkQueryCache|BenchmarkTrace|BenchmarkIngest' \
-		-benchmem -run '^$$' ./internal/index/ ./internal/search/ ./internal/shard/ ./internal/trace/ \
+	$(GO) test -bench 'BenchmarkSearchText|BenchmarkSearchVector|BenchmarkFilterSet|BenchmarkQueryCache|BenchmarkTrace|BenchmarkIngest|BenchmarkTenant' \
+		-benchmem -run '^$$' ./internal/index/ ./internal/search/ ./internal/shard/ ./internal/trace/ ./internal/tenant/ \
 		| $(GO) run ./cmd/benchjson -baseline BENCH_query_baseline.json \
 			-note "SearchVector* run the int8 quantized arena: traversal orders candidates by int8 dot products, then every surviving candidate (<= ef) is rescored with exact float32 dots before final ranking, so reported latencies include the rescoring pass and scores match the *Float32 control benchmarks exactly." \
 			> BENCH_query.json

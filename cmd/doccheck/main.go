@@ -1,0 +1,84 @@
+// Command doccheck validates intra-repo links in markdown files: every
+// relative link target (file, directory, or file#anchor) must exist on
+// disk. It catches the classic docs rot — a file is moved or renamed and
+// the README keeps pointing at the old path. External links (http, https,
+// mailto) are skipped; anchors are checked for target-file existence only,
+// not heading presence.
+//
+// Usage:
+//
+//	doccheck README.md DESIGN.md docs/*.md
+//
+// Exit status is nonzero if any link is dead, listing every offender.
+// `make doccheck` runs it over README.md, DESIGN.md, OPERATIONS.md and
+// docs/*.md.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](target). Reference-style
+// definitions ("[x]: target") are rare in this repo and not matched.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <file.md> [more.md ...]")
+		os.Exit(2)
+	}
+	dead := 0
+	checked := 0
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		base := filepath.Dir(path)
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if skipLink(target) {
+					continue
+				}
+				checked++
+				if !targetExists(base, target) {
+					fmt.Fprintf(os.Stderr, "doccheck: %s:%d: dead link %q\n", path, i+1, target)
+					dead++
+				}
+			}
+		}
+	}
+	if dead > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d dead intra-repo link(s)\n", dead)
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck: %d intra-repo links resolve\n", checked)
+}
+
+// skipLink reports whether the target is outside this checker's scope:
+// absolute URLs, mail links, and pure in-page anchors.
+func skipLink(target string) bool {
+	return strings.Contains(target, "://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}
+
+// targetExists resolves the target relative to the linking file's directory
+// and checks the file or directory exists. A "file.md#section" target
+// checks file.md.
+func targetExists(base, target string) bool {
+	if i := strings.IndexByte(target, '#'); i >= 0 {
+		target = target[:i]
+	}
+	if target == "" {
+		return true
+	}
+	_, err := os.Stat(filepath.Join(base, target))
+	return err == nil
+}

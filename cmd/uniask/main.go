@@ -5,12 +5,20 @@
 //
 //	uniask [-addr :8080] [-docs 6000] [-seed 1] [-shards 4]
 //	       [-trace-capacity 2048] [-trace-sample 1.0] [-trace-slow 250ms]
+//	       [-tenants overrides.json] [-tenants-reload 5s]
+//	       [-admission-capacity 64] [-admission-queue 64] [-admission-wait 500ms]
 //
 // Example session:
 //
 //	TOKEN=$(curl -s -XPOST localhost:8080/api/login -d '{"user":"mario"}' | jq -r .token)
 //	curl -s -XPOST localhost:8080/api/ask -H "Authorization: Bearer $TOKEN" \
 //	     -d '{"question":"Come posso bloccare la carta di credito?"}' | jq .
+//
+// With -tenants the server runs in multi-tenant mode (docs/MULTITENANCY.md):
+// tenants listed in the overrides file each get their own knowledge base and
+// limits, requests name their tenant via the X-Uniask-Tenant header or
+// /t/{tenant}/api/... paths, and the admission front door sheds excess
+// traffic with 429 + Retry-After.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"time"
 
 	"uniask"
+	"uniask/internal/tenant"
 )
 
 func main() {
@@ -40,8 +49,38 @@ func main() {
 		traceRate = flag.Float64("trace-sample", 0, "head-sampling rate in (0,1] (0 = trace every request)")
 		traceSlow = flag.Duration("trace-slow", 0, "always-retain latency threshold (0 = 250ms)")
 		noQuant   = flag.Bool("no-vector-quantization", false, "ANN search over full float32 vectors instead of the int8 quantized arena (recall debugging)")
+
+		tenantsFile   = flag.String("tenants", "", "tenant overrides JSON file; when set the server runs multi-tenant (see docs/MULTITENANCY.md)")
+		tenantsReload = flag.Duration("tenants-reload", 0, "overrides hot-reload poll interval (0 = 5s, negative disables)")
+		admCapacity   = flag.Int("admission-capacity", 0, "global concurrent query slots across tenants (0 = 64, negative = unlimited)")
+		admQueue      = flag.Int("admission-queue", 0, "per-class admission queue depth (0 = 64)")
+		admWait       = flag.Duration("admission-wait", 0, "max time a request queues for a slot before shedding (0 = 500ms)")
+		cacheBudget   = flag.Int("tenant-cache-budget", 0, "total query-cache entries across tenant partitions (0 = 4096)")
 	)
 	flag.Parse()
+
+	if *tenantsFile != "" {
+		runMultiTenant(*addr, *tenantsFile, multiTenantOptions{
+			docs: *docs, seed: *seed,
+			reload:      *tenantsReload,
+			cacheBudget: *cacheBudget,
+			admission: tenant.AdmissionConfig{
+				Capacity: *admCapacity, QueueDepth: *admQueue, MaxWait: *admWait,
+			},
+			base: uniask.Config{
+				EnrichSummary:             true,
+				SearchWorkers:             *workers,
+				ShardCount:                *shards,
+				MemtableMaxDocs:           *memtable,
+				CompactionFanIn:           *fanIn,
+				TraceCapacity:             *traceCap,
+				TraceSampleRate:           *traceRate,
+				TraceSlowThreshold:        *traceSlow,
+				DisableVectorQuantization: *noQuant,
+			},
+		})
+		return
+	}
 
 	fmt.Fprintf(os.Stderr, "generating and indexing %d documents...\n", *docs)
 	start := time.Now()
@@ -80,4 +119,59 @@ func main() {
 		fmt.Fprintln(os.Stderr, "server:", err)
 		os.Exit(1)
 	}
+}
+
+// multiTenantOptions carries the multi-tenant flag set.
+type multiTenantOptions struct {
+	docs        int
+	seed        int64
+	reload      time.Duration
+	cacheBudget int
+	admission   tenant.AdmissionConfig
+	base        uniask.Config
+}
+
+// runMultiTenant serves in multi-tenant mode: each tenant in the overrides
+// file gets its own synthetic knowledge base (seeded from the tenant ID, so
+// corpora are deterministic but distinct), built lazily on the tenant's
+// first request.
+func runMultiTenant(addr, overridesPath string, opt multiTenantOptions) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	srv, err := uniask.NewMultiTenantServer(ctx, uniask.MultiTenantConfig{
+		Base:           opt.base,
+		OverridesPath:  overridesPath,
+		ReloadInterval: opt.reload,
+		CacheBudget:    opt.cacheBudget,
+		Admission:      opt.admission,
+		Corpus: func(id string) *uniask.Corpus {
+			fmt.Fprintf(os.Stderr, "onboarding tenant %q: generating and indexing %d documents...\n", id, opt.docs)
+			return uniask.SyntheticCorpus(opt.docs, opt.seed^int64(tenantSeed(id)))
+		},
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "setup failed:", err)
+		os.Exit(1)
+	}
+	ids := srv.Tenants.Overrides().TenantIDs()
+	fmt.Fprintf(os.Stderr, "multi-tenant mode: %d tenants onboarded (%s), serving on %s\n",
+		len(ids), strings.Join(ids, ", "), addr)
+	if err := srv.Serve(ctx, addr); err != nil {
+		fmt.Fprintln(os.Stderr, "server:", err)
+		os.Exit(1)
+	}
+}
+
+// tenantSeed derives a stable corpus seed from a tenant ID (FNV-1a).
+func tenantSeed(id string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return h
 }

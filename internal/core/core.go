@@ -114,6 +114,12 @@ type Config struct {
 	// QueryCacheCapacity sizes the snapshot-keyed query-result cache
 	// (0 = search.DefaultQueryCacheCapacity; negative disables caching).
 	QueryCacheCapacity int
+	// QueryCache, when set, is used as the searcher's result cache instead
+	// of allocating one from QueryCacheCapacity. Multi-tenant serving
+	// injects each tenant engine's partition from a shared
+	// search.CachePool here, so one tenant's traffic cannot evict
+	// another's entries.
+	QueryCache *search.QueryCache
 	// DisableVectorQuantization makes ANN search traverse full float32
 	// vectors instead of the int8 quantized arena — exact traversal
 	// distances at ~4× the memory bandwidth. The default (quantized) is
@@ -129,6 +135,11 @@ type Config struct {
 	// EmbedderMiddleware likewise wraps the query embedder before its
 	// resilience decorator.
 	EmbedderMiddleware func(embedding.CtxEmbedder) embedding.CtxEmbedder
+	// Tracer, when set, is used instead of constructing one from the
+	// Trace* knobs below. Multi-tenant serving shares one tracer (and so
+	// one /api/traces store) across every tenant engine; spans carry the
+	// tenant attribute so per-tenant slices stay queryable.
+	Tracer *trace.Tracer
 	// TraceCapacity bounds the in-memory trace store (0 =
 	// trace.DefaultCapacity; negative disables tracing entirely — no tracer,
 	// no per-request spans).
@@ -233,7 +244,9 @@ func New(cfg Config) *Engine {
 		ix = index.NewSegmented(ixCfg, segCfg)
 	}
 	eng.Index = ix
-	if cfg.TraceCapacity >= 0 {
+	if cfg.Tracer != nil {
+		eng.Tracer = cfg.Tracer
+	} else if cfg.TraceCapacity >= 0 {
 		eng.Tracer = trace.New(trace.Config{
 			Capacity:      cfg.TraceCapacity,
 			SampleRate:    cfg.TraceSampleRate,
@@ -280,7 +293,9 @@ func New(cfg Config) *Engine {
 		Observer: eng.obs,
 		Workers:  cfg.SearchWorkers,
 	}
-	if cfg.QueryCacheCapacity >= 0 {
+	if cfg.QueryCache != nil {
+		eng.Searcher.Cache = cfg.QueryCache
+	} else if cfg.QueryCacheCapacity >= 0 {
 		eng.Searcher.Cache = search.NewQueryCache(cfg.QueryCacheCapacity)
 	}
 	eng.Generator = &generation.Generator{Client: client, M: cfg.M}

@@ -45,6 +45,7 @@ type Metrics struct {
 	shardSource        func() []ShardGauge
 	segmentSource      func() []SegmentGauge
 	cacheSource        func() (CacheGauge, bool)
+	tenantSource       func() []TenantGauge
 
 	stageMu sync.Mutex
 	stages  map[string]*stageAgg
@@ -178,6 +179,47 @@ func (m *Metrics) SetCacheSource(fn func() (CacheGauge, bool)) {
 	m.cacheSource = fn
 }
 
+// TenantGauge is one tenant's dashboard row in multi-tenant serving: the
+// admission outcomes (admitted / queued / shed, with the shed broken down
+// by gate), current consumption against the configured envelope, the
+// tenant's recent p99, and its query-cache partition effectiveness. The
+// noisy-neighbor triage runbook (docs/OPERATIONS.md) reads these first.
+type TenantGauge struct {
+	// Tenant is the tenant ID; Class its priority class ("interactive" or
+	// "best-effort").
+	Tenant string
+	Class  string
+	// Admitted, Queued and Shed count lifetime admission outcomes;
+	// ShedByReason splits Shed by gate ("rate-limit",
+	// "tenant-concurrency", "saturated").
+	Admitted     uint64
+	Queued       uint64
+	Shed         uint64
+	ShedByReason map[string]uint64
+	// Inflight is the tenant's current in-flight queries; RateLimit and
+	// MaxConcurrent echo the effective limits so consumption reads next to
+	// the envelope.
+	Inflight      int
+	RateLimit     float64
+	MaxConcurrent int
+	// P99 is the tenant's recent request latency (admission-to-release).
+	P99 time.Duration
+	// CacheHitRate / CacheEntries describe the tenant's query-cache
+	// partition; HasCache is false when the tenant opted out.
+	CacheHitRate float64
+	CacheEntries int
+	HasCache     bool
+}
+
+// SetTenantSource installs a provider polled at Snapshot time for
+// per-tenant admission gauges. The server wires the admission controller's
+// Stats (joined with the cache pool's partition stats) here.
+func (m *Metrics) SetTenantSource(fn func() []TenantGauge) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tenantSource = fn
+}
+
 // RecordQuery logs one user query: who asked, how long the request took,
 // which guardrail (if any) fired, and whether the request failed outright.
 func (m *Metrics) RecordQuery(user string, latency time.Duration, guardrail string, failed bool) {
@@ -292,6 +334,9 @@ type Dashboard struct {
 	// disabled or never wired.
 	Cache    CacheGauge
 	HasCache bool
+	// Tenants holds per-tenant admission gauges (nil outside multi-tenant
+	// serving).
+	Tenants []TenantGauge
 }
 
 // Snapshot reads the current dashboard.
@@ -300,6 +345,7 @@ func (m *Metrics) Snapshot() Dashboard {
 	src := m.shardSource
 	segSrc := m.segmentSource
 	cacheSrc := m.cacheSource
+	tenantSrc := m.tenantSource
 	m.mu.Unlock()
 	var shards []ShardGauge
 	if src != nil {
@@ -315,6 +361,10 @@ func (m *Metrics) Snapshot() Dashboard {
 	var hasCache bool
 	if cacheSrc != nil {
 		cache, hasCache = cacheSrc()
+	}
+	var tenants []TenantGauge
+	if tenantSrc != nil {
+		tenants = tenantSrc()
 	}
 	stages := m.stageStats() // under stageMu only, never nested in m.mu
 	m.mu.Lock()
@@ -358,7 +408,18 @@ func (m *Metrics) Snapshot() Dashboard {
 	d.Shards = shards
 	d.Segments = segments
 	d.Cache, d.HasCache = cache, hasCache
+	d.Tenants = tenants
 	return d
+}
+
+// TenantByID returns one tenant's gauge row (zero row, false when absent).
+func (d Dashboard) TenantByID(id string) (TenantGauge, bool) {
+	for _, t := range d.Tenants {
+		if t.Tenant == id {
+			return t, true
+		}
+	}
+	return TenantGauge{}, false
 }
 
 // stageStats snapshots the per-stage aggregates under stageMu.
@@ -448,6 +509,17 @@ func (d Dashboard) String() string {
 	if d.HasCache {
 		fmt.Fprintf(&b, "  query cache:           %.0f%% hit rate (%d hits / %d misses, %d entries, %d delete evictions)\n",
 			d.Cache.HitRate*100, d.Cache.Hits, d.Cache.Misses, d.Cache.Entries, d.Cache.DeleteEvictions)
+	}
+	if len(d.Tenants) > 0 {
+		fmt.Fprintf(&b, "  tenants:               (class / admitted / shed / inflight / p99 / cache hit)\n")
+		for _, t := range d.Tenants {
+			cacheCol := "-"
+			if t.HasCache {
+				cacheCol = fmt.Sprintf("%.0f%%", t.CacheHitRate*100)
+			}
+			fmt.Fprintf(&b, "    %-14s %-12s %8d  %8d  %4d  %10v  %6s\n",
+				t.Tenant+":", t.Class, t.Admitted, t.Shed, t.Inflight, t.P99.Round(time.Microsecond), cacheCol)
+		}
 	}
 	b.WriteString(d.StagesString())
 	return b.String()

@@ -23,6 +23,7 @@ import (
 	"uniask/internal/eventlog"
 	"uniask/internal/monitor"
 	"uniask/internal/resilience"
+	"uniask/internal/tenant"
 	"uniask/internal/trace"
 )
 
@@ -99,6 +100,19 @@ type Server struct {
 	// RequestTimeout is the per-request deadline for the query endpoints
 	// (0 = DefaultRequestTimeout; negative disables the deadline).
 	RequestTimeout time.Duration
+
+	// Tenants, when set, switches the server to multi-tenant serving:
+	// Engine is nil, queries name a tenant (X-Uniask-Tenant header or
+	// /t/{tenant}/api/... path) and route to that tenant's engine. See
+	// NewMultiTenant.
+	Tenants *tenant.Registry
+	// Admission is the multi-tenant front door; when set, every query
+	// passes through it before touching an engine and shed requests get
+	// 429 + Retry-After, never 5xx.
+	Admission *tenant.Controller
+	// Tracer is the shared tracer in multi-tenant mode (every tenant
+	// engine aliases it, so one store answers /api/traces across tenants).
+	Tracer *trace.Tracer
 
 	mu       sync.Mutex
 	sessions map[string]string // token -> user
@@ -210,6 +224,17 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	if s.Tenants != nil {
+		// Path-scoped aliases: /t/{tenant}/api/... pins the tenant without a
+		// header, so per-tenant dashboards and traces are plain links.
+		mux.HandleFunc("POST /t/{tenant}/api/login", s.handleLogin)
+		mux.HandleFunc("POST /t/{tenant}/api/ask", s.withDeadline(s.handleAsk))
+		mux.HandleFunc("GET /t/{tenant}/api/search", s.withDeadline(s.handleSearch))
+		mux.HandleFunc("POST /t/{tenant}/api/feedback", s.handleFeedback)
+		mux.HandleFunc("GET /t/{tenant}/api/dashboard", s.handleDashboard)
+		mux.HandleFunc("GET /t/{tenant}/api/traces", s.handleTraces)
+		mux.HandleFunc("GET /t/{tenant}/api/health", s.handleHealth)
+	}
 	// Profiling endpoints for live CPU/heap/goroutine capture against a
 	// running instance. Registered explicitly because this mux is not
 	// http.DefaultServeMux.
@@ -301,14 +326,22 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "question required")
 		return
 	}
-	ctx, treq := s.Engine.Tracer.StartRequest(r.Context(), "ask")
+	q, ok := s.queryContext(w, r)
+	if !ok {
+		return
+	}
+	ctx, treq := q.eng.Tracer.StartRequestRate(q.ctx, "ask", q.lim.TraceSampleRate)
 	defer treq.End()
 	if id := treq.TraceID(); id != "" {
 		w.Header().Set(TraceIDHeader, id)
 	}
 	treq.Root().SetAttr("user", user)
+	if q.tenant != "" {
+		treq.Root().SetAttr("tenant", q.tenant)
+	}
 	start := time.Now()
-	resp, err := s.Engine.Ask(ctx, req.Question)
+	defer func() { q.release(time.Since(start)) }()
+	resp, err := q.eng.Ask(ctx, req.Question)
 	latency := time.Since(start)
 	if err != nil {
 		treq.Root().SetError(err)
@@ -360,19 +393,27 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnauthorized, "login required")
 		return
 	}
-	q := r.URL.Query().Get("q")
-	if strings.TrimSpace(q) == "" {
+	query := r.URL.Query().Get("q")
+	if strings.TrimSpace(query) == "" {
 		httpError(w, http.StatusBadRequest, "q required")
 		return
 	}
-	ctx, treq := s.Engine.Tracer.StartRequest(r.Context(), "search")
+	q, ok := s.queryContext(w, r)
+	if !ok {
+		return
+	}
+	ctx, treq := q.eng.Tracer.StartRequestRate(q.ctx, "search", q.lim.TraceSampleRate)
 	defer treq.End()
 	if id := treq.TraceID(); id != "" {
 		w.Header().Set(TraceIDHeader, id)
 	}
 	treq.Root().SetAttr("user", user)
+	if q.tenant != "" {
+		treq.Root().SetAttr("tenant", q.tenant)
+	}
 	start := time.Now()
-	results, err := s.Engine.Search(ctx, q)
+	defer func() { q.release(time.Since(start)) }()
+	results, err := q.eng.Search(ctx, query)
 	latency := time.Since(start)
 	if err != nil {
 		treq.Root().SetError(err)
@@ -420,7 +461,12 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.Metrics.Snapshot())
+	snap := s.Metrics.Snapshot()
+	if id := s.requestTenant(r); id != "" && s.Tenants != nil {
+		s.writeTenantDashboard(w, snap, id)
+		return
+	}
+	writeJSON(w, snap)
 }
 
 // traceSummary is one row of the GET /api/traces listing.
@@ -447,9 +493,11 @@ const defaultTraceListLimit = 50
 //	status       trace outcome: ok | error | degraded
 //	stage        keep traces containing a span with this name ("retrieval", ...)
 //	shard        keep traces that touched this shard id
+//	tenant       keep traces whose root span carries tenant=<id> (multi-tenant
+//	             serving; /t/{tenant}/api/traces pins this filter)
 //	limit        row cap (default 50)
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
-	store := s.Engine.Tracer.Store()
+	store := s.traceStore()
 	qp := r.URL.Query()
 
 	tq, err := trace.Parse(qp.Get("q"))
@@ -476,6 +524,10 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	}
 	stage := qp.Get("stage")
 	shardID := qp.Get("shard")
+	tenantID := qp.Get("tenant")
+	if id := r.PathValue("tenant"); id != "" {
+		tenantID = id
+	}
 	limit := defaultTraceListLimit
 	if v := qp.Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
@@ -501,6 +553,9 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		if shardID != "" && !traceTouchedShard(td, shardID) {
 			return false
 		}
+		if tenantID != "" && !traceHasAttr(td, "tenant", tenantID) {
+			return false
+		}
 		return tq.MatchTrace(td)
 	}
 	out := []traceSummary{}
@@ -521,9 +576,14 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 // traceTouchedShard reports whether any span of the trace carries a
 // shard=<id> attribute (the per-shard fan-out spans do).
 func traceTouchedShard(td *trace.TraceData, id string) bool {
+	return traceHasAttr(td, "shard", id)
+}
+
+// traceHasAttr reports whether any span of the trace carries key=value.
+func traceHasAttr(td *trace.TraceData, key, value string) bool {
 	for i := range td.Spans {
 		for _, a := range td.Spans[i].Attrs {
-			if a.Key == "shard" && a.Value == id {
+			if a.Key == key && a.Value == value {
 				return true
 			}
 		}
@@ -539,7 +599,7 @@ type traceDetail struct {
 }
 
 func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
-	td, ok := s.Engine.Tracer.Store().Get(r.PathValue("id"))
+	td, ok := s.traceStore().Get(r.PathValue("id"))
 	if !ok {
 		httpError(w, http.StatusNotFound, "trace not found (evicted, unsampled, or never existed)")
 		return
@@ -566,8 +626,15 @@ type healthResponse struct {
 
 // handleHealth is the readiness probe: 200 while every circuit breaker is
 // closed (or half-open — the system is probing its way back), 503 while any
-// dependency's breaker is open and queries would be served degraded.
+// dependency's breaker is open and queries would be served degraded. In
+// multi-tenant serving a tenant-scoped request reports that tenant's engine
+// (and its current admission state); the unscoped probe aggregates across
+// active tenants.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.Tenants != nil {
+		s.handleTenantHealth(w, r)
+		return
+	}
 	breakers := s.Engine.Breakers()
 	status := "ok"
 	code := http.StatusOK

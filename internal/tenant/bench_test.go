@@ -1,0 +1,110 @@
+package tenant
+
+// Admission-path benchmarks. BenchmarkTenantNoisyNeighbor is the recorded
+// isolation number (make bench → BENCH_query.json): the p99 delta an
+// abusive tenant's flood inflicts on a well-behaved tenant's
+// admit→work→release cycle, reported as p99-delta-ns. The admission design
+// pins this near zero: the abuser saturates its own token bucket and
+// 4-slot concurrency cap, never the slots the good tenant uses.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func benchOverrides(b *testing.B, js string) *Overrides {
+	b.Helper()
+	f, err := ParseFile([]byte(js))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return NewOverrides(f)
+}
+
+// BenchmarkTenantAdmit is the per-request front-door overhead on the
+// uncontended happy path: one token-bucket take, one slot grant, one
+// release.
+func BenchmarkTenantAdmit(b *testing.B) {
+	ov := benchOverrides(b, `{"tenants": {"bench": {"rate": -1, "maxConcurrent": -1}}}`)
+	ctrl := NewController(AdmissionConfig{Capacity: -1}, ov)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		release, rej := ctrl.Admit(ctx, "bench")
+		if rej != nil {
+			b.Fatal(rej)
+		}
+		release(time.Microsecond)
+	}
+}
+
+// benchWork simulates one request's engine time: a short spin so latencies
+// are nonzero without sleeping (sleep granularity would swamp the signal).
+func benchWork() {
+	for n := 0; n < 2000; n++ {
+		_ = n * n
+	}
+}
+
+func BenchmarkTenantNoisyNeighbor(b *testing.B) {
+	ov := benchOverrides(b, `{
+		"tenants": {
+			"good":    {"rate": -1, "maxConcurrent": 8},
+			"abusive": {"rate": 100, "burst": 100, "maxConcurrent": 4, "class": "best-effort"}
+		}
+	}`)
+	ctrl := NewController(AdmissionConfig{Capacity: 16}, ov)
+	ctx := context.Background()
+
+	run := func(n int) []time.Duration {
+		lat := make([]time.Duration, 0, n)
+		for i := 0; i < n; i++ {
+			start := time.Now()
+			release, rej := ctrl.Admit(ctx, "good")
+			if rej != nil {
+				b.Fatalf("well-behaved tenant shed: %+v", rej)
+			}
+			benchWork()
+			d := time.Since(start)
+			release(d)
+			lat = append(lat, d)
+		}
+		return lat
+	}
+
+	b.ResetTimer()
+	// Phase 1: solo.
+	solo := run(b.N)
+
+	// Phase 2: same workload while 8 goroutines flood the abusive tenant.
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if release, rej := ctrl.Admit(ctx, "abusive"); rej == nil {
+					benchWork()
+					release(time.Microsecond)
+				}
+			}
+		}()
+	}
+	noisy := run(b.N)
+	stop.Store(true)
+	wg.Wait()
+	b.StopTimer()
+
+	delta := P99(noisy) - P99(solo)
+	if delta < 0 {
+		delta = 0
+	}
+	b.ReportMetric(float64(delta.Nanoseconds()), "p99-delta-ns")
+	b.ReportMetric(float64(P99(solo).Nanoseconds()), "p99-solo-ns")
+	b.ReportMetric(float64(P99(noisy).Nanoseconds()), "p99-noisy-ns")
+}

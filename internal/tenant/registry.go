@@ -1,0 +1,159 @@
+package tenant
+
+// Registry: tenant ID → fully assembled per-tenant engine. Each tenant
+// gets its own knowledge base, index/shard facade, searcher and query
+// cache partition; what is shared across tenants is the serving stack —
+// the HTTP server, the admission controller, the tracer (tenant attribute
+// on spans keeps per-tenant slices queryable) and the dashboard registry.
+// Engines are built lazily on first use by the caller-provided factory, at
+// most once per tenant even under concurrent first requests.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"uniask/internal/core"
+	"uniask/internal/search"
+	"uniask/internal/trace"
+)
+
+// EngineFactory builds one tenant's engine from its effective limits —
+// typically by deriving a per-tenant core.Config and ingesting the
+// tenant's corpus. See StandardFactory.
+type EngineFactory func(id string, lim Limits) (*core.Engine, error)
+
+// ErrUnknownTenant is returned for tenants without an overrides entry when
+// the registry is closed to unknown tenants.
+var ErrUnknownTenant = fmt.Errorf("tenant: unknown tenant")
+
+// Registry maps tenant IDs to engines. Safe for concurrent use.
+type Registry struct {
+	ov      *Overrides
+	factory EngineFactory
+	// AllowUnknown admits tenants without an overrides entry, built with
+	// the defaults block. Off by default: onboarding a bank is an explicit
+	// config change, not a side effect of a typoed header.
+	AllowUnknown bool
+
+	mu      sync.Mutex
+	engines map[string]*regEntry
+}
+
+// regEntry builds the tenant's engine at most once, outside the registry
+// lock (corpus ingestion is expensive; concurrent tenants must not
+// serialize behind it).
+type regEntry struct {
+	once sync.Once
+	eng  *core.Engine
+	err  error
+}
+
+// NewRegistry creates a registry over an overrides store and a factory.
+func NewRegistry(ov *Overrides, factory EngineFactory) *Registry {
+	return &Registry{ov: ov, factory: factory, engines: make(map[string]*regEntry)}
+}
+
+// Overrides exposes the registry's limits store.
+func (r *Registry) Overrides() *Overrides { return r.ov }
+
+// Engine returns the tenant's engine, building it on first use. Unknown
+// tenants (no overrides entry) are refused with ErrUnknownTenant unless
+// AllowUnknown is set. A factory failure is not cached: the next request
+// retries the build.
+func (r *Registry) Engine(id string) (*core.Engine, error) {
+	if err := ValidateID(id); err != nil {
+		return nil, err
+	}
+	if !r.AllowUnknown && (r.ov == nil || !r.ov.Known(id)) {
+		return nil, fmt.Errorf("%w %q (add it to the overrides file to onboard)", ErrUnknownTenant, id)
+	}
+	r.mu.Lock()
+	e, ok := r.engines[id]
+	if !ok {
+		e = &regEntry{}
+		r.engines[id] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() {
+		var lim Limits
+		if r.ov != nil {
+			lim = r.ov.For(id)
+		}
+		e.eng, e.err = r.factory(id, lim)
+	})
+	if e.err != nil {
+		err := e.err
+		r.mu.Lock()
+		if r.engines[id] == e {
+			delete(r.engines, id) // allow a retry to rebuild
+		}
+		r.mu.Unlock()
+		return nil, err
+	}
+	return e.eng, nil
+}
+
+// Active lists tenants with a built engine, sorted.
+func (r *Registry) Active() []string {
+	r.mu.Lock()
+	ids := make([]string, 0, len(r.engines))
+	for id, e := range r.engines {
+		if e.eng != nil {
+			ids = append(ids, id)
+		}
+	}
+	r.mu.Unlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// EngineIfActive returns the tenant's engine only if already built —
+// gauges and health views use it to avoid triggering expensive onboarding
+// from a read-only endpoint.
+func (r *Registry) EngineIfActive(id string) (*core.Engine, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.engines[id]; ok && e.eng != nil {
+		return e.eng, true
+	}
+	return nil, false
+}
+
+// StandardFactory derives tenant engines from one base configuration,
+// applying each tenant's engine-shape limits:
+//
+//   - the query cache becomes the tenant's partition from the shared pool
+//     (CacheShare entries; negative share disables caching for the tenant),
+//   - MaxFanout caps the engine's retrieval fan-out workers,
+//   - the shared tracer replaces per-engine tracers so every tenant's
+//     spans land in one queryable store,
+//   - TraceSampleRate is enforced per request by the server (the tracer is
+//     shared), not here.
+//
+// onCreate, when non-nil, runs after assembly — the hook that ingests the
+// tenant's knowledge base.
+func StandardFactory(base core.Config, pool *search.CachePool, tracer *trace.Tracer, onCreate func(id string, eng *core.Engine) error) EngineFactory {
+	return func(id string, lim Limits) (*core.Engine, error) {
+		cfg := base
+		if tracer != nil {
+			cfg.Tracer = tracer
+		}
+		if pool != nil {
+			cfg.QueryCache = pool.Partition(id, lim.CacheShare)
+			if cfg.QueryCache == nil {
+				cfg.QueryCacheCapacity = -1 // tenant opted out of caching
+			}
+		}
+		if lim.MaxFanout > 0 && (cfg.SearchWorkers <= 0 || lim.MaxFanout < cfg.SearchWorkers) {
+			cfg.SearchWorkers = lim.MaxFanout
+		}
+		eng := core.New(cfg)
+		if onCreate != nil {
+			if err := onCreate(id, eng); err != nil {
+				return nil, fmt.Errorf("tenant: onboard %s: %w", id, err)
+			}
+		}
+		return eng, nil
+	}
+}

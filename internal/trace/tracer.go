@@ -146,15 +146,30 @@ type Request struct {
 // a sampled request — opens the root span and threads it through the
 // returned context. Sampled-out requests get back their context unchanged.
 func (t *Tracer) StartRequest(ctx context.Context, name string) (context.Context, *Request) {
+	return t.StartRequestRate(ctx, name, 0)
+}
+
+// StartRequestRate is StartRequest with a per-request head-sampling rate
+// override in (0, 1] — the hook multi-tenant serving uses to apply a
+// tenant's TraceSampleRate against the shared tracer. A non-positive rate
+// inherits the tracer's configured rate; the deterministic id/sampling
+// sequence is shared either way, so a fixed seed still reproduces exactly
+// which requests were traced.
+func (t *Tracer) StartRequestRate(ctx context.Context, name string, rate float64) (context.Context, *Request) {
 	if t == nil {
 		return ctx, nil
 	}
 	n := t.seq.Add(1)
 	idBits := splitmix64(t.seed ^ n*0x2545f4914f6cdd1d)
 	id := fmt.Sprintf("%016x", idBits)
+	if rate <= 0 {
+		rate = t.cfg.rate()
+	} else if rate > 1 {
+		rate = 1
+	}
 	// A second mix decorrelates the sampling decision from the id bits the
 	// operator sees.
-	if rate := t.cfg.rate(); float64(splitmix64(idBits))/float64(1<<64) >= rate {
+	if float64(splitmix64(idBits))/float64(1<<64) >= rate {
 		return ctx, &Request{t: t, id: id}
 	}
 	r := &rec{id: id}

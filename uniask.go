@@ -21,11 +21,13 @@ package uniask
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"time"
 
 	"uniask/internal/core"
 	"uniask/internal/embedding"
+	"uniask/internal/eventlog"
 	"uniask/internal/guardrails"
 	"uniask/internal/indexer"
 	"uniask/internal/ingest"
@@ -35,6 +37,8 @@ import (
 	"uniask/internal/queue"
 	"uniask/internal/search"
 	"uniask/internal/server"
+	"uniask/internal/tenant"
+	"uniask/internal/trace"
 )
 
 // Config configures a System. The zero value reproduces the deployed
@@ -125,10 +129,14 @@ type Result = search.Result
 // Corpus is a synthetic knowledge base (see SyntheticCorpus).
 type Corpus = kb.Corpus
 
-// New creates a System with an empty index. Feed it with IndexHTML or
-// IndexCorpus.
-func New(cfg Config) *System {
-	return &System{engine: core.New(core.Config{
+// AdmissionConfig tunes the multi-tenant admission front door (slots,
+// queue depths, class weights) — see MultiTenantConfig.Admission.
+type AdmissionConfig = tenant.AdmissionConfig
+
+// coreConfig lowers the public Config to the engine configuration — shared
+// by New and the multi-tenant per-tenant engine factory.
+func (cfg Config) coreConfig() core.Config {
+	return core.Config{
 		LLM:          cfg.LLM,
 		EmbeddingDim: cfg.EmbeddingDim,
 		Lexicon:      cfg.Lexicon,
@@ -150,7 +158,13 @@ func New(cfg Config) *System {
 		TraceCapacity:             cfg.TraceCapacity,
 		TraceSampleRate:           cfg.TraceSampleRate,
 		TraceSlowThreshold:        cfg.TraceSlowThreshold,
-	})}
+	}
+}
+
+// New creates a System with an empty index. Feed it with IndexHTML or
+// IndexCorpus.
+func New(cfg Config) *System {
+	return &System{engine: core.New(cfg.coreConfig())}
 }
 
 // NewFromCorpus creates a System and indexes the given corpus through the
@@ -230,6 +244,115 @@ func (s *System) NewServer() *server.Server { return server.New(s.engine) }
 // HNSW graphs) so a later LoadIndex skips the expensive build.
 func (s *System) SaveIndex(w io.Writer) error {
 	return s.engine.Index.Save(w)
+}
+
+// MultiTenantConfig assembles multi-tenant serving ("one deployment, many
+// banks" — see docs/MULTITENANCY.md): per-tenant engines derived from a
+// base Config, per-tenant limits from a hot-reloadable overrides file, an
+// admission-control front door and a shared trace store.
+type MultiTenantConfig struct {
+	// Base is the engine shape every tenant starts from; per-tenant limits
+	// (cache share, fan-out) specialize it.
+	Base Config
+	// OverridesPath is the tenant limits JSON file (see
+	// docs/MULTITENANCY.md for the format). Tenants listed there are the
+	// onboarded set; requests naming any other tenant get 404.
+	OverridesPath string
+	// ReloadInterval is the overrides-file poll interval (0 = 5s; negative
+	// disables hot reload). A bad file keeps the last good configuration.
+	ReloadInterval time.Duration
+	// CacheBudget bounds total query-cache entries across all tenant
+	// partitions (0 = 4096; negative = unbounded).
+	CacheBudget int
+	// Admission tunes the front door (zero value = library defaults:
+	// 64 slots, 4:1 interactive:best-effort weights, 500ms max queue wait).
+	Admission tenant.AdmissionConfig
+	// Corpus, when non-nil, provides each tenant's knowledge base at
+	// onboarding (first request). Nil tenants start empty.
+	Corpus func(tenantID string) *Corpus
+	// Log, when non-nil, receives overrides reload diagnostics ("reloaded",
+	// "keeping last good config: ...") in addition to the server event log
+	// — the binary points it at stderr so a rejected config push is visible
+	// to the operator who made it.
+	Log func(format string, args ...any)
+}
+
+// DefaultTenantCacheBudget is MultiTenantConfig.CacheBudget's default.
+const DefaultTenantCacheBudget = 4096
+
+// NewMultiTenantServer loads the overrides file and assembles the
+// multi-tenant REST backend: registry (lazy per-tenant engines), admission
+// controller, shared tracer, partitioned query cache. The returned server
+// serves the same API as NewServer plus tenant routing (X-Uniask-Tenant
+// header or /t/{tenant}/api/... paths) and 429 + Retry-After shedding. The
+// overrides watcher runs until ctx is cancelled.
+func NewMultiTenantServer(ctx context.Context, cfg MultiTenantConfig) (*server.Server, error) {
+	ov, err := tenant.LoadOverrides(cfg.OverridesPath)
+	if err != nil {
+		return nil, err
+	}
+	var tracer *trace.Tracer
+	if cfg.Base.TraceCapacity >= 0 {
+		tracer = trace.New(trace.Config{
+			Capacity:      cfg.Base.TraceCapacity,
+			SampleRate:    cfg.Base.TraceSampleRate,
+			SlowThreshold: cfg.Base.TraceSlowThreshold,
+		})
+	}
+	budget := cfg.CacheBudget
+	if budget == 0 {
+		budget = DefaultTenantCacheBudget
+	}
+	pool := search.NewCachePool(budget, 0)
+
+	var srv *server.Server // captured by onCreate; assigned before first use
+	onCreate := func(id string, eng *core.Engine) error {
+		srv.ObserveEngine(eng)
+		return nil
+	}
+	reg := tenant.NewRegistry(ov, tenantFactory(ctx, cfg.Base, pool, tracer, cfg.Corpus, onCreate))
+	ctrl := tenant.NewController(cfg.Admission, ov)
+	srv = server.NewMultiTenant(reg, ctrl, tracer, pool)
+	ov.Log = func(format string, args ...any) {
+		srv.Log.Append(eventlog.Event{
+			At: time.Now(), Service: "tenant-overrides", Type: "reload",
+			Fields: map[string]string{"msg": fmt.Sprintf(format, args...)},
+		})
+		if cfg.Log != nil {
+			cfg.Log(format, args...)
+		}
+	}
+	if cfg.ReloadInterval >= 0 {
+		go ov.Watch(ctx, cfg.ReloadInterval)
+	}
+	return srv, nil
+}
+
+// tenantFactory builds one tenant's engine: the base config specialized by
+// the tenant's limits, with the tenant corpus' lexicon when a corpus
+// provider is configured (so per-tenant synthetic embeddings stay coherent
+// with the tenant's own vocabulary), ingesting that corpus at onboarding.
+func tenantFactory(ctx context.Context, base Config, pool *search.CachePool, tracer *trace.Tracer, corpusFn func(string) *Corpus, onCreate func(string, *core.Engine) error) tenant.EngineFactory {
+	return func(id string, lim tenant.Limits) (*core.Engine, error) {
+		cfg := base
+		var corpus *Corpus
+		if corpusFn != nil {
+			corpus = corpusFn(id)
+		}
+		if cfg.Lexicon == nil && corpus != nil {
+			cfg.Lexicon = corpus.Lexicon()
+		}
+		eng, err := tenant.StandardFactory(cfg.coreConfig(), pool, tracer, onCreate)(id, lim)
+		if err != nil {
+			return nil, err
+		}
+		if corpus != nil {
+			if err := eng.IndexCorpus(ctx, corpus); err != nil {
+				return nil, err
+			}
+		}
+		return eng, nil
+	}
 }
 
 // LoadIndex replaces the system's index with one previously written by
