@@ -1,12 +1,17 @@
-// Command uniask-chat is an interactive terminal client for UniAsk: it
-// builds (or loads) an index over the synthetic knowledge base and answers
-// questions typed on stdin, showing the generated answer, the guardrail
-// verdict and the top documents — the terminal equivalent of the FrontEnd
-// search box.
+// Command uniask-chat is an interactive terminal client for UniAsk's
+// conversational API: it builds (or loads) an index over the synthetic
+// knowledge base, serves it on an in-process HTTP listener, and runs a
+// multi-turn chat against POST /api/sessions/{sid}/ask — streaming the
+// citation list and answer tokens over SSE exactly as a browser client
+// would, with follow-up questions rewritten against the session history.
 //
 // Usage:
 //
 //	uniask-chat [-docs 3000] [-seed 1] [-index-file uniask.idx]
+//
+// In the prompt, ":click N" reports a click on the N-th cited document of
+// the previous answer (the feedback loop that recalibrates the reranker);
+// CTRL-D exits.
 //
 // With -index-file the index is loaded from the file when it exists and
 // saved to it after a fresh build, so restarts are instant.
@@ -14,14 +19,21 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"uniask"
+	"uniask/internal/sse"
 )
 
 func main() {
@@ -69,8 +81,30 @@ func main() {
 		}
 	}
 
+	// The chat speaks the same HTTP+SSE surface a browser would, against an
+	// in-process loopback listener — no second process to manage.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "listen failed:", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: sys.NewServer().Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+
+	c := &chatClient{base: "http://" + ln.Addr().String(), hc: &http.Client{}}
+	if err := c.login("chat"); err != nil {
+		fmt.Fprintln(os.Stderr, "login failed:", err)
+		os.Exit(1)
+	}
+	if err := c.newSession(); err != nil {
+		fmt.Fprintln(os.Stderr, "session failed:", err)
+		os.Exit(1)
+	}
+
 	fmt.Println("UniAsk — fai una domanda in italiano (CTRL-D per uscire).")
 	fmt.Println("Esempio:", "Come posso "+strings.ToLower(corpus.Docs[0].Title)+"?")
+	fmt.Println("Dopo una risposta, \":click N\" segnala il documento N come utile.")
 	scanner := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("\n> ")
@@ -78,23 +112,255 @@ func main() {
 			fmt.Println()
 			return
 		}
-		q := strings.TrimSpace(scanner.Text())
-		if q == "" {
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
 			continue
+		case line == ":quit" || line == ":esci":
+			return
+		case strings.HasPrefix(line, ":click"):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, ":click"))
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 1 {
+				fmt.Println("uso: :click N  (N = numero del documento nell'ultima risposta)")
+				continue
+			}
+			if err := c.click(n - 1); err != nil {
+				fmt.Println("errore:", err)
+			}
+		default:
+			if err := c.ask(line); err != nil {
+				fmt.Println("errore:", err)
+			}
 		}
-		t0 := time.Now()
-		resp, err := sys.Ask(ctx, q)
-		if err != nil {
-			fmt.Println("errore:", err)
-			continue
+	}
+}
+
+// chatClient is the terminal's view of one conversation.
+type chatClient struct {
+	base    string
+	hc      *http.Client
+	token   string
+	session string
+	// lastTurn / lastDocs back the :click command.
+	lastTurn int
+	lastDocs []chatDoc
+}
+
+type chatDoc struct {
+	ID     string `json:"id"`
+	Parent string `json:"parent"`
+	Title  string `json:"title"`
+}
+
+func (c *chatClient) post(path string, body, out interface{}) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+func (c *chatClient) login(user string) error {
+	var out struct {
+		Token string `json:"token"`
+	}
+	if err := c.post("/api/login", map[string]string{"user": user}, &out); err != nil {
+		return err
+	}
+	c.token = out.Token
+	return nil
+}
+
+func (c *chatClient) newSession() error {
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := c.post("/api/sessions", struct{}{}, &out); err != nil {
+		return err
+	}
+	c.session = out.ID
+	c.lastDocs = nil
+	return nil
+}
+
+// ask streams one turn, printing citations and tokens as they arrive.
+func (c *chatClient) ask(question string) error {
+	payload, _ := json.Marshal(map[string]string{"question": question})
+	req, err := http.NewRequest(http.MethodPost, c.base+"/api/sessions/"+c.session+"/ask", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Authorization", "Bearer "+c.token)
+	t0 := time.Now()
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		// The session expired or was evicted: start a fresh one and retry
+		// the turn (history is gone, the question stands alone).
+		io.Copy(io.Discard, resp.Body)
+		if err := c.newSession(); err != nil {
+			return err
 		}
-		fmt.Println(resp.Answer)
-		fmt.Printf("  [guardrail: %s | %v]\n", resp.Guardrail, time.Since(t0).Round(time.Millisecond))
-		for i, d := range resp.Documents {
+		fmt.Println("  [sessione scaduta — nuova conversazione]")
+		return c.ask(question)
+	}
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+
+	var (
+		p        sse.Parser
+		buf      = make([]byte, 4096)
+		streamed bool
+		done     bool
+	)
+	for !done {
+		n, readErr := resp.Body.Read(buf)
+		if n > 0 {
+			events, _ := p.Feed(buf[:n]) // oversized events are dropped, not fatal
+			for _, ev := range events {
+				if c.handleEvent(ev, t0, &streamed) {
+					done = true
+				}
+			}
+		}
+		if readErr != nil {
+			if readErr != io.EOF {
+				return readErr
+			}
+			break
+		}
+	}
+	if streamed {
+		fmt.Println()
+	}
+	if !done {
+		return fmt.Errorf("stream ended without a done event")
+	}
+	return nil
+}
+
+// handleEvent renders one SSE event; reports true on the terminal done.
+func (c *chatClient) handleEvent(ev sse.Event, t0 time.Time, streamed *bool) bool {
+	switch ev.Name {
+	case "citations":
+		var payload struct {
+			Documents []chatDoc `json:"documents"`
+		}
+		if json.Unmarshal([]byte(ev.Data), &payload) != nil {
+			return false
+		}
+		c.lastDocs = payload.Documents
+		fmt.Printf("  [fonti in %v]\n", time.Since(t0).Round(time.Millisecond))
+		for i, d := range payload.Documents {
 			if i == 3 {
 				break
 			}
-			fmt.Printf("  %d. %s — %s\n", i+1, d.ParentID, d.Title)
+			fmt.Printf("  %d. %s — %s\n", i+1, d.Parent, d.Title)
 		}
+	case "token":
+		var tok struct {
+			Text string `json:"text"`
+		}
+		if json.Unmarshal([]byte(ev.Data), &tok) != nil {
+			return false
+		}
+		fmt.Print(tok.Text)
+		*streamed = true
+	case "fallback":
+		var fb struct {
+			Answer string `json:"answer"`
+		}
+		if json.Unmarshal([]byte(ev.Data), &fb) != nil {
+			return false
+		}
+		// The streamed tokens were a prefix of an abandoned answer.
+		if *streamed {
+			fmt.Println()
+			*streamed = false
+		}
+		fmt.Println("  [generazione degradata — risposta estrattiva]")
+		fmt.Print(fb.Answer)
+		*streamed = true
+	case "done":
+		var d struct {
+			Answer         string `json:"answer"`
+			Guardrail      string `json:"guardrail"`
+			AnswerValid    bool   `json:"answerValid"`
+			RewrittenQuery string `json:"rewrittenQuery"`
+			TraceID        string `json:"traceId"`
+			Turn           int    `json:"turn"`
+			Error          string `json:"error"`
+		}
+		if json.Unmarshal([]byte(ev.Data), &d) == nil {
+			if *streamed {
+				fmt.Println()
+				*streamed = false
+			}
+			if d.Error != "" {
+				fmt.Println("errore:", d.Error)
+				return true
+			}
+			if !d.AnswerValid {
+				// Guardrail fired: the streamed tokens were replaced by the
+				// apology/clarification answer.
+				fmt.Print(d.Answer)
+				fmt.Println()
+			}
+			c.lastTurn = d.Turn
+			extra := ""
+			if d.RewrittenQuery != "" {
+				extra = " | riscritta: " + d.RewrittenQuery
+			}
+			fmt.Printf("  [guardrail: %s | %v%s]\n", d.Guardrail, time.Since(t0).Round(time.Millisecond), extra)
+		}
+		return true
 	}
+	return false
+}
+
+// click reports the i-th document of the last answer as clicked.
+func (c *chatClient) click(i int) error {
+	if i >= len(c.lastDocs) {
+		return fmt.Errorf("l'ultima risposta ha %d documenti", len(c.lastDocs))
+	}
+	var out struct {
+		Applied bool   `json:"applied"`
+		Version uint64 `json:"version"`
+	}
+	err := c.post("/api/sessions/"+c.session+"/feedback",
+		map[string]interface{}{"turn": c.lastTurn, "chunkId": c.lastDocs[i].ID}, &out)
+	if err != nil {
+		return err
+	}
+	if out.Applied {
+		fmt.Printf("  [feedback registrato — pesi rerank v%d]\n", out.Version)
+	} else {
+		fmt.Println("  [feedback registrato]")
+	}
+	return nil
 }

@@ -31,6 +31,8 @@ import (
 	"time"
 
 	"uniask"
+	"uniask/internal/server"
+	"uniask/internal/session"
 	"uniask/internal/tenant"
 )
 
@@ -56,14 +58,21 @@ func main() {
 		admQueue      = flag.Int("admission-queue", 0, "per-class admission queue depth (0 = 64)")
 		admWait       = flag.Duration("admission-wait", 0, "max time a request queues for a slot before shedding (0 = 500ms)")
 		cacheBudget   = flag.Int("tenant-cache-budget", 0, "total query-cache entries across tenant partitions (0 = 4096)")
+
+		sessionTTL    = flag.Duration("session-ttl", 0, "idle conversational-session lifetime (0 = 30m, negative disables expiry)")
+		sessionBudget = flag.Int("session-budget", 0, "global live-session budget, LRU-evicted past it (0 = 1024)")
+		sseHeartbeat  = flag.Duration("sse-heartbeat", 0, "keep-alive comment interval on idle session streams (0 = 15s, negative disables)")
 	)
 	flag.Parse()
 
 	if *tenantsFile != "" {
 		runMultiTenant(*addr, *tenantsFile, multiTenantOptions{
 			docs: *docs, seed: *seed,
-			reload:      *tenantsReload,
-			cacheBudget: *cacheBudget,
+			reload:       *tenantsReload,
+			cacheBudget:  *cacheBudget,
+			sessionTTL:   *sessionTTL,
+			sessionMax:   *sessionBudget,
+			sseHeartbeat: *sseHeartbeat,
 			admission: tenant.AdmissionConfig{
 				Capacity: *admCapacity, QueueDepth: *admQueue, MaxWait: *admWait,
 			},
@@ -115,20 +124,35 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := sys.NewServer().Serve(ctx, *addr); err != nil {
+	srv := sys.NewServer()
+	configureSessions(srv, *sessionTTL, *sessionBudget, *sseHeartbeat)
+	if err := srv.Serve(ctx, *addr); err != nil {
 		fmt.Fprintln(os.Stderr, "server:", err)
 		os.Exit(1)
 	}
 }
 
+// configureSessions applies the conversational-session flags to a built
+// server (the session gauges read srv.Sessions at poll time, so swapping
+// the store after construction is safe).
+func configureSessions(srv *server.Server, ttl time.Duration, budget int, heartbeat time.Duration) {
+	if ttl != 0 || budget != 0 {
+		srv.Sessions = session.NewStore(session.Config{TTL: ttl, MaxSessions: budget})
+	}
+	srv.SSEHeartbeat = heartbeat
+}
+
 // multiTenantOptions carries the multi-tenant flag set.
 type multiTenantOptions struct {
-	docs        int
-	seed        int64
-	reload      time.Duration
-	cacheBudget int
-	admission   tenant.AdmissionConfig
-	base        uniask.Config
+	docs         int
+	seed         int64
+	reload       time.Duration
+	cacheBudget  int
+	sessionTTL   time.Duration
+	sessionMax   int
+	sseHeartbeat time.Duration
+	admission    tenant.AdmissionConfig
+	base         uniask.Config
 }
 
 // runMultiTenant serves in multi-tenant mode: each tenant in the overrides
@@ -157,6 +181,7 @@ func runMultiTenant(addr, overridesPath string, opt multiTenantOptions) {
 		fmt.Fprintln(os.Stderr, "setup failed:", err)
 		os.Exit(1)
 	}
+	configureSessions(srv, opt.sessionTTL, opt.sessionMax, opt.sseHeartbeat)
 	ids := srv.Tenants.Overrides().TenantIDs()
 	fmt.Fprintf(os.Stderr, "multi-tenant mode: %d tenants onboarded (%s), serving on %s\n",
 		len(ids), strings.Join(ids, ", "), addr)

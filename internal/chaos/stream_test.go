@@ -1,0 +1,412 @@
+package chaos
+
+// Streaming resilience acceptance. Conversational SSE streams must degrade
+// the same way one-shot asks do: with 30% of LLM calls erroring and 10%
+// hanging, every turn of a multi-turn session must stream to a terminal
+// `done` event (mid-generation failures surface as a `fallback` event, never
+// a dangling connection or a late 5xx). A second scenario pins tenant
+// isolation: one tenant holding many open streams must not move another
+// tenant's one-shot p99. Seeds rotate via CHAOS_SEED like the rest of the
+// suite.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"uniask/internal/server"
+	"uniask/internal/sse"
+)
+
+// streamDone mirrors the server's terminal `done` payload.
+type streamDone struct {
+	Answer        string   `json:"answer"`
+	AnswerValid   bool     `json:"answerValid"`
+	Degraded      bool     `json:"degraded"`
+	DegradedParts []string `json:"degradedParts"`
+	TraceID       string   `json:"traceId"`
+	Turn          int      `json:"turn"`
+	Error         string   `json:"error"`
+}
+
+// createStreamSession opens a conversational session, optionally scoped to a
+// tenant, and returns its ID.
+func createStreamSession(t *testing.T, base, token, tenantID string) (string, int) {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodPost, base+"/api/sessions", nil)
+	req.Header.Set("Authorization", "Bearer "+token)
+	if tenantID != "" {
+		req.Header.Set(server.TenantHeader, tenantID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("create session: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return "", resp.StatusCode
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || out.ID == "" {
+		t.Fatalf("create session decode: %v %q", err, out.ID)
+	}
+	return out.ID, resp.StatusCode
+}
+
+// streamTurn drives one SSE turn and returns the HTTP status plus every
+// parsed event. The body is read to EOF through the incremental parser so a
+// dangling stream (no terminal event, connection held open) fails the test's
+// deadline rather than passing silently.
+func streamTurn(t testing.TB, base, token, tenantID, sid, question string) (int, []sse.Event) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]string{"question": question})
+	req, _ := http.NewRequest(http.MethodPost, base+"/api/sessions/"+sid+"/ask", bytes.NewReader(body))
+	req.Header.Set("Authorization", "Bearer "+token)
+	req.Header.Set("Content-Type", "application/json")
+	if tenantID != "" {
+		req.Header.Set(server.TenantHeader, tenantID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("stream turn: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil
+	}
+	var p sse.Parser
+	var events []sse.Event
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			evs, perr := p.Feed(buf[:n])
+			if perr != nil {
+				t.Fatalf("sse parse: %v", perr)
+			}
+			events = append(events, evs...)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("stream read: %v", err)
+		}
+	}
+	return resp.StatusCode, events
+}
+
+func parseStreamDone(t testing.TB, events []sse.Event) streamDone {
+	t.Helper()
+	if len(events) == 0 {
+		t.Fatal("stream produced no events")
+	}
+	last := events[len(events)-1]
+	if last.Name != "done" {
+		t.Fatalf("terminal event = %q, want done (events: %v)", last.Name, eventNameList(events))
+	}
+	var d streamDone
+	if err := json.Unmarshal([]byte(last.Data), &d); err != nil {
+		t.Fatalf("done payload: %v (%q)", err, last.Data)
+	}
+	return d
+}
+
+func eventNameList(events []sse.Event) []string {
+	names := make([]string, len(events))
+	for i, ev := range events {
+		names[i] = ev.Name
+	}
+	return names
+}
+
+func hasPart(parts []string, want string) bool {
+	for _, p := range parts {
+		if p == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestChaosStreamingAlwaysTerminates is the streaming acceptance bar: a
+// multi-turn conversation over the 30% error / 10% hang LLM must stream
+// every turn to a terminal done with a non-empty answer — 100% availability,
+// degradation allowed, dangling streams and 5xx not.
+func TestChaosStreamingAlwaysTerminates(t *testing.T) {
+	h, err := NewHarness(context.Background(), Config{
+		Seed:         chaosSeed(t) + 600,
+		Queries:      12,
+		LLMErrorRate: 0.30,
+		LLMHangRate:  0.10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := server.New(h.Engine)
+	srv := httptest.NewServer(api.Handler())
+	defer srv.Close()
+	token := loginChaos(t, srv.URL)
+
+	sid, status := createStreamSession(t, srv.URL, token, "")
+	if status != http.StatusCreated {
+		t.Fatalf("create session: status %d", status)
+	}
+
+	answered, fallbacks, degradedTurns := 0, 0, 0
+	for i, q := range h.Questions {
+		status, events := streamTurn(t, srv.URL, token, "", sid, q)
+		if status != http.StatusOK {
+			t.Fatalf("turn %d: status %d, want 200 (streams must shed inside the stream, not at the door)", i, status)
+		}
+		done := parseStreamDone(t, events)
+		if done.Error != "" {
+			t.Fatalf("turn %d: done carries error %q — availability bar is 100%%", i, done.Error)
+		}
+		if done.Answer == "" {
+			t.Fatalf("turn %d: empty answer", i)
+		}
+		if done.Turn != i {
+			t.Fatalf("turn %d: done.turn = %d", i, done.Turn)
+		}
+		answered++
+		if done.Degraded {
+			degradedTurns++
+		}
+		sawFallback := false
+		for j, ev := range events {
+			if ev.Name == "fallback" {
+				sawFallback = true
+				if j != len(events)-2 {
+					t.Fatalf("turn %d: fallback must immediately precede done (events: %v)", i, eventNameList(events))
+				}
+			}
+		}
+		if sawFallback {
+			fallbacks++
+			if !hasPart(done.DegradedParts, "generation") {
+				t.Fatalf("turn %d: fallback event without generation in degradedParts %v", i, done.DegradedParts)
+			}
+		}
+	}
+	if answered != len(h.Questions) {
+		t.Fatalf("answered %d/%d turns", answered, len(h.Questions))
+	}
+
+	// The transcript must hold every turn, in order.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/api/sessions/"+sid, nil)
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view struct {
+		Turns []struct {
+			Question string `json:"question"`
+		} `json:"turns"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if len(view.Turns) != len(h.Questions) {
+		t.Fatalf("transcript holds %d turns, want %d", len(view.Turns), len(h.Questions))
+	}
+	for i, turn := range view.Turns {
+		if turn.Question != h.Questions[i] {
+			t.Fatalf("transcript turn %d = %q, want %q", i, turn.Question, h.Questions[i])
+		}
+	}
+	t.Logf("seed %d: %d turns answered, %d degraded, %d mid-stream fallbacks",
+		chaosSeed(t)+600, answered, degradedTurns, fallbacks)
+}
+
+// TestChaosStreamingMidStreamFallback turns the dial to 100% LLM errors: the
+// stream begins emitting tokens, the LLM dies mid-generation, and the client
+// must receive a `fallback` event (discard streamed tokens, use the
+// extractive answer) followed by `done`. Turns after the first must also
+// carry the rewrite-shed flag — the history rewrite can't run either, and
+// the turn proceeds on the raw query rather than failing.
+func TestChaosStreamingMidStreamFallback(t *testing.T) {
+	h, err := NewHarness(context.Background(), Config{
+		Seed:         chaosSeed(t) + 601,
+		Queries:      6,
+		LLMErrorRate: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := server.New(h.Engine)
+	srv := httptest.NewServer(api.Handler())
+	defer srv.Close()
+	token := loginChaos(t, srv.URL)
+
+	sid, _ := createStreamSession(t, srv.URL, token, "")
+	fallbacks, tokensBeforeFallback := 0, 0
+	for i, q := range h.Questions {
+		status, events := streamTurn(t, srv.URL, token, "", sid, q)
+		if status != http.StatusOK {
+			t.Fatalf("turn %d: status %d", i, status)
+		}
+		done := parseStreamDone(t, events)
+		if done.Error != "" {
+			t.Fatalf("turn %d: done error %q", i, done.Error)
+		}
+		if done.Answer == "" {
+			t.Fatalf("turn %d: no extractive answer with generation fully down", i)
+		}
+		if !hasPart(done.DegradedParts, "generation") {
+			t.Fatalf("turn %d: generation missing from degradedParts %v under 100%% LLM errors", i, done.DegradedParts)
+		}
+		if i > 0 && !hasPart(done.DegradedParts, "rewrite") {
+			t.Fatalf("turn %d: rewrite shed flag missing from degradedParts %v", i, done.DegradedParts)
+		}
+		tokens := 0
+		for _, ev := range events {
+			switch ev.Name {
+			case "token":
+				tokens++
+			case "fallback":
+				fallbacks++
+				tokensBeforeFallback += tokens
+			}
+		}
+		// Tokens may only appear on turns that then recover via fallback:
+		// without a fallback event the client would assemble a truncated
+		// answer from a stream that died mid-generation.
+		if tokens > 0 {
+			last := events[len(events)-1]
+			prev := events[len(events)-2]
+			if last.Name != "done" || prev.Name != "fallback" {
+				t.Fatalf("turn %d: streamed %d tokens without a terminal fallback (events: %v)",
+					i, tokens, eventNameList(events))
+			}
+		}
+	}
+	if fallbacks == 0 {
+		t.Fatal("no mid-stream fallback observed across the session — fault injection never hit an open stream")
+	}
+	if tokensBeforeFallback == 0 {
+		t.Fatal("fallback never arrived after streamed tokens — mid-stream death path untested")
+	}
+	t.Logf("%d fallbacks, %d tokens streamed before mid-stream death", fallbacks, tokensBeforeFallback)
+}
+
+// TestChaosStreamingNoisyNeighbor pins stream isolation: banca-abusiva
+// holding ~50 workers continuously opening SSE session streams must not move
+// banca-buona's one-shot search p99 beyond the same pinned bound as the
+// request flood — per-tenant admission caps open streams, so the abuser is
+// shed with 429s at the door instead of occupying shared capacity.
+func TestChaosStreamingNoisyNeighbor(t *testing.T) {
+	seed := chaosSeed(t)
+	hs, _ := newNoisyNeighborServer(t, seed)
+	token := tenantToken(t, hs.URL)
+	rng := rand.New(rand.NewSource(seed))
+
+	queries := []string{"conto+corrente", "carta+di+credito", "bonifico+estero", "errore+bonifico", "apertura+conto"}
+	questions := []string{"come apro un conto corrente", "limiti della carta di credito", "quanto costa un bonifico estero"}
+	pick := func() string { return queries[rng.Intn(len(queries))] }
+
+	const wellBehaved = 60
+
+	// Phase 1 — solo baseline for the well-behaved tenant.
+	solo := make([]time.Duration, 0, wellBehaved)
+	for i := 0; i < wellBehaved; i++ {
+		code, lat := searchOnce(t, hs.URL, token, "banca-buona", pick())
+		if code != http.StatusOK {
+			t.Fatalf("solo request %d: status %d", i, code)
+		}
+		solo = append(solo, lat)
+	}
+	soloP99 := p99Of(solo)
+
+	// Phase 2 — 50 workers keep opening streams on banca-abusiva while
+	// banca-buona runs its sequential one-shot pace. Admission caps the
+	// abuser at 4 concurrent, so most attempts 429 — that shedding IS the
+	// isolation mechanism under test.
+	var (
+		stop                  atomic.Bool
+		streamOK, streamShed  atomic.Int64
+		streamBad             atomic.Int64
+		wg                    sync.WaitGroup
+		noisy                 = make([]time.Duration, 0, wellBehaved)
+		goodRejected, good5xx int
+	)
+	for w := 0; w < 50; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sid, status := createStreamSession(t, hs.URL, token, "banca-abusiva")
+			if status != http.StatusCreated {
+				// Session budget shed at create is acceptable for the
+				// abuser as long as it is a clean 429.
+				if status == http.StatusTooManyRequests {
+					streamShed.Add(1)
+					return
+				}
+				streamBad.Add(1)
+				return
+			}
+			r := rand.New(rand.NewSource(seed + 1000 + int64(w)))
+			for !stop.Load() {
+				q := questions[r.Intn(len(questions))]
+				status, events := streamTurn(t, hs.URL, token, "banca-abusiva", sid, q)
+				switch {
+				case status == http.StatusOK:
+					if len(events) == 0 || events[len(events)-1].Name != "done" {
+						streamBad.Add(1)
+					} else {
+						streamOK.Add(1)
+					}
+				case status == http.StatusTooManyRequests:
+					streamShed.Add(1)
+					time.Sleep(2 * time.Millisecond)
+				default:
+					streamBad.Add(1)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < wellBehaved; i++ {
+		code, lat := searchOnce(t, hs.URL, token, "banca-buona", pick())
+		switch {
+		case code == http.StatusOK:
+			noisy = append(noisy, lat)
+		case code >= 500:
+			good5xx++
+		default:
+			goodRejected++
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if goodRejected != 0 || good5xx != 0 {
+		t.Fatalf("well-behaved tenant saw %d rejections and %d 5xx under the stream flood, want 0/0",
+			goodRejected, good5xx)
+	}
+	if streamBad.Load() != 0 {
+		t.Fatalf("abusive streams hit %d non-200/429 outcomes or dangled without done", streamBad.Load())
+	}
+	if streamShed.Load() == 0 {
+		t.Fatalf("abusive tenant's streams were never shed (%d ok) — admission is not capping open streams", streamOK.Load())
+	}
+	noisyP99 := p99Of(noisy)
+	if bound := noisyNeighborBound(soloP99); noisyP99 > bound {
+		t.Fatalf("well-behaved p99 moved from %v to %v under 50 stream workers, beyond the pinned bound %v",
+			soloP99, noisyP99, bound)
+	}
+	t.Logf("seed %d: solo p99 %v, noisy p99 %v; abuser streams %d ok / %d shed",
+		seed, soloP99, noisyP99, streamOK.Load(), streamShed.Load())
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -508,6 +509,10 @@ func (e *Engine) IndexCorpus(ctx context.Context, corpus *kb.Corpus) error {
 type Response struct {
 	// Query is the question as asked.
 	Query string
+	// RewrittenQuery is the standalone query retrieval actually ran, when a
+	// conversational turn was rewritten against its session history ("" for
+	// one-shot asks and when the rewrite was shed).
+	RewrittenQuery string
 	// Answer is the text shown to the user: the generated answer when the
 	// guardrails pass, otherwise the apology or clarification message.
 	Answer string
@@ -541,6 +546,34 @@ func (e *Engine) Search(ctx context.Context, query string) ([]search.Result, err
 // generation → guardrails. Every stage honors ctx cancellation and reports
 // to the engine's observer.
 func (e *Engine) Ask(ctx context.Context, question string) (Response, error) {
+	return e.AskConversational(ctx, question, nil, StreamEvents{})
+}
+
+// StreamEvents carries the optional streaming callbacks of a conversational
+// ask. The zero value disables streaming: the flow then behaves exactly
+// like Ask.
+type StreamEvents struct {
+	// OnCitations fires once, as soon as retrieval + rerank land, with the
+	// retrieved documents — before generation starts, so a UI can render
+	// the citation list while the answer streams.
+	OnCitations func(results []search.Result)
+	// OnToken receives incremental answer chunks as the LLM produces them.
+	// Returning an error aborts the stream (the consumer went away). The
+	// streamed tokens are the raw generated answer, pre-guardrails: when a
+	// guardrail later invalidates the answer, the caller must tell its
+	// consumer to discard them (the SSE layer's terminal event does).
+	OnToken func(chunk string) error
+}
+
+// AskConversational is Ask plus conversation context: when history is
+// non-empty the turn's question is first rewritten into a standalone query
+// against it (one extra LLM call, StageRewrite), and retrieval runs on the
+// rewritten query. A failed rewrite sheds to the raw question —
+// Degradation.RewriteSkipped, never an error — and because the shed search
+// runs under the raw query text, the cache can never memoize a wrong
+// rewrite. The optional StreamEvents callbacks stream citations and answer
+// tokens as they land.
+func (e *Engine) AskConversational(ctx context.Context, question string, history []llm.Exchange, ev StreamEvents) (Response, error) {
 	resp := Response{Query: question}
 
 	// 1. Content filter on the question. A firing guardrail is a normal
@@ -559,17 +592,52 @@ func (e *Engine) Ask(ctx context.Context, question string) (Response, error) {
 		return resp, nil
 	}
 
-	// 2. Retrieval (the searcher reports its own retrieval/fusion/rerank
+	// 2. History-aware rewrite (conversational turns only): one LLM call
+	// turns the possibly elliptical question into a standalone query. A
+	// failure with the caller still alive sheds to the raw question.
+	retrieveQuery := question
+	var rewriteShed bool
+	if len(history) > 0 {
+		var rresp llm.Response
+		err := pipeline.Run(ctx, e.obs, pipeline.StageRewrite, 1, func(ctx context.Context) (int, error) {
+			var err error
+			rresp, err = e.Client.Complete(ctx, llm.BuildRewritePrompt(history, question))
+			return 1, err
+		})
+		switch {
+		case err != nil:
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return resp, ctxErr
+			}
+			pipeline.Observe(ctx, e.obs, pipeline.StageInfo{
+				Stage: pipeline.StageDegraded, In: 1,
+				Err: fmt.Errorf("core: shed rewrite: %w", err),
+			})
+			rewriteShed = true
+		case strings.TrimSpace(rresp.Content) != "":
+			retrieveQuery = strings.TrimSpace(rresp.Content)
+			resp.RewrittenQuery = retrieveQuery
+		}
+	}
+
+	// 3. Retrieval (the searcher reports its own retrieval/fusion/rerank
 	// stages). Degradation — shed vector legs, skipped expansion — is a
 	// normal outcome carried on the response, not an error.
-	results, deg, err := e.Searcher.SearchDegraded(ctx, question, e.cfg.SearchOptions)
+	results, deg, err := e.Searcher.SearchDegraded(ctx, retrieveQuery, e.cfg.SearchOptions)
 	if err != nil {
 		return resp, fmt.Errorf("core: search: %w", err)
 	}
+	deg.RewriteSkipped = deg.RewriteSkipped || rewriteShed
 	resp.Documents = results
 	resp.DegradedParts = deg.Parts()
+	if ev.OnCitations != nil {
+		ev.OnCitations(results)
+	}
 
-	// 3. Generation over the top-m chunks.
+	// 4. Generation over the top-m chunks, on the standalone query (the
+	// raw question when no rewrite ran). With an OnToken callback the
+	// answer streams chunk by chunk; a stream that dies mid-answer degrades
+	// to the extractive fallback exactly like an unavailable LLM.
 	m := e.cfg.M
 	top := results
 	if len(top) > m {
@@ -584,7 +652,11 @@ func (e *Engine) Ask(ctx context.Context, question string) (Response, error) {
 	var ans generation.Answer
 	err = pipeline.Run(ctx, e.obs, pipeline.StageGeneration, len(chunks), func(ctx context.Context) (int, error) {
 		var err error
-		ans, err = e.Generator.Generate(ctx, question, chunks)
+		if ev.OnToken != nil {
+			ans, err = e.Generator.GenerateStream(ctx, retrieveQuery, chunks, ev.OnToken)
+		} else {
+			ans, err = e.Generator.Generate(ctx, retrieveQuery, chunks)
+		}
 		return 1, err
 	})
 	if err != nil {
@@ -603,7 +675,7 @@ func (e *Engine) Ask(ctx context.Context, question string) (Response, error) {
 	resp.GeneratedAnswer = ans.Text
 	resp.Citations = ans.Citations
 
-	// 4. Guardrails on the generated answer.
+	// 5. Guardrails on the generated answer.
 	var trigger guardrails.Trigger
 	err = pipeline.Run(ctx, e.obs, pipeline.StageGuardrails, len(contexts), func(context.Context) (int, error) {
 		trigger = e.Guards.CheckAnswer(ans.Text, ans.Citations, contexts)

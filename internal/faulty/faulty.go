@@ -186,6 +186,62 @@ func (c *Client) Complete(ctx context.Context, req llm.Request) (llm.Response, e
 	return c.Inner.Complete(ctx, req)
 }
 
+// streamFailAfterChunks is how many chunks an Error fault lets through
+// before killing a stream — enough that the consumer has rendered partial
+// output, so the mid-stream failure path (no retry, extractive fallback) is
+// what gets exercised, not the pre-first-byte retry path.
+const streamFailAfterChunks = 2
+
+// CompleteStream implements llm.StreamClient. The Error fault is injected
+// mid-stream: a few chunks of the real completion are emitted first, then
+// the stream dies with ErrInjected — the partially-delivered answer a
+// dropped upstream connection produces. Hang blocks before the first byte;
+// Slow delays then streams; Malformed streams the garbled payload.
+func (c *Client) CompleteStream(ctx context.Context, req llm.Request, emit func(chunk string) error) (llm.Response, error) {
+	switch c.Sched.next() {
+	case Error:
+		emitted := 0
+		_, err := llm.CompleteStream(ctx, c.Inner, req, func(chunk string) error {
+			if emitted >= streamFailAfterChunks {
+				return fmt.Errorf("%w (llm stream)", ErrInjected)
+			}
+			emitted++
+			if emit == nil {
+				return nil
+			}
+			return emit(chunk)
+		})
+		if err != nil {
+			return llm.Response{}, err
+		}
+		// The completion was shorter than the failure point; kill it anyway.
+		return llm.Response{}, fmt.Errorf("%w (llm stream)", ErrInjected)
+	case Slow:
+		select {
+		case <-time.After(c.Sched.SlowLatency):
+		case <-ctx.Done():
+			return llm.Response{}, ctx.Err()
+		}
+	case Hang:
+		<-ctx.Done()
+		return llm.Response{}, ctx.Err()
+	case Malformed:
+		resp, err := c.Inner.Complete(ctx, req)
+		if err != nil {
+			return resp, err
+		}
+		resp.Content = "<<<!garbled upstream payload§ " + truncate(resp.Content, 12)
+		resp.FinishReason = "length"
+		if emit != nil {
+			if err := emit(resp.Content); err != nil {
+				return llm.Response{}, err
+			}
+		}
+		return resp, nil
+	}
+	return llm.CompleteStream(ctx, c.Inner, req, emit)
+}
+
 // Embedder wraps a context-aware embedder with fault injection. It
 // implements embedding.CtxEmbedder (and the Dim accessor).
 type Embedder struct {

@@ -92,6 +92,56 @@ func (g *Generator) Generate(ctx context.Context, question string, chunks []Retr
 	return ans, nil
 }
 
+// GenerateStream is the streaming variant of Generate: answer chunks are
+// delivered through emit as the LLM produces them, then the parsed answer
+// is returned whole. The fallback contract is wider than Generate's — a
+// stream that dies after its first byte cannot be retried (the consumer
+// has already rendered partial output), so any mid-stream failure with the
+// caller still waiting degrades to the extractive answer. The caller is
+// responsible for telling its consumer to discard the partial tokens
+// (the SSE layer's terminal `fallback` event).
+func (g *Generator) GenerateStream(ctx context.Context, question string, chunks []RetrievedChunk, emit func(chunk string) error) (Answer, error) {
+	m := g.M
+	if m <= 0 {
+		m = DefaultM
+	}
+	if len(chunks) > m {
+		chunks = chunks[:m]
+	}
+	ctxChunks := make([]llm.ContextChunk, len(chunks))
+	keyToID := make(map[string]string, len(chunks))
+	for i, ch := range chunks {
+		key := fmt.Sprintf("doc%d", i+1)
+		ctxChunks[i] = llm.ContextChunk{Key: key, Title: ch.Title, Content: ch.Content}
+		keyToID[key] = ch.ID
+	}
+	req := llm.BuildAnswerPrompt(question, ctxChunks)
+	req.MaxTokens = g.MaxTokens
+	started := false
+	wrapped := emit
+	if wrapped != nil {
+		wrapped = func(chunk string) error {
+			started = true
+			return emit(chunk)
+		}
+	}
+	resp, err := llm.CompleteStream(ctx, g.Client, req, wrapped)
+	if err != nil {
+		if g.fallbackEligible(ctx, err) || (started && !g.DisableFallback && ctx.Err() == nil) {
+			return Extractive(question, chunks), nil
+		}
+		return Answer{}, fmt.Errorf("generation: %w", err)
+	}
+	keys := ExtractCitationKeys(resp.Content)
+	ans := Answer{Text: resp.Content, CitedKeys: keys, Usage: resp}
+	for _, k := range keys {
+		if id, ok := keyToID[k]; ok {
+			ans.Citations = append(ans.Citations, id)
+		}
+	}
+	return ans, nil
+}
+
 // fallbackEligible decides whether a generation error degrades to the
 // extractive answer: the LLM must be unavailable (open breaker or exhausted
 // retry budget) while the caller is still waiting — a cancelled caller gets

@@ -95,6 +95,77 @@ func BuildDirectAnswerPrompt(question string) Request {
 	}}
 }
 
+// Exchange is one past conversation turn handed to the rewrite prompt:
+// what the user asked and what the assistant answered.
+type Exchange struct {
+	Question string
+	Answer   string
+}
+
+// historyMarker introduces the serialized conversation history in the
+// rewrite prompt, the way contextMarker introduces retrieved chunks.
+const historyMarker = "STORIA:"
+
+// rewriteSystemPrompt is the history-aware query-rewriting task: given the
+// conversation so far and the user's latest (possibly elliptical or
+// anaphoric) question, produce a single standalone question for retrieval.
+const rewriteSystemPrompt = `Riscrivi la domanda dell'utente come una domanda autonoma e completa, risolvendo pronomi ed ellissi usando la conversazione precedente.
+Rispondi con la sola domanda riscritta, senza spiegazioni, in italiano.`
+
+// BuildRewritePrompt constructs the history-aware rewrite request: the
+// conversation so far (question/answer pairs, oldest first) and the new
+// question. With an empty history the rewrite is the identity; callers
+// skip the call entirely in that case.
+func BuildRewritePrompt(history []Exchange, question string) Request {
+	var b strings.Builder
+	b.WriteString(historyMarker)
+	b.WriteByte('\n')
+	for _, ex := range history {
+		b.WriteString("U: ")
+		b.WriteString(ex.Question)
+		b.WriteByte('\n')
+		if ex.Answer != "" {
+			b.WriteString("A: ")
+			b.WriteString(ex.Answer)
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString("\n")
+	b.WriteString(questionMarker)
+	b.WriteByte(' ')
+	b.WriteString(question)
+	return Request{Messages: []Message{
+		{Role: System, Content: rewriteSystemPrompt},
+		{Role: User, Content: b.String()},
+	}}
+}
+
+// parseHistory extracts the serialized conversation turns from a rewrite
+// prompt (the inverse of BuildRewritePrompt's encoding).
+func parseHistory(req Request) []Exchange {
+	var out []Exchange
+	for _, m := range req.Messages {
+		i := strings.Index(m.Content, historyMarker)
+		if i < 0 {
+			continue
+		}
+		rest := m.Content[i+len(historyMarker):]
+		if j := strings.LastIndex(rest, questionMarker); j >= 0 {
+			rest = rest[:j]
+		}
+		for _, line := range strings.Split(rest, "\n") {
+			line = strings.TrimSpace(line)
+			switch {
+			case strings.HasPrefix(line, "U: "):
+				out = append(out, Exchange{Question: strings.TrimPrefix(line, "U: ")})
+			case strings.HasPrefix(line, "A: ") && len(out) > 0:
+				out[len(out)-1].Answer = strings.TrimPrefix(line, "A: ")
+			}
+		}
+	}
+	return out
+}
+
 // promptText concatenates all message contents (for token accounting and
 // parsing).
 func promptText(req Request) string {
@@ -150,6 +221,7 @@ const (
 	taskRelated
 	taskDirect
 	taskGroundedness
+	taskRewrite
 )
 
 func taskOf(req Request) task {
@@ -170,6 +242,8 @@ func taskOf(req Request) task {
 			return taskDirect
 		case strings.HasPrefix(m.Content, "Valuta la groundedness"):
 			return taskGroundedness
+		case strings.HasPrefix(m.Content, "Riscrivi la domanda"):
+			return taskRewrite
 		}
 	}
 	return taskUnknown

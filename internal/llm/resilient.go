@@ -70,3 +70,44 @@ func (c *ResilientClient) Complete(ctx context.Context, req Request) (resp Respo
 		return resp, err
 	})
 }
+
+// CompleteStream implements StreamClient. Retries apply only before the
+// first byte: once a chunk has been emitted downstream the consumer has
+// seen partial output, so a replay would duplicate it — any later failure
+// is marked terminal and surfaces to the caller, who degrades to the
+// extractive fallback instead. Breaker accounting matches Complete.
+func (c *ResilientClient) CompleteStream(ctx context.Context, req Request, emit func(chunk string) error) (resp Response, err error) {
+	ctx, sp := trace.Start(ctx, "llm.complete")
+	defer func() {
+		sp.SetError(err)
+		sp.End()
+	}()
+	p := c.Policy
+	if p.Classify == nil {
+		p.Classify = ClassifyLLMError
+	}
+	started := false
+	return resilience.DoValue(ctx, p, func(ctx context.Context) (Response, error) {
+		if c.Breaker != nil {
+			if err := c.Breaker.Allow(); err != nil {
+				trace.AddEvent(ctx, "breaker.shed", trace.A("breaker", c.Breaker.Name()))
+				return Response{}, err
+			}
+		}
+		wrapped := emit
+		if wrapped != nil {
+			wrapped = func(chunk string) error {
+				started = true
+				return emit(chunk)
+			}
+		}
+		resp, err := CompleteStream(ctx, c.Inner, req, wrapped)
+		if c.Breaker != nil {
+			c.Breaker.RecordCtx(ctx, err)
+		}
+		if err != nil && started {
+			err = resilience.MarkTerminal(err)
+		}
+		return resp, err
+	})
+}

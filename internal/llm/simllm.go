@@ -122,6 +122,8 @@ func (s *SimLLM) Complete(ctx context.Context, req Request) (Response, error) {
 		content = s.directAnswer(req)
 	case taskGroundedness:
 		content = s.groundednessJudge(req)
+	case taskRewrite:
+		content = s.rewrite(req)
 	default:
 		content = refusalAnswer
 	}
@@ -414,6 +416,62 @@ func (s *SimLLM) directAnswer(req Request) string {
 	base := strings.Join(dropQuestionWords(strings.Fields(strings.TrimRight(question, "?"))), " ")
 	a := driftSentences[rng.Intn(len(driftSentences))]
 	return "Per " + base + " di solito si procede tramite i canali previsti. " + a
+}
+
+// maxCarryTerms bounds how many history terms a rewrite folds into the
+// standalone question, so a long conversation cannot bloat retrieval
+// queries without bound.
+const maxCarryTerms = 6
+
+// rewrite implements the history-aware query-rewriting task: the question
+// is made standalone by folding in the salient content terms of recent
+// turns that the question itself does not already carry — the deterministic
+// analogue of resolving "e per la carta di debito?" against a conversation
+// about blocking cards. A question that is already self-contained (no
+// history, or rich in its own content terms) passes through unchanged.
+func (s *SimLLM) rewrite(req Request) string {
+	question, ok := parseQuestion(req)
+	if !ok || strings.TrimSpace(question) == "" {
+		return strings.TrimSpace(question)
+	}
+	history := parseHistory(req)
+	if len(history) == 0 {
+		return question
+	}
+	qSeen := s.conceptTerms(question)
+	content := dropQuestionWords(strings.Fields(strings.TrimRight(question, "?")))
+	// A question carrying plenty of its own content terms is standalone;
+	// rewriting it would only dilute retrieval.
+	if len(content) >= 4 {
+		return question
+	}
+	var carry []string
+	appendNew := func(text string) {
+		for _, w := range dropQuestionWords(strings.Fields(strings.TrimRight(text, "?"))) {
+			if len(carry) >= maxCarryTerms {
+				return
+			}
+			covered := true
+			for t := range s.conceptTerms(w) {
+				if _, ok := qSeen[t]; !ok {
+					covered = false
+					qSeen[t] = struct{}{}
+				}
+			}
+			if !covered {
+				carry = append(carry, w)
+			}
+		}
+	}
+	// Most recent turn first: anaphora resolves against what was just said.
+	for i := len(history) - 1; i >= 0 && len(carry) < maxCarryTerms; i-- {
+		appendNew(history[i].Question)
+	}
+	if len(carry) == 0 {
+		return question
+	}
+	base := strings.TrimRight(strings.TrimSpace(question), "?")
+	return base + " " + strings.Join(carry, " ") + "?"
 }
 
 // dropQuestionWords strips interrogative scaffolding from a question.

@@ -1,0 +1,93 @@
+package llm
+
+// Streaming seam on the chat-completion interface. The hosted API UniAsk
+// calls supports server-sent token streaming; the session layer streams
+// those chunks to the browser as SSE `token` events. SimLLM implements the
+// seam by chunking its deterministic answer, so the streaming path is
+// exercised end-to-end without a hosted model.
+
+import "context"
+
+// StreamClient is the optional streaming extension of Client: the
+// completion is delivered incrementally through emit, then returned whole
+// (with usage) like a plain Complete. An emit error (the consumer went
+// away) aborts the stream and is returned as the call's error.
+type StreamClient interface {
+	Client
+	CompleteStream(ctx context.Context, req Request, emit func(chunk string) error) (Response, error)
+}
+
+// CompleteStream runs a streaming completion against any Client: clients
+// implementing StreamClient stream natively; everything else is adapted by
+// completing first and emitting the whole content as one chunk. The seam
+// callers (the generator) program against this helper so a non-streaming
+// backend still works.
+func CompleteStream(ctx context.Context, c Client, req Request, emit func(chunk string) error) (Response, error) {
+	if sc, ok := c.(StreamClient); ok {
+		return sc.CompleteStream(ctx, req, emit)
+	}
+	resp, err := c.Complete(ctx, req)
+	if err != nil {
+		return resp, err
+	}
+	if emit != nil && resp.Content != "" {
+		if err := emit(resp.Content); err != nil {
+			return Response{}, err
+		}
+	}
+	return resp, nil
+}
+
+// streamChunkWords is how many words SimLLM packs into one streamed chunk —
+// small enough that a multi-sentence answer streams over many token events,
+// large enough that tests don't drown in frames.
+const streamChunkWords = 4
+
+// CompleteStream implements StreamClient: the deterministic completion is
+// computed whole, then delivered in word-group chunks (whitespace
+// preserved), honoring cancellation between chunks.
+func (s *SimLLM) CompleteStream(ctx context.Context, req Request, emit func(chunk string) error) (Response, error) {
+	resp, err := s.Complete(ctx, req)
+	if err != nil {
+		return resp, err
+	}
+	if emit == nil {
+		return resp, nil
+	}
+	for _, chunk := range chunkWords(resp.Content, streamChunkWords) {
+		if err := ctx.Err(); err != nil {
+			return Response{}, err
+		}
+		if err := emit(chunk); err != nil {
+			return Response{}, err
+		}
+	}
+	return resp, nil
+}
+
+// chunkWords splits text into chunks of n words each, preserving the exact
+// byte content: concatenating the chunks reproduces text verbatim.
+func chunkWords(text string, n int) []string {
+	if text == "" {
+		return nil
+	}
+	var chunks []string
+	start, words, inWord := 0, 0, false
+	for i := 0; i < len(text); i++ {
+		sp := text[i] == ' ' || text[i] == '\n' || text[i] == '\t'
+		if inWord && sp {
+			inWord = false
+			words++
+			if words == n {
+				chunks = append(chunks, text[start:i])
+				start, words = i, 0
+			}
+		} else if !inWord && !sp {
+			inWord = true
+		}
+	}
+	if start < len(text) {
+		chunks = append(chunks, text[start:])
+	}
+	return chunks
+}

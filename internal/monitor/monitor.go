@@ -46,6 +46,8 @@ type Metrics struct {
 	segmentSource      func() []SegmentGauge
 	cacheSource        func() (CacheGauge, bool)
 	tenantSource       func() []TenantGauge
+	sessionSource      func() (SessionGauge, bool)
+	rerankSource       func() []RerankGauge
 
 	stageMu sync.Mutex
 	stages  map[string]*stageAgg
@@ -220,6 +222,58 @@ func (m *Metrics) SetTenantSource(fn func() []TenantGauge) {
 	m.tenantSource = fn
 }
 
+// SessionGauge is the conversational layer's dashboard row: live session
+// and stream population plus the counters the stuck-streams runbook reads
+// (heartbeats prove the server side is alive; disconnects say clients are
+// going away mid-turn).
+type SessionGauge struct {
+	// Live is the current session count; Turns the retained turns across
+	// them. Expired and Evicted count TTL and LRU-budget drops.
+	Live    int
+	Turns   int
+	Expired uint64
+	Evicted uint64
+	// OpenStreams is the number of SSE streams currently open;
+	// StreamsOpened/StreamsClosed are lifetime counters.
+	OpenStreams   int64
+	StreamsOpened uint64
+	StreamsClosed uint64
+	// Heartbeats counts keep-alive comments written to idle streams;
+	// Disconnects counts clients that vanished before the terminal event.
+	Heartbeats  uint64
+	Disconnects uint64
+}
+
+// SetSessionSource installs a provider polled at Snapshot time for the
+// session gauge; ok=false (no session store) leaves the row empty.
+func (m *Metrics) SetSessionSource(fn func() (SessionGauge, bool)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sessionSource = fn
+}
+
+// RerankGauge is one reranker's click-recalibration dashboard row (one per
+// tenant in multi-tenant serving, one total otherwise).
+type RerankGauge struct {
+	// Tenant is the owning tenant ("" on a single-tenant engine).
+	Tenant string
+	// Clicks counts feedback events folded into the weights; Version is
+	// the current weight version (the query cache keys on it).
+	Clicks  uint64
+	Version uint64
+	// Drift is the largest parameter excursion from the factory
+	// calibration in envelope units (1.0 = pinned at the clamp).
+	Drift float64
+}
+
+// SetRerankSource installs a provider polled at Snapshot time for the
+// rerank recalibration gauges.
+func (m *Metrics) SetRerankSource(fn func() []RerankGauge) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rerankSource = fn
+}
+
 // RecordQuery logs one user query: who asked, how long the request took,
 // which guardrail (if any) fired, and whether the request failed outright.
 func (m *Metrics) RecordQuery(user string, latency time.Duration, guardrail string, failed bool) {
@@ -337,6 +391,12 @@ type Dashboard struct {
 	// Tenants holds per-tenant admission gauges (nil outside multi-tenant
 	// serving).
 	Tenants []TenantGauge
+	// Sessions holds the conversational-layer gauge; HasSessions is false
+	// when no session store is wired.
+	Sessions    SessionGauge
+	HasSessions bool
+	// Rerank holds the click-recalibration gauges (one row per reranker).
+	Rerank []RerankGauge
 }
 
 // Snapshot reads the current dashboard.
@@ -346,6 +406,8 @@ func (m *Metrics) Snapshot() Dashboard {
 	segSrc := m.segmentSource
 	cacheSrc := m.cacheSource
 	tenantSrc := m.tenantSource
+	sessionSrc := m.sessionSource
+	rerankSrc := m.rerankSource
 	m.mu.Unlock()
 	var shards []ShardGauge
 	if src != nil {
@@ -365,6 +427,15 @@ func (m *Metrics) Snapshot() Dashboard {
 	var tenants []TenantGauge
 	if tenantSrc != nil {
 		tenants = tenantSrc()
+	}
+	var sessions SessionGauge
+	var hasSessions bool
+	if sessionSrc != nil {
+		sessions, hasSessions = sessionSrc()
+	}
+	var rerankRows []RerankGauge
+	if rerankSrc != nil {
+		rerankRows = rerankSrc()
 	}
 	stages := m.stageStats() // under stageMu only, never nested in m.mu
 	m.mu.Lock()
@@ -409,6 +480,8 @@ func (m *Metrics) Snapshot() Dashboard {
 	d.Segments = segments
 	d.Cache, d.HasCache = cache, hasCache
 	d.Tenants = tenants
+	d.Sessions, d.HasSessions = sessions, hasSessions
+	d.Rerank = rerankRows
 	return d
 }
 
@@ -519,6 +592,23 @@ func (d Dashboard) String() string {
 			}
 			fmt.Fprintf(&b, "    %-14s %-12s %8d  %8d  %4d  %10v  %6s\n",
 				t.Tenant+":", t.Class, t.Admitted, t.Shed, t.Inflight, t.P99.Round(time.Microsecond), cacheCol)
+		}
+	}
+	if d.HasSessions {
+		s := d.Sessions
+		fmt.Fprintf(&b, "  sessions:              %d live (%d turns, %d expired, %d evicted)\n",
+			s.Live, s.Turns, s.Expired, s.Evicted)
+		fmt.Fprintf(&b, "  streams:               %d open (%d opened / %d closed, %d heartbeats, %d disconnects)\n",
+			s.OpenStreams, s.StreamsOpened, s.StreamsClosed, s.Heartbeats, s.Disconnects)
+	}
+	if len(d.Rerank) > 0 {
+		fmt.Fprintf(&b, "  rerank feedback:       (clicks / weight version / drift)\n")
+		for _, r := range d.Rerank {
+			name := r.Tenant
+			if name == "" {
+				name = "engine"
+			}
+			fmt.Fprintf(&b, "    %-14s %6d  %6d  %.2f\n", name+":", r.Clicks, r.Version, r.Drift)
 		}
 	}
 	b.WriteString(d.StagesString())

@@ -27,7 +27,11 @@ import (
 // Canonical stage names of the Figure-1 query path. Observers receive
 // these in StageInfo.Stage; anything else is a custom stage.
 const (
-	StageFilter     = "filter"
+	StageFilter = "filter"
+	// StageRewrite is the history-aware query rewrite of a conversational
+	// turn: the raw question plus the session history in, one standalone
+	// query out. Runs before expansion; sheds to the raw query on failure.
+	StageRewrite    = "rewrite"
 	StageExpand     = "expand"
 	StageEmbed      = "embed"
 	StageRetrieval  = "retrieval"
@@ -46,7 +50,7 @@ const (
 // stages in query-flow order first, unknown stages after them.
 func StageOrder(stage string) int {
 	for i, s := range []string{
-		StageFilter, StageExpand, StageEmbed, StageRetrieval,
+		StageFilter, StageRewrite, StageExpand, StageEmbed, StageRetrieval,
 		StageFusion, StageRerank, StageGeneration, StageGuardrails,
 		StageDegraded,
 	} {

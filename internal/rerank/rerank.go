@@ -9,11 +9,19 @@
 // query and chunk (embedding cosine), lexical evidence (normalized term
 // overlap), and title affinity, combined through a calibrated logistic so
 // the output lives in (0, 1) like a relevance probability.
+//
+// The logistic's weights are an atomically-published snapshot rather than
+// plain fields: click feedback (see feedback.go) recalibrates them online
+// with bounded steps, every publication bumps a version, and the query
+// cache keys rankings on that version so a recalibration never replays a
+// stale ordering.
 package rerank
 
 import (
 	"math"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"uniask/internal/textproc"
 	"uniask/internal/vector"
@@ -38,46 +46,79 @@ type Scored struct {
 	Score float64
 }
 
-// Reranker is the simulated cross-encoder.
+// Weights is one immutable parameter snapshot of the scoring logistic:
+// the three evidence-channel weights and the bias.
+type Weights struct {
+	Semantic float64
+	Lexical  float64
+	Title    float64
+	Bias     float64
+}
+
+// DefaultWeights is the pre-calibrated logistic: a strongly matching chunk
+// scores ≈0.9 and an unrelated one ≈0.1. It anchors the recalibration
+// envelope — online feedback may drift the weights only a bounded distance
+// from this calibration.
+var DefaultWeights = Weights{Semantic: 4.0, Lexical: 3.0, Title: 1.5, Bias: -3.0}
+
+// snapshot pairs a weight set with its version so readers observe both
+// atomically.
+type snapshot struct {
+	w       Weights
+	version uint64
+}
+
+// Reranker is the simulated cross-encoder. Scoring reads one atomic weight
+// snapshot; Recalibrate publishes new snapshots. Safe for concurrent use.
 type Reranker struct {
-	// Weights of the three evidence channels and the bias, pre-calibrated
-	// so that a strongly matching chunk scores ≈0.9 and an unrelated one
-	// ≈0.1.
-	WSemantic float64
-	WLexical  float64
-	WTitle    float64
-	Bias      float64
+	cur  atomic.Pointer[snapshot]
+	base Weights // envelope anchor; immutable after New
+
+	// mu serializes recalibrations (readers never take it).
+	mu     sync.Mutex
+	clicks uint64 // feedback events applied, under mu
 
 	analyzer *textproc.Analyzer
 }
 
 // New returns a reranker with the default calibration.
 func New() *Reranker {
-	return &Reranker{
-		WSemantic: 4.0,
-		WLexical:  3.0,
-		WTitle:    1.5,
-		Bias:      -3.0,
-		analyzer:  textproc.ItalianFull(),
+	r := &Reranker{
+		base:     DefaultWeights,
+		analyzer: textproc.ItalianFull(),
 	}
+	r.cur.Store(&snapshot{w: DefaultWeights, version: 1})
+	return r
 }
 
-// Score re-scores a single candidate against the query (and its embedding,
-// which may be nil).
-func (r *Reranker) Score(query string, qvec vector.Vector, in Input) float64 {
-	qTerms := r.analyzer.AnalyzeUnique(query)
+// Weights returns the current parameter snapshot.
+func (r *Reranker) Weights() Weights { return r.cur.Load().w }
 
-	sem := 0.0
+// Version returns the current weight version. It changes exactly when a
+// recalibration publishes new weights, so it keys anything (a cached
+// ranking) whose validity depends on the parameters.
+func (r *Reranker) Version() uint64 { return r.cur.Load().version }
+
+// features computes the three evidence channels for one candidate.
+func (r *Reranker) features(query string, qvec vector.Vector, in Input) (sem, lex, title float64) {
+	qTerms := r.analyzer.AnalyzeUnique(query)
 	if qvec != nil && in.ContentVector != nil {
 		sem = float64(vector.Cosine(qvec, in.ContentVector))
 		if sem < 0 {
 			sem = 0
 		}
 	}
-	lex := overlap(qTerms, r.analyzer.AnalyzeUnique(in.Content))
-	title := overlap(qTerms, r.analyzer.AnalyzeUnique(in.Title))
+	lex = overlap(qTerms, r.analyzer.AnalyzeUnique(in.Content))
+	title = overlap(qTerms, r.analyzer.AnalyzeUnique(in.Title))
+	return sem, lex, title
+}
 
-	z := r.WSemantic*sem + r.WLexical*lex + r.WTitle*title + r.Bias
+// Score re-scores a single candidate against the query (and its embedding,
+// which may be nil).
+func (r *Reranker) Score(query string, qvec vector.Vector, in Input) float64 {
+	sem, lex, title := r.features(query, qvec, in)
+	w := r.cur.Load().w
+	z := w.Semantic*sem + w.Lexical*lex + w.Title*title + w.Bias
 	return 1 / (1 + math.Exp(-z))
 }
 

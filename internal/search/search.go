@@ -55,16 +55,24 @@ type Degradation struct {
 	// surviving shards' documents only. Partial results, not an error —
 	// exactly like the other degradations.
 	ShardsDown int
+	// RewriteSkipped means the history-aware query rewrite failed (breaker
+	// open, timeout), so retrieval ran on the raw turn query instead of the
+	// standalone rewritten one. Set by the conversational engine path, not
+	// by the Searcher itself.
+	RewriteSkipped bool
 }
 
 // Degraded reports whether anything was shed.
 func (d Degradation) Degraded() bool {
-	return d.VectorSkipped || d.ExpansionSkipped || d.ComponentsShed > 0 || d.ShardsDown > 0
+	return d.VectorSkipped || d.ExpansionSkipped || d.ComponentsShed > 0 || d.ShardsDown > 0 || d.RewriteSkipped
 }
 
 // Parts names the shed parts for logs, metrics and API responses.
 func (d Degradation) Parts() []string {
 	var out []string
+	if d.RewriteSkipped {
+		out = append(out, "rewrite")
+	}
 	if d.VectorSkipped {
 		out = append(out, "vector")
 	}
@@ -89,6 +97,7 @@ func (d *Degradation) merge(o Degradation) {
 	if o.ShardsDown > d.ShardsDown {
 		d.ShardsDown = o.ShardsDown
 	}
+	d.RewriteSkipped = d.RewriteSkipped || o.RewriteSkipped
 }
 
 // Mode selects which retrieval components run.
@@ -239,11 +248,15 @@ func (s *Searcher) SearchDegraded(ctx context.Context, query string, opts Option
 		return s.run(ctx, query, opts)
 	}
 	// Drain the delete journal first so a tombstoned chunk is never served
-	// from cache, then key the lookup on the published stats snapshot.
+	// from cache, then key the lookup on the published stats snapshot. The
+	// reranker weight version participates in the key: a click-feedback
+	// recalibration between two identical queries must not replay a ranking
+	// scored under the old weights.
 	s.Cache.SyncDeletes(s.Index)
 	snap := s.Index.StatsKey()
 	_, delMark, _ := s.Index.DeletesSince(^uint64(0))
-	key := cacheKey(query, opts)
+	rv := s.rerankVersion(opts)
+	key := cacheKey(query, opts) + "\x00" + strconv.FormatUint(rv, 10)
 	if res, deg, ok := s.Cache.lookup(key, snap); ok {
 		return res, deg, nil
 	}
@@ -253,12 +266,15 @@ func (s *Searcher) SearchDegraded(ctx context.Context, query string, opts Option
 		// Re-check at store time: a stats publication racing this query must
 		// not leave a stale entry behind, and a delete racing it must not
 		// leave an entry the already-advanced journal cursor would never
-		// evict. Degraded results are not cached either: the dependency may
-		// already be healthy again, and a cache must not pin reduced
-		// fidelity for a whole snapshot.
+		// evict. A rerank recalibration racing the query invalidates it the
+		// same way: the scores may mix old and new weights. Degraded results
+		// are not cached either: the dependency may already be healthy
+		// again, and a cache must not pin reduced fidelity for a whole
+		// snapshot.
 		_, delNow, _ := s.Index.DeletesSince(^uint64(0))
 		s.Cache.complete(key, snap, f, res, deg, err,
-			err == nil && !deg.Degraded() && s.Index.StatsKey() == snap && delNow == delMark)
+			err == nil && !deg.Degraded() && s.Index.StatsKey() == snap &&
+				delNow == delMark && s.rerankVersion(opts) == rv)
 		return res, deg, err
 	}
 	select {
@@ -272,6 +288,16 @@ func (s *Searcher) SearchDegraded(ctx context.Context, query string, opts Option
 		return s.run(ctx, query, opts)
 	}
 	return copyResults(f.results), f.deg, nil
+}
+
+// rerankVersion is the reranker weight version a query's ranking depends
+// on (0 when reranking is off for the query — weight changes then cannot
+// affect it).
+func (s *Searcher) rerankVersion(opts Options) uint64 {
+	if s.Reranker == nil || opts.DisableSemanticRerank {
+		return 0
+	}
+	return s.Reranker.Version()
 }
 
 // run executes one search with already-defaulted options, bypassing the

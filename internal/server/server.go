@@ -23,6 +23,7 @@ import (
 	"uniask/internal/eventlog"
 	"uniask/internal/monitor"
 	"uniask/internal/resilience"
+	"uniask/internal/session"
 	"uniask/internal/tenant"
 	"uniask/internal/trace"
 )
@@ -98,8 +99,19 @@ type Server struct {
 	// Log is the structured service log the §9 dashboard queries.
 	Log *eventlog.Log
 	// RequestTimeout is the per-request deadline for the query endpoints
-	// (0 = DefaultRequestTimeout; negative disables the deadline).
+	// (0 = DefaultRequestTimeout; negative disables the deadline). SSE
+	// session streams are exempt — they use per-write deadlines instead.
 	RequestTimeout time.Duration
+
+	// Sessions is the conversational session store (created by New /
+	// NewMultiTenant; replace before serving to customize TTL or budget).
+	Sessions *session.Store
+	// SSEHeartbeat is the keep-alive comment interval on idle session
+	// streams (0 = DefaultSSEHeartbeat; negative disables heartbeats).
+	SSEHeartbeat time.Duration
+	// SSEWriteTimeout is the per-write deadline on session streams
+	// (0 = sse.DefaultWriteTimeout; negative disables it).
+	SSEWriteTimeout time.Duration
 
 	// Tenants, when set, switches the server to multi-tenant serving:
 	// Engine is nil, queries name a tenant (X-Uniask-Tenant header or
@@ -172,6 +184,7 @@ func New(engine *core.Engine) *Server {
 			Entries: cs.Entries, DeleteEvictions: cs.DeleteEvictions,
 		}, true
 	})
+	s.wireSessionMetrics()
 	return s
 }
 
@@ -216,6 +229,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/ask", s.withDeadline(s.handleAsk))
 	mux.HandleFunc("GET /api/search", s.withDeadline(s.handleSearch))
 	mux.HandleFunc("POST /api/feedback", s.handleFeedback)
+	// Session routes: the ask stream is deliberately NOT wrapped in
+	// withDeadline — an SSE stream outlives any per-request deadline; the
+	// sse.Writer's per-write deadline bounds each frame instead.
+	mux.HandleFunc("POST /api/sessions", s.handleSessionCreate)
+	mux.HandleFunc("GET /api/sessions/{sid}", s.handleSessionGet)
+	mux.HandleFunc("POST /api/sessions/{sid}/ask", s.handleSessionAsk)
+	mux.HandleFunc("POST /api/sessions/{sid}/feedback", s.handleSessionFeedback)
 	mux.HandleFunc("GET /api/dashboard", s.handleDashboard)
 	mux.HandleFunc("GET /api/traces", s.handleTraces)
 	mux.HandleFunc("GET /api/traces/{id}", s.handleTraceByID)
@@ -231,6 +251,10 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("POST /t/{tenant}/api/ask", s.withDeadline(s.handleAsk))
 		mux.HandleFunc("GET /t/{tenant}/api/search", s.withDeadline(s.handleSearch))
 		mux.HandleFunc("POST /t/{tenant}/api/feedback", s.handleFeedback)
+		mux.HandleFunc("POST /t/{tenant}/api/sessions", s.handleSessionCreate)
+		mux.HandleFunc("GET /t/{tenant}/api/sessions/{sid}", s.handleSessionGet)
+		mux.HandleFunc("POST /t/{tenant}/api/sessions/{sid}/ask", s.handleSessionAsk)
+		mux.HandleFunc("POST /t/{tenant}/api/sessions/{sid}/feedback", s.handleSessionFeedback)
 		mux.HandleFunc("GET /t/{tenant}/api/dashboard", s.handleDashboard)
 		mux.HandleFunc("GET /t/{tenant}/api/traces", s.handleTraces)
 		mux.HandleFunc("GET /t/{tenant}/api/health", s.handleHealth)
@@ -495,6 +519,8 @@ const defaultTraceListLimit = 50
 //	shard        keep traces that touched this shard id
 //	tenant       keep traces whose root span carries tenant=<id> (multi-tenant
 //	             serving; /t/{tenant}/api/traces pins this filter)
+//	session      keep traces whose spans carry session=<id> — every turn of a
+//	             conversation, in order
 //	limit        row cap (default 50)
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	store := s.traceStore()
@@ -524,6 +550,7 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	}
 	stage := qp.Get("stage")
 	shardID := qp.Get("shard")
+	sessionID := qp.Get("session")
 	tenantID := qp.Get("tenant")
 	if id := r.PathValue("tenant"); id != "" {
 		tenantID = id
@@ -554,6 +581,9 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 			return false
 		}
 		if tenantID != "" && !traceHasAttr(td, "tenant", tenantID) {
+			return false
+		}
+		if sessionID != "" && !traceHasAttr(td, "session", sessionID) {
 			return false
 		}
 		return tq.MatchTrace(td)

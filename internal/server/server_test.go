@@ -38,7 +38,7 @@ func setup(t *testing.T) (*httptest.Server, *Server) {
 	return testSrv, testAPI
 }
 
-func login(t *testing.T, base, user string) string {
+func login(t testing.TB, base, user string) string {
 	t.Helper()
 	body, _ := json.Marshal(map[string]string{"user": user})
 	resp, err := http.Post(base+"/api/login", "application/json", bytes.NewReader(body))

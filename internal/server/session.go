@@ -1,0 +1,570 @@
+package server
+
+// Conversational sessions over SSE: the HTTP face of internal/session.
+// POST /api/sessions opens a conversation, POST /api/sessions/{sid}/ask
+// streams one turn — citations as soon as retrieval lands, answer tokens as
+// the LLM produces them, a terminal done event always — and
+// POST /api/sessions/{sid}/feedback folds a click on a cited document into
+// the engine's rerank weights. Session turns pass the same tenant front
+// door as one-shot asks (admission slot held for the stream's duration), so
+// a tenant's open streams count against its concurrency quota.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"uniask/internal/core"
+	"uniask/internal/eventlog"
+	"uniask/internal/monitor"
+	"uniask/internal/rerank"
+	"uniask/internal/search"
+	"uniask/internal/session"
+	"uniask/internal/sse"
+	"uniask/internal/tenant"
+	"uniask/internal/trace"
+)
+
+// DefaultSSEHeartbeat is how often an idle stream gets a keep-alive comment
+// so intermediaries don't reap the connection between token bursts.
+const DefaultSSEHeartbeat = 15 * time.Second
+
+// wireSessionMetrics creates the server's session store and installs the
+// session and rerank-feedback dashboard gauges. Called by both New and
+// NewMultiTenant.
+func (s *Server) wireSessionMetrics() {
+	if s.Sessions == nil {
+		s.Sessions = session.NewStore(session.Config{})
+	}
+	s.Metrics.SetSessionSource(func() (monitor.SessionGauge, bool) {
+		if s.Sessions == nil {
+			return monitor.SessionGauge{}, false
+		}
+		st := s.Sessions.Stats()
+		return monitor.SessionGauge{
+			Live: st.Live, Turns: st.Turns,
+			Expired: st.Expired, Evicted: st.Evicted,
+			OpenStreams:   st.Streams.Open,
+			StreamsOpened: st.Streams.Opened,
+			StreamsClosed: st.Streams.Closed,
+			Heartbeats:    st.Streams.Heartbeats,
+			Disconnects:   st.Streams.Disconnects,
+		}, true
+	})
+	s.Metrics.SetRerankSource(func() []monitor.RerankGauge {
+		var out []monitor.RerankGauge
+		add := func(tenantID string, eng *core.Engine) {
+			if eng == nil || eng.Searcher == nil || eng.Searcher.Reranker == nil {
+				return
+			}
+			st := eng.Searcher.Reranker.Stats()
+			out = append(out, monitor.RerankGauge{
+				Tenant: tenantID, Clicks: st.Clicks,
+				Version: st.Version, Drift: st.Drift,
+			})
+		}
+		if s.Tenants != nil {
+			for _, id := range s.Tenants.Active() {
+				if eng, ok := s.Tenants.EngineIfActive(id); ok {
+					add(id, eng)
+				}
+			}
+		} else {
+			add("", s.Engine)
+		}
+		return out
+	})
+}
+
+// sessionTenant resolves the store-side tenant key for a session request:
+// the request's tenant in multi-tenant serving, "" otherwise. In
+// multi-tenant mode it validates the tenant and writes the error response
+// itself (ok=false).
+func (s *Server) sessionTenant(w http.ResponseWriter, r *http.Request) (string, bool) {
+	if s.Tenants == nil {
+		return "", true
+	}
+	id := s.requestTenant(r)
+	if id == "" {
+		httpError(w, http.StatusBadRequest, "tenant required ("+TenantHeader+" header or /t/{tenant}/api/... path)")
+		return "", false
+	}
+	if err := tenant.ValidateID(id); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return "", false
+	}
+	if !s.Tenants.AllowUnknown {
+		if ov := s.Tenants.Overrides(); ov == nil || !ov.Known(id) {
+			httpError(w, http.StatusNotFound, fmt.Sprintf("unknown tenant %q", id))
+			return "", false
+		}
+	}
+	return id, true
+}
+
+// tenantSessionCap resolves the per-tenant live-session cap for Create:
+// the overrides' maxSessions when set, session.DefaultTenantSessions
+// otherwise; negative means uncapped (0 for the store). Single-tenant
+// serving has no per-tenant cap — the global LRU budget still bounds it.
+func (s *Server) tenantSessionCap(tenantID string) int {
+	if s.Tenants == nil {
+		return 0
+	}
+	max := 0
+	if ov := s.Tenants.Overrides(); ov != nil {
+		max = ov.For(tenantID).MaxSessions
+	}
+	switch {
+	case max == 0:
+		return session.DefaultTenantSessions
+	case max < 0:
+		return 0
+	default:
+		return max
+	}
+}
+
+// sessionResponse is the POST /api/sessions and GET /api/sessions/{sid}
+// payload.
+type sessionResponse struct {
+	ID        string         `json:"id"`
+	Tenant    string         `json:"tenant,omitempty"`
+	CreatedAt time.Time      `json:"createdAt"`
+	Turns     []turnResponse `json:"turns"`
+}
+
+type turnResponse struct {
+	Question       string        `json:"question"`
+	RewrittenQuery string        `json:"rewrittenQuery,omitempty"`
+	Answer         string        `json:"answer"`
+	Documents      []docResponse `json:"documents"`
+	TraceID        string        `json:"traceId,omitempty"`
+	Degraded       bool          `json:"degraded,omitempty"`
+	DegradedParts  []string      `json:"degradedParts,omitempty"`
+}
+
+func sessionView(sess session.Session) sessionResponse {
+	out := sessionResponse{
+		ID: sess.ID, Tenant: sess.Tenant, CreatedAt: sess.CreatedAt,
+		Turns: []turnResponse{},
+	}
+	for _, t := range sess.Turns {
+		tr := turnResponse{
+			Question:       t.Question,
+			RewrittenQuery: t.RewrittenQuery,
+			Answer:         t.Answer,
+			TraceID:        t.TraceID,
+			Degraded:       t.Degraded,
+			DegradedParts:  t.DegradedParts,
+			Documents:      []docResponse{},
+		}
+		for _, d := range t.Documents {
+			tr.Documents = append(tr.Documents, docResponse{
+				ID: d.ChunkID, Parent: d.ParentID, Title: d.Title,
+			})
+		}
+		out.Turns = append(out.Turns, tr)
+	}
+	return out
+}
+
+// handleSessionCreate opens a conversation: POST /api/sessions.
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	user := s.auth(r)
+	if user == "" {
+		httpError(w, http.StatusUnauthorized, "login required")
+		return
+	}
+	tenantID, ok := s.sessionTenant(w, r)
+	if !ok {
+		return
+	}
+	sess, err := s.Sessions.Create(tenantID, s.tenantSessionCap(tenantID))
+	if err != nil {
+		if errors.Is(err, session.ErrTenantBudget) {
+			// Session quota exhausted is shed like any other quota: 429,
+			// retry when a conversation expires.
+			w.Header().Set("Retry-After", "60")
+			httpError(w, http.StatusTooManyRequests, err.Error())
+			return
+		}
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.Log.Append(eventlog.Event{
+		At: time.Now(), Service: "backend", Type: "session", User: user,
+		Fields: map[string]string{"session": sess.ID, "event": "created"},
+	})
+	w.WriteHeader(http.StatusCreated)
+	json.NewEncoder(w).Encode(sessionView(sess))
+}
+
+// handleSessionGet returns the session transcript: GET /api/sessions/{sid}.
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	user := s.auth(r)
+	if user == "" {
+		httpError(w, http.StatusUnauthorized, "login required")
+		return
+	}
+	tenantID, ok := s.sessionTenant(w, r)
+	if !ok {
+		return
+	}
+	sess, err := s.Sessions.Get(tenantID, r.PathValue("sid"))
+	if err != nil {
+		sessionError(w, err)
+		return
+	}
+	writeJSON(w, sessionView(sess))
+}
+
+// sessionError maps a store error to its HTTP status. ErrWrongTenant is
+// reported as 404, not 403: confirming a session ID exists under another
+// tenant would leak cross-tenant information.
+func sessionError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, session.ErrNotFound), errors.Is(err, session.ErrWrongTenant):
+		httpError(w, http.StatusNotFound, "session not found (expired, evicted, or never existed)")
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// sseCitations is the citations event payload: the ranked document list,
+// sent as soon as retrieval + rerank land, before the answer streams.
+type sseCitations struct {
+	Documents []docResponse `json:"documents"`
+}
+
+// sseToken is one incremental answer chunk.
+type sseToken struct {
+	Text string `json:"text"`
+}
+
+// sseFallback is the terminal fallback payload: generation degraded after
+// streaming may have started, so the client must discard streamed tokens
+// and render this answer instead.
+type sseFallback struct {
+	Answer string `json:"answer"`
+}
+
+// sseDone is the terminal event of every stream. Error is set when the turn
+// failed outright (no answer); otherwise the answer fields mirror
+// askResponse.
+type sseDone struct {
+	Answer         string   `json:"answer"`
+	AnswerValid    bool     `json:"answerValid"`
+	Guardrail      string   `json:"guardrail,omitempty"`
+	RewrittenQuery string   `json:"rewrittenQuery,omitempty"`
+	Degraded       bool     `json:"degraded,omitempty"`
+	DegradedParts  []string `json:"degradedParts,omitempty"`
+	TraceID        string   `json:"traceId,omitempty"`
+	Turn           int      `json:"turn"`
+	Error          string   `json:"error,omitempty"`
+}
+
+// handleSessionAsk streams one conversational turn over SSE:
+// POST /api/sessions/{sid}/ask. Event order on the wire:
+//
+//	citations  once, when retrieval + rerank land
+//	token      zero or more incremental answer chunks
+//	fallback   only when generation degraded mid-stream — discard tokens
+//	done       always terminal (carries the final answer and trace id)
+//
+// Comment frames (": hb") are heartbeats. The handler is registered
+// without withDeadline: a stream lives as long as the client reads it;
+// each individual write still carries the sse.Writer per-write deadline.
+func (s *Server) handleSessionAsk(w http.ResponseWriter, r *http.Request) {
+	user := s.auth(r)
+	if user == "" {
+		httpError(w, http.StatusUnauthorized, "login required")
+		return
+	}
+	var req askRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || strings.TrimSpace(req.Question) == "" {
+		httpError(w, http.StatusBadRequest, "question required")
+		return
+	}
+	tenantKey, ok := s.sessionTenant(w, r)
+	if !ok {
+		return
+	}
+	// Resolve the session before admission so a bogus session ID cannot
+	// consume an admission slot.
+	sess, err := s.Sessions.Get(tenantKey, r.PathValue("sid"))
+	if err != nil {
+		sessionError(w, err)
+		return
+	}
+	q, ok := s.queryContext(w, r)
+	if !ok {
+		return
+	}
+	start := time.Now()
+	defer func() { q.release(time.Since(start)) }()
+
+	ctx, treq := q.eng.Tracer.StartRequestRate(q.ctx, "session.turn", q.lim.TraceSampleRate)
+	defer treq.End()
+	if id := treq.TraceID(); id != "" {
+		w.Header().Set(TraceIDHeader, id)
+	}
+	turnIndex := len(sess.Turns)
+	treq.Root().SetAttr("user", user)
+	treq.Root().SetAttr("session", sess.ID)
+	treq.Root().SetAttr("turn", strconv.Itoa(turnIndex))
+	if q.tenant != "" {
+		treq.Root().SetAttr("tenant", q.tenant)
+	}
+
+	sw := sse.NewWriter(w, s.SSEWriteTimeout)
+	s.Sessions.StreamOpened()
+	disconnected := false
+	defer func() { s.Sessions.StreamClosed(disconnected) }()
+
+	// Heartbeats keep the connection alive through long retrieval or a slow
+	// LLM; the ticker dies with the handler.
+	hbEvery := s.SSEHeartbeat
+	if hbEvery == 0 {
+		hbEvery = DefaultSSEHeartbeat
+	}
+	if hbEvery > 0 {
+		hbDone := make(chan struct{})
+		defer close(hbDone)
+		go func() {
+			t := time.NewTicker(hbEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-hbDone:
+					return
+				case <-t.C:
+					if sw.Comment("hb") == nil {
+						s.Sessions.StreamHeartbeat()
+					}
+				}
+			}
+		}()
+	}
+
+	streamed := false
+	ev := core.StreamEvents{
+		OnCitations: func(results []search.Result) {
+			payload := sseCitations{Documents: []docResponse{}}
+			for i, d := range results {
+				if i >= 10 {
+					break
+				}
+				payload.Documents = append(payload.Documents, docResponse{
+					ID: d.ChunkID, Parent: d.ParentID, Title: d.Title,
+					Snippet: snippet(d.Content, 160), Score: d.Score,
+				})
+			}
+			sw.Event("citations", mustJSON(payload))
+		},
+		OnToken: func(chunk string) error {
+			streamed = true
+			return sw.Event("token", mustJSON(sseToken{Text: chunk}))
+		},
+	}
+
+	resp, err := q.eng.AskConversational(ctx, req.Question, sess.History(), ev)
+	latency := time.Since(start)
+	if r.Context().Err() != nil {
+		// The client went away mid-turn: nothing left to write to.
+		disconnected = true
+		treq.Root().SetError(r.Context().Err())
+		return
+	}
+	if err != nil {
+		// A hard engine error still terminates the stream with done — an
+		// SSE response never turns into a dangling connection or a late 5xx.
+		treq.Root().SetError(err)
+		s.Metrics.RecordQuery(user, latency, "", true)
+		s.Log.Append(eventlog.Event{At: time.Now(), Service: "backend", Type: "error", User: user})
+		sw.Event("done", mustJSON(sseDone{
+			Error: "ask failed", TraceID: treq.TraceID(), Turn: turnIndex,
+		}))
+		return
+	}
+	if resp.Degraded {
+		treq.Root().SetStatus(trace.StatusDegraded)
+		treq.Root().SetAttr("degradedParts", strings.Join(resp.DegradedParts, ","))
+	}
+	if degradedGeneration(resp.DegradedParts) && streamed {
+		// Mid-stream LLM death: the tokens already sent are a prefix of an
+		// answer that no longer exists. Tell the client to discard them and
+		// render the extractive fallback.
+		sw.Event("fallback", mustJSON(sseFallback{Answer: resp.Answer}))
+	}
+	s.Metrics.RecordQuery(user, latency, resp.Guardrail.String(), false)
+	s.Metrics.RecordDegraded(resp.DegradedParts)
+	s.Log.Append(eventlog.Event{
+		At: time.Now(), Service: "backend", Type: "query", User: user,
+		DurationMS: latency.Milliseconds(),
+		Fields: map[string]string{
+			"session":   sess.ID,
+			"guardrail": resp.Guardrail.String(),
+			"valid":     strconv.FormatBool(resp.AnswerValid),
+		},
+	})
+
+	turn := session.Turn{
+		Question:       req.Question,
+		RewrittenQuery: resp.RewrittenQuery,
+		Answer:         resp.Answer,
+		TraceID:        treq.TraceID(),
+		Degraded:       resp.Degraded,
+		DegradedParts:  resp.DegradedParts,
+	}
+	for i, d := range resp.Documents {
+		if i >= 10 {
+			break
+		}
+		turn.Documents = append(turn.Documents, session.TurnDoc{
+			ChunkID: d.ChunkID, ParentID: d.ParentID, Title: d.Title,
+		})
+	}
+	// The session may have expired or been evicted while the turn ran; the
+	// turn still completes for this client, the next one gets ErrNotFound.
+	s.Sessions.AppendTurn(tenantKey, sess.ID, turn)
+
+	sw.Event("done", mustJSON(sseDone{
+		Answer:         resp.Answer,
+		AnswerValid:    resp.AnswerValid,
+		Guardrail:      resp.Guardrail.String(),
+		RewrittenQuery: resp.RewrittenQuery,
+		Degraded:       resp.Degraded,
+		DegradedParts:  resp.DegradedParts,
+		TraceID:        treq.TraceID(),
+		Turn:           turnIndex,
+	}))
+}
+
+// degradedGeneration reports whether "generation" is among the degraded
+// parts — the marker that the streamed tokens were abandoned for the
+// extractive fallback.
+func degradedGeneration(parts []string) bool {
+	for _, p := range parts {
+		if p == "generation" {
+			return true
+		}
+	}
+	return false
+}
+
+// sessionFeedbackRequest is the click payload: which turn, which cited
+// document the user opened.
+type sessionFeedbackRequest struct {
+	Turn    int    `json:"turn"`
+	ChunkID string `json:"chunkId"`
+}
+
+// sessionFeedbackResponse reports the recalibration outcome.
+type sessionFeedbackResponse struct {
+	Applied bool   `json:"applied"`
+	Version uint64 `json:"version,omitempty"`
+	Clicks  uint64 `json:"clicks,omitempty"`
+}
+
+// handleSessionFeedback records a click on a cited document and folds it
+// into the tenant engine's rerank weights:
+// POST /api/sessions/{sid}/feedback. The click's positive example is the
+// opened document; the documents ranked above it are the negatives.
+func (s *Server) handleSessionFeedback(w http.ResponseWriter, r *http.Request) {
+	user := s.auth(r)
+	if user == "" {
+		httpError(w, http.StatusUnauthorized, "login required")
+		return
+	}
+	var req sessionFeedbackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || strings.TrimSpace(req.ChunkID) == "" {
+		httpError(w, http.StatusBadRequest, "turn and chunkId required")
+		return
+	}
+	tenantKey, ok := s.sessionTenant(w, r)
+	if !ok {
+		return
+	}
+	sess, err := s.Sessions.Get(tenantKey, r.PathValue("sid"))
+	if err != nil {
+		sessionError(w, err)
+		return
+	}
+	if req.Turn < 0 || req.Turn >= len(sess.Turns) {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("turn %d out of range (session has %d)", req.Turn, len(sess.Turns)))
+		return
+	}
+	turn := sess.Turns[req.Turn]
+	clickedAt := -1
+	for i, d := range turn.Documents {
+		if d.ChunkID == req.ChunkID {
+			clickedAt = i
+			break
+		}
+	}
+	if clickedAt < 0 {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("chunk %q was not cited on turn %d", req.ChunkID, req.Turn))
+		return
+	}
+	q, ok := s.queryContext(w, r)
+	if !ok {
+		return
+	}
+	start := time.Now()
+	defer func() { q.release(time.Since(start)) }()
+
+	s.Metrics.RecordFeedback(true)
+	s.Log.Append(eventlog.Event{
+		At: time.Now(), Service: "backend", Type: "feedback", User: user,
+		Fields: map[string]string{"session": sess.ID, "chunk": req.ChunkID},
+	})
+
+	rr := q.eng.Searcher.Reranker
+	if rr == nil {
+		// No reranker on this engine: the click is logged but cannot move
+		// any weights.
+		writeJSON(w, sessionFeedbackResponse{Applied: false})
+		return
+	}
+	queryText := turn.RewrittenQuery
+	if queryText == "" {
+		queryText = turn.Question
+	}
+	click := rerank.Click{
+		Query:    queryText,
+		QueryVec: q.eng.Embedder.Embed(queryText),
+		Clicked:  s.clickInput(q, turn.Documents[clickedAt]),
+	}
+	for _, d := range turn.Documents[:clickedAt] {
+		click.SkippedAbove = append(click.SkippedAbove, s.clickInput(q, d))
+	}
+	rr.Recalibrate(click)
+	st := rr.Stats()
+	writeJSON(w, sessionFeedbackResponse{Applied: true, Version: st.Version, Clicks: st.Clicks})
+}
+
+// clickInput resolves a cited turn document into the reranker's feature
+// input, re-reading the live chunk for its text and embedding. A chunk
+// deleted since the turn degrades to the title recorded at answer time.
+func (s *Server) clickInput(q queryGrant, d session.TurnDoc) rerank.Input {
+	in := rerank.Input{ID: d.ChunkID, Title: d.Title}
+	if doc, ok := q.eng.Index.DocByID(d.ChunkID); ok {
+		in.Title = doc.Fields["title"]
+		in.Content = doc.Fields["content"]
+		in.ContentVector = doc.Vectors["contentVector"]
+	}
+	return in
+}
+
+// mustJSON marshals a payload that cannot fail (plain structs, no cycles).
+func mustJSON(v interface{}) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return `{"error":"encode failed"}`
+	}
+	return string(b)
+}

@@ -50,6 +50,7 @@ func NewMultiTenant(reg *tenant.Registry, ctrl *tenant.Controller, tracer *trace
 	if ctrl != nil {
 		s.Metrics.SetTenantSource(func() []monitor.TenantGauge { return tenantGauges(ctrl, pool) })
 	}
+	s.wireSessionMetrics()
 	return s
 }
 

@@ -1,0 +1,178 @@
+package sse
+
+import (
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWriterFrames(t *testing.T) {
+	rec := httptest.NewRecorder()
+	w := NewWriter(rec, -1)
+	if err := w.Event("citations", `{"documents":[]}`); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Comment("hb"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Event("done", `{"answer":"ok"}`); err != nil {
+		t.Fatal(err)
+	}
+	want := "event: citations\ndata: {\"documents\":[]}\n\n" +
+		": hb\n\n" +
+		"event: done\ndata: {\"answer\":\"ok\"}\n\n"
+	if got := rec.Body.String(); got != want {
+		t.Fatalf("wire bytes:\n%q\nwant:\n%q", got, want)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+}
+
+func TestWriterRoundTripsThroughParser(t *testing.T) {
+	rec := httptest.NewRecorder()
+	w := NewWriter(rec, 0)
+	w.Event("token", `{"text":"ciao"}`)
+	w.Comment("keepalive")
+	w.Event("done", `{}`)
+
+	var p Parser
+	events, err := p.Feed(rec.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("parsed %d events, want 2 (comment ignored)", len(events))
+	}
+	if events[0].Name != "token" || events[0].Data != `{"text":"ciao"}` {
+		t.Fatalf("event 0: %+v", events[0])
+	}
+	if events[1].Name != "done" {
+		t.Fatalf("event 1: %+v", events[1])
+	}
+}
+
+func TestParserIncrementalFeed(t *testing.T) {
+	// Byte-at-a-time delivery must parse identically to one big chunk.
+	wire := "event: citations\ndata: {\"n\":1}\n\nevent: token\ndata: hello\n\n"
+	var p Parser
+	var events []Event
+	for i := 0; i < len(wire); i++ {
+		evs, err := p.Feed([]byte{wire[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, evs...)
+	}
+	if len(events) != 2 || events[0].Name != "citations" || events[1].Data != "hello" {
+		t.Fatalf("events: %+v", events)
+	}
+}
+
+func TestParserLineEndings(t *testing.T) {
+	for _, tc := range []struct{ name, wire string }{
+		{"LF", "event: a\ndata: x\n\n"},
+		{"CRLF", "event: a\r\ndata: x\r\n\r\n"},
+		{"CR", "event: a\rdata: x\r\r"},
+		{"mixed", "event: a\r\ndata: x\n\r"},
+	} {
+		var p Parser
+		events, err := p.Feed([]byte(tc.wire))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(events) != 1 || events[0].Name != "a" || events[0].Data != "x" {
+			t.Fatalf("%s: events = %+v", tc.name, events)
+		}
+	}
+}
+
+func TestParserDefaults(t *testing.T) {
+	var p Parser
+	// No event: field → name "message"; multiple data lines join with \n;
+	// unknown fields and comments are ignored.
+	events, err := p.Feed([]byte(": comment\nid: 7\ndata: line1\ndata: line2\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("events = %+v", events)
+	}
+	if events[0].Name != "message" || events[0].Data != "line1\nline2" {
+		t.Fatalf("event: %+v", events[0])
+	}
+}
+
+func TestParserOversizedEventDropped(t *testing.T) {
+	var p Parser
+	big := "data: " + strings.Repeat("x", MaxEventSize+1) + "\n\n"
+	_, err := p.Feed([]byte(big))
+	if !errors.Is(err, ErrEventTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+	// Parsing continues with the next event.
+	events, err := p.Feed([]byte("event: ok\ndata: fine\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Name != "ok" {
+		t.Fatalf("after oversized: %+v", events)
+	}
+}
+
+func TestParserBlankLinesNoEvent(t *testing.T) {
+	var p Parser
+	events, err := p.Feed([]byte("\n\n\r\n\r\r\n"))
+	if err != nil || len(events) != 0 {
+		t.Fatalf("blank input: events=%v err=%v", events, err)
+	}
+}
+
+// FuzzSSEParser hardens the client-side parser against a hostile or
+// corrupted server: any byte stream, delivered in any chunking, must never
+// panic, never loop, and never buffer more than the event-size bound.
+func FuzzSSEParser(f *testing.F) {
+	f.Add([]byte("event: citations\ndata: {\"documents\":[]}\n\n"), 1)
+	f.Add([]byte(": hb\n\nevent: done\r\ndata: {}\r\n\r\n"), 3)
+	f.Add([]byte("data: a\rdata: b\r\r"), 2)
+	f.Add([]byte("event:\ndata:\n\n"), 1)
+	f.Add([]byte("garbage without newlines"), 5)
+	f.Add([]byte("\xff\xfe\x00 binary \r\r\n\n"), 1)
+	f.Fuzz(func(t *testing.T, wire []byte, chunk int) {
+		if chunk <= 0 {
+			chunk = 1
+		}
+		var whole Parser
+		wholeEvents, _ := whole.Feed(wire)
+
+		// Same bytes, chunked delivery: identical events (errors may be
+		// reported on different Feed calls, so only events are compared).
+		var split Parser
+		var splitEvents []Event
+		for i := 0; i < len(wire); i += chunk {
+			end := i + chunk
+			if end > len(wire) {
+				end = len(wire)
+			}
+			evs, _ := split.Feed(wire[i:end])
+			splitEvents = append(splitEvents, evs...)
+		}
+		if len(wholeEvents) != len(splitEvents) {
+			t.Fatalf("chunking changed event count: %d vs %d", len(wholeEvents), len(splitEvents))
+		}
+		for i := range wholeEvents {
+			if wholeEvents[i] != splitEvents[i] {
+				t.Fatalf("event %d differs: %+v vs %+v", i, wholeEvents[i], splitEvents[i])
+			}
+		}
+		for _, ev := range wholeEvents {
+			if ev.Name == "" {
+				t.Fatal("dispatched event with empty name")
+			}
+			if len(ev.Data) > MaxEventSize+1 {
+				t.Fatalf("event data exceeds bound: %d", len(ev.Data))
+			}
+		}
+	})
+}

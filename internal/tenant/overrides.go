@@ -49,6 +49,11 @@ type Limits struct {
 	// TraceSampleRate is the tenant's head-sampling probability in (0, 1]
 	// (0 = inherit, ultimately the tracer's configured rate).
 	TraceSampleRate float64 `json:"traceSampleRate"`
+	// MaxSessions caps the tenant's live conversational sessions (0 =
+	// inherit; negative = uncapped; ultimate default
+	// session.DefaultTenantSessions). Creating a session beyond the cap is
+	// rejected with 429, like any other quota.
+	MaxSessions int `json:"maxSessions"`
 	// Class is the tenant's priority class: "interactive" (default) or
 	// "best-effort". JSON field "class".
 	Class Class `json:"-"`
@@ -62,6 +67,7 @@ type limitsJSON struct {
 	CacheShare      int     `json:"cacheShare"`
 	MaxFanout       int     `json:"maxFanout"`
 	TraceSampleRate float64 `json:"traceSampleRate"`
+	MaxSessions     int     `json:"maxSessions"`
 	Class           string  `json:"class"`
 }
 
@@ -82,7 +88,7 @@ func (l *Limits) UnmarshalJSON(data []byte) error {
 		RateLimit: w.RateLimit, Burst: w.Burst,
 		MaxConcurrent: w.MaxConcurrent, CacheShare: w.CacheShare,
 		MaxFanout: w.MaxFanout, TraceSampleRate: w.TraceSampleRate,
-		Class: class,
+		MaxSessions: w.MaxSessions, Class: class,
 	}
 	return nil
 }
@@ -93,7 +99,7 @@ func (l Limits) MarshalJSON() ([]byte, error) {
 		RateLimit: l.RateLimit, Burst: l.Burst,
 		MaxConcurrent: l.MaxConcurrent, CacheShare: l.CacheShare,
 		MaxFanout: l.MaxFanout, TraceSampleRate: l.TraceSampleRate,
-		Class: l.Class.String(),
+		MaxSessions: l.MaxSessions, Class: l.Class.String(),
 	})
 }
 
@@ -118,6 +124,9 @@ func (l Limits) overlay(def Limits) Limits {
 	}
 	if l.TraceSampleRate == 0 {
 		l.TraceSampleRate = def.TraceSampleRate
+	}
+	if l.MaxSessions == 0 {
+		l.MaxSessions = def.MaxSessions
 	}
 	return l
 }
